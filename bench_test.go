@@ -1,0 +1,130 @@
+// Benchmark harness: one testing.B target per table and figure in the
+// paper's evaluation. Each benchmark regenerates its table/figure from
+// full simulations and reports the headline quantities as custom metrics,
+// so `go test -bench=.` reproduces the paper's results end to end:
+//
+//	go test -bench=BenchmarkFigure6 -benchmem
+//	go test -bench=. -benchmem            # everything
+//
+// Set -v to also print the full tables (the same rows the paper reports).
+package waycache_test
+
+import (
+	"os"
+	"testing"
+
+	"waycache/internal/experiments"
+)
+
+// benchOpts keeps benchmark runs substantial but bounded: the full suite
+// at 150k instructions per configuration.
+func benchOpts() experiments.Options {
+	return experiments.Options{Insts: 150_000}
+}
+
+// runExperiment executes the named experiment b.N times, printing the
+// report once when verbose and publishing summary metrics.
+func runExperiment(b *testing.B, name string, metrics []string) {
+	b.Helper()
+	fn, err := experiments.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = fn(benchOpts())
+	}
+	if testing.Verbose() {
+		if _, err := rep.WriteTo(os.Stdout); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, m := range metrics {
+		if v, ok := rep.Summary[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the cache energy component table
+// (parallel/one-way/write/tag/prediction-table relative energies).
+func BenchmarkTable3(b *testing.B) {
+	runExperiment(b, "table3", []string{"oneWay", "write", "tag"})
+}
+
+// BenchmarkTable4 regenerates the direct-mapped vs 4-way miss-rate table.
+func BenchmarkTable4(b *testing.B) {
+	runExperiment(b, "table4", []string{"dm_gcc", "sa_gcc", "dm_swim", "sa_swim"})
+}
+
+// BenchmarkTable5 regenerates the d-cache technique summary (average
+// energy-delay savings and performance loss per design option).
+func BenchmarkTable5(b *testing.B) {
+	runExperiment(b, "table5", []string{
+		"ed_sequential", "ed_waypred-pc", "ed_seldm+waypred", "ed_seldm+sequential",
+	})
+}
+
+// BenchmarkFigure4 regenerates the sequential-access energy-delay and
+// performance-degradation series.
+func BenchmarkFigure4(b *testing.B) {
+	runExperiment(b, "fig4", []string{"avgRelED", "avgPerfLoss", "maxPerfLoss"})
+}
+
+// BenchmarkFigure5 regenerates the PC- vs XOR-based way-prediction
+// comparison (energy-delay, performance, accuracy).
+func BenchmarkFigure5(b *testing.B) {
+	runExperiment(b, "fig5", []string{"pcAcc", "xorAcc", "pcRelED", "xorRelED"})
+}
+
+// BenchmarkFigure6 regenerates the selective-DM scheme comparison and the
+// access breakdown.
+func BenchmarkFigure6(b *testing.B) {
+	runExperiment(b, "fig6", []string{"sdmParED", "sdmWpED", "sdmSeqED", "dmFrac"})
+}
+
+// BenchmarkFigure7 regenerates the 16K-vs-32K selective-DM comparison.
+func BenchmarkFigure7(b *testing.B) {
+	runExperiment(b, "fig7", []string{"ed16", "ed32"})
+}
+
+// BenchmarkFigure8 regenerates the associativity sweep (2/4/8-way).
+func BenchmarkFigure8(b *testing.B) {
+	runExperiment(b, "fig8", []string{"ed2", "ed4", "ed8"})
+}
+
+// BenchmarkFigure9 regenerates the 2-cycle-cache comparison.
+func BenchmarkFigure9(b *testing.B) {
+	runExperiment(b, "fig9", []string{"sdmWpED", "sdmSeqED", "seqED", "seqPerf"})
+}
+
+// BenchmarkFigure10 regenerates the i-cache way-prediction sweep and
+// prediction-source breakdown.
+func BenchmarkFigure10(b *testing.B) {
+	runExperiment(b, "fig10", []string{"ed2", "ed4", "ed8", "avgAccuracy"})
+}
+
+// BenchmarkFigure11 regenerates the overall processor energy figure,
+// including the perfect-way-prediction bound.
+func BenchmarkFigure11(b *testing.B) {
+	runExperiment(b, "fig11", []string{"relEnergy", "relED", "perfLoss", "perfectED"})
+}
+
+// BenchmarkAblationTableSize sweeps prediction-table sizes (512/1024/2048),
+// regenerating the paper's insensitivity claim.
+func BenchmarkAblationTableSize(b *testing.B) {
+	runExperiment(b, "ablation-tables", []string{
+		"waypred-pc_1024", "waypred-pc_2048", "seldm+waypred_1024", "seldm+waypred_2048",
+	})
+}
+
+// BenchmarkAblationVictimList sweeps victim-list sizes (4/16/64 entries).
+func BenchmarkAblationVictimList(b *testing.B) {
+	runExperiment(b, "ablation-victim", []string{"ed_4", "ed_16", "ed_64"})
+}
+
+// BenchmarkRelatedWork compares against the paper's Section 5 baselines:
+// selective cache ways (Albonesi) and MRU way-prediction (Inoue et al.).
+func BenchmarkRelatedWork(b *testing.B) {
+	runExperiment(b, "related", []string{"selWaysED", "mruED", "sdmED"})
+}

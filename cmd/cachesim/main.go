@@ -1,0 +1,108 @@
+// Command cachesim runs a single simulator configuration and prints its
+// timing, cache and energy statistics.
+//
+// Usage:
+//
+//	cachesim -bench gcc -dpolicy seldm+waypred -ipolicy waypred -insts 1000000
+//	cachesim -bench swim -dpolicy sequential -dlatency 2
+//	cachesim -bench fpppp -dways 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"waycache/internal/access"
+	"waycache/internal/core"
+)
+
+var dPolicies = map[string]access.DPolicy{
+	"parallel":         access.DParallel,
+	"sequential":       access.DSequential,
+	"waypred-pc":       access.DWayPredPC,
+	"waypred-xor":      access.DWayPredXOR,
+	"seldm+parallel":   access.DSelDMParallel,
+	"seldm+waypred":    access.DSelDMWayPred,
+	"seldm+sequential": access.DSelDMSequential,
+	"waypred-mru":      access.DWayPredMRU,
+}
+
+var iPolicies = map[string]access.IPolicy{
+	"parallel": access.IParallel,
+	"waypred":  access.IWayPred,
+}
+
+func main() {
+	bench := flag.String("bench", "gcc", "benchmark name (see workload suite)")
+	dpol := flag.String("dpolicy", "parallel", "d-cache policy: parallel|sequential|waypred-pc|waypred-xor|seldm+parallel|seldm+waypred|seldm+sequential")
+	ipol := flag.String("ipolicy", "parallel", "i-cache policy: parallel|waypred")
+	insts := flag.Int64("insts", 1_000_000, "instructions to simulate")
+	dsize := flag.Int("dsize", 16<<10, "d-cache size in bytes")
+	dways := flag.Int("dways", 4, "d-cache associativity")
+	iways := flag.Int("iways", 4, "i-cache associativity")
+	dlat := flag.Int("dlatency", 1, "base d-cache hit latency (cycles)")
+	baseline := flag.Bool("baseline", false, "also run the parallel baseline and print relative metrics")
+	flag.Parse()
+
+	dp, ok := dPolicies[*dpol]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown -dpolicy %q\n", *dpol)
+		os.Exit(2)
+	}
+	ip, ok := iPolicies[*ipol]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown -ipolicy %q\n", *ipol)
+		os.Exit(2)
+	}
+
+	cfg := core.Config{
+		Benchmark: *bench, Insts: *insts,
+		DPolicy: dp, IPolicy: ip,
+		DSize: *dsize, DWays: *dways, IWays: *iways, DLatency: *dlat,
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ps := res.Pipeline
+	fmt.Printf("benchmark        %s\n", res.Benchmark)
+	fmt.Printf("d-policy         %s   i-policy %s\n", dp, ip)
+	fmt.Printf("instructions     %d\n", ps.Committed)
+	fmt.Printf("cycles           %d (IPC %.2f)\n", ps.Cycles, ps.IPC())
+	fmt.Printf("branches         %d (mispredict %.1f%%)\n", ps.Branches,
+		100*float64(ps.BranchMispred)/float64(max64(1, ps.Branches)))
+	fmt.Printf("d-cache          miss %.2f%%  loads %d stores %d\n",
+		100*res.DMissRate(), res.DStats.Loads, res.DStats.Stores)
+	fmt.Printf("d-way accuracy   %.1f%%\n", 100*res.WayPredAccuracy())
+	fmt.Printf("i-cache          miss %.2f%%  fetches %d  way accuracy %.1f%%\n",
+		100*res.IL1.MissRate(), res.IStats.Fetches, 100*res.IWayAccuracy())
+	fmt.Printf("L1d energy       %.1f (normalized units)\n", res.DCacheEnergy())
+	fmt.Printf("L1i energy       %.1f\n", res.ICacheEnergy())
+	fmt.Printf("processor energy %.1f (L1 share %.1f%%)\n", res.ProcessorEnergy(), 100*res.Power.L1Share())
+
+	if *baseline {
+		bcfg := cfg
+		bcfg.DPolicy, bcfg.IPolicy = access.DParallel, access.IParallel
+		base, err := core.Run(bcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		c := core.Compare(base, res)
+		fmt.Printf("\nrelative to parallel baseline:\n")
+		fmt.Printf("  d-cache E-D    %.3f (%.1f%% savings)\n", c.RelDCacheED, 100*(1-c.RelDCacheED))
+		fmt.Printf("  i-cache E-D    %.3f\n", c.RelICacheED)
+		fmt.Printf("  processor E-D  %.3f\n", c.RelProcED)
+		fmt.Printf("  perf loss      %.2f%%\n", 100*c.PerfLoss)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,65 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run table4,fig6,fig11 -insts 1000000
+//	experiments -run fig8 -benchmarks gcc,swim
+//
+// Each experiment prints the same rows/series the paper reports, produced
+// by full simulations of the synthetic benchmark suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"waycache/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment names (table3..table5, fig4..fig11) or 'all'")
+	insts := flag.Int64("insts", 400_000, "instructions per benchmark per configuration")
+	benches := flag.String("benchmarks", "", "comma-separated benchmark subset (default: full suite)")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	opts := experiments.Options{Insts: *insts}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	var names []string
+	if *run == "all" {
+		for _, e := range experiments.Registry() {
+			names = append(names, e.Name)
+		}
+	} else {
+		names = strings.Split(*run, ",")
+	}
+
+	for _, name := range names {
+		fn, err := experiments.ByName(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		rep := fn(opts)
+		if _, err := rep.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

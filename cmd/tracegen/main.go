@@ -1,0 +1,72 @@
+// Command tracegen inspects the synthetic workload generators: it prints a
+// benchmark's static shape, its dynamic instruction mix, and optionally a
+// disassembly-style listing of the first instructions.
+//
+// Usage:
+//
+//	tracegen -bench swim -n 500000
+//	tracegen -bench li -dump 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"waycache/internal/isa"
+	"waycache/internal/trace"
+	"waycache/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "gcc", "benchmark name")
+	n := flag.Int64("n", 500_000, "instructions to sample for the mix")
+	dump := flag.Int("dump", 0, "print the first N instructions")
+	flag.Parse()
+
+	p, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	prog := p.MustBuild()
+	fmt.Printf("benchmark  %s (seed %#x)\n", p.Name, p.Seed)
+	fmt.Printf("functions  %d\n", len(prog.Funcs))
+	fmt.Printf("code size  %d bytes\n", prog.CodeBytes())
+	fmt.Printf("streams    %d\n", len(prog.Streams))
+	for i, s := range prog.Streams {
+		fmt.Printf("  [%d] %-12s kind=%d base=%#x len=%d stride=%d adv=%d\n",
+			i, s.Name, s.Kind, s.Base, s.Length, s.Stride, s.AdvanceEvery)
+	}
+
+	w := p.NewWalker()
+	var in trace.Inst
+	if *dump > 0 {
+		fmt.Println("\nfirst instructions:")
+		for i := 0; i < *dump && w.Next(&in); i++ {
+			switch {
+			case in.Kind.IsMem():
+				fmt.Printf("  %#08x  %-5s addr=%#x (base=%#x off=%d)\n",
+					in.PC, in.Kind, in.Addr, in.BaseValue, in.Offset)
+			case in.Kind.IsControl():
+				fmt.Printf("  %#08x  %-5s taken=%v target=%#x\n", in.PC, in.Kind, in.Taken, in.Target)
+			default:
+				fmt.Printf("  %#08x  %-5s r%d <- r%d, r%d\n", in.PC, in.Kind, in.Dst, in.Src1, in.Src2)
+			}
+		}
+		return
+	}
+
+	counts := map[isa.Kind]int64{}
+	var total int64
+	for total = 0; total < *n && w.Next(&in); total++ {
+		counts[in.Kind]++
+	}
+	fmt.Printf("\ndynamic mix over %d instructions:\n", total)
+	for k := isa.KindNop; k < isa.Kind(isa.NumKinds); k++ {
+		if counts[k] == 0 {
+			continue
+		}
+		fmt.Printf("  %-6s %6.2f%%\n", k, 100*float64(counts[k])/float64(total))
+	}
+}

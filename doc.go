@@ -1,0 +1,14 @@
+// Package waycache is a reproduction of "Reducing Set-Associative Cache
+// Energy via Way-Prediction and Selective Direct-Mapping" (Powell,
+// Agarwal, Vijaykumar, Falsafi, Roy — MICRO-34, 2001).
+//
+// The library lives under internal/: core (simulator API), access (the
+// paper's cache access policies), cache, predict, branch, energy, wattch,
+// pipeline, program, workload, experiments. The experiment harness in
+// internal/experiments regenerates every table and figure of the paper's
+// evaluation; cmd/experiments exposes it on the command line, and the
+// benchmarks in bench_test.go wrap each experiment as a testing.B target.
+//
+// See README.md for a tour and DESIGN.md for the system inventory and the
+// substitutions made for the paper's proprietary dependencies.
+package waycache

@@ -1,0 +1,53 @@
+// Quickstart: simulate one benchmark with the paper's best d-cache
+// technique (selective direct-mapping + way-prediction) and i-cache
+// way-prediction, and compare against the conventional parallel-access
+// baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"waycache/internal/access"
+	"waycache/internal/core"
+)
+
+func main() {
+	const bench = "gcc"
+	const insts = 500_000
+
+	// Baseline: an aggressive 1-cycle, 4-way, parallel-access 16 KB L1
+	// pair — the configuration every figure in the paper normalizes to.
+	base, err := core.Run(core.Config{Benchmark: bench, Insts: insts})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Technique: selective-DM + way-prediction d-cache, way-predicted
+	// i-cache (BTB/RAS/SAWP).
+	tech, err := core.Run(core.Config{
+		Benchmark: bench,
+		Insts:     insts,
+		DPolicy:   access.DSelDMWayPred,
+		IPolicy:   access.IWayPred,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c := core.Compare(base, tech)
+	fmt.Printf("benchmark: %s (%d instructions)\n\n", bench, insts)
+	fmt.Printf("baseline:  %d cycles (IPC %.2f), d-miss %.1f%%\n",
+		base.Cycles(), base.Pipeline.IPC(), 100*base.DMissRate())
+	fmt.Printf("technique: %d cycles (IPC %.2f)\n\n", tech.Cycles(), tech.Pipeline.IPC())
+
+	fmt.Printf("L1 d-cache energy-delay: %.3f  (%.1f%% savings)\n", c.RelDCacheED, 100*(1-c.RelDCacheED))
+	fmt.Printf("L1 i-cache energy-delay: %.3f  (%.1f%% savings)\n", c.RelICacheED, 100*(1-c.RelICacheED))
+	fmt.Printf("processor  energy-delay: %.3f  (%.1f%% savings)\n", c.RelProcED, 100*(1-c.RelProcED))
+	fmt.Printf("performance degradation: %.2f%%\n\n", 100*c.PerfLoss)
+
+	perfect := core.PerfectWayPrediction(base)
+	fmt.Printf("perfect way-prediction bound: %.3f processor energy-delay\n", perfect.RelProcED)
+}

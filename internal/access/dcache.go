@@ -1,0 +1,407 @@
+// Package access implements the paper's contribution: L1 cache access
+// controllers that decide which data ways to probe for each access, charge
+// the corresponding energy, and report the latency the timing model must
+// impose.
+//
+// Every controller probes the full tag array on every access (the paper
+// optimizes only the data array). They differ in data-way probing:
+//
+//	parallel:    all N ways, fastest, most energy
+//	sequential:  the matching way only, +1 cycle on every load
+//	way-pred:    the predicted way; on a wrong way, a second probe (+1 cycle)
+//	selective-DM: the direct-mapping way for loads predicted non-conflicting;
+//	             conflicting loads handled by parallel, way-pred, or
+//	             sequential per configuration
+//
+// Stores never predict: they read the tag array first and write exactly
+// one way in every configuration.
+package access
+
+import (
+	"fmt"
+	"math/bits"
+
+	"waycache/internal/cache"
+	"waycache/internal/energy"
+	"waycache/internal/predict"
+	"waycache/internal/trace"
+)
+
+// DPolicy selects the d-cache load-access policy.
+type DPolicy int
+
+// D-cache policies evaluated in the paper.
+const (
+	DParallel DPolicy = iota
+	DSequential
+	DWayPredPC
+	DWayPredXOR
+	DSelDMParallel
+	DSelDMWayPred
+	DSelDMSequential
+	// DWayPredMRU is the related-work baseline of Inoue et al.: predict
+	// the MRU way of the accessed set. Its energy and accuracy are
+	// modelled; its critical-path liability (the prediction needs the data
+	// address) is noted in the paper but not charged here, making it an
+	// optimistic comparison point.
+	DWayPredMRU
+)
+
+// String names the policy the way the paper's figures do.
+func (p DPolicy) String() string {
+	switch p {
+	case DParallel:
+		return "parallel"
+	case DSequential:
+		return "sequential"
+	case DWayPredPC:
+		return "waypred-pc"
+	case DWayPredXOR:
+		return "waypred-xor"
+	case DSelDMParallel:
+		return "seldm+parallel"
+	case DSelDMWayPred:
+		return "seldm+waypred"
+	case DSelDMSequential:
+		return "seldm+sequential"
+	case DWayPredMRU:
+		return "waypred-mru"
+	default:
+		return fmt.Sprintf("DPolicy(%d)", int(p))
+	}
+}
+
+// UsesSelDM reports whether the policy isolates non-conflicting accesses.
+func (p DPolicy) UsesSelDM() bool {
+	return p == DSelDMParallel || p == DSelDMWayPred || p == DSelDMSequential
+}
+
+// LoadClass classifies a load for the paper's access-breakdown graphs
+// (bottom of Figures 6–8).
+type LoadClass int
+
+// Load classes.
+const (
+	ClassDM       LoadClass = iota // correct direct-mapping probe
+	ClassParallel                  // all ways probed
+	ClassWayPred                   // correct way-prediction probe
+	ClassSeq                       // sequential (tag-then-way) access
+	ClassMispred                   // wrong way or wrong mapping: second probe
+	ClassMiss                      // L1 miss (any probe type)
+	NumLoadClasses
+)
+
+// String names the class.
+func (c LoadClass) String() string {
+	switch c {
+	case ClassDM:
+		return "direct-mapped"
+	case ClassParallel:
+		return "parallel"
+	case ClassWayPred:
+		return "way-predicted"
+	case ClassSeq:
+		return "sequential"
+	case ClassMispred:
+		return "mispredicted"
+	case ClassMiss:
+		return "miss"
+	default:
+		return fmt.Sprintf("LoadClass(%d)", int(c))
+	}
+}
+
+// DController is the interface the timing pipeline drives loads and stores
+// through. DCache implements it for all of the paper's policies;
+// SelectiveWays implements it for the Albonesi comparison baseline.
+type DController interface {
+	Load(in *trace.Inst) (latency int, class LoadClass)
+	Store(in *trace.Inst) (latency int)
+	Stats() DStats
+	Account() *energy.Account
+	CacheStats() cache.Stats
+}
+
+// DStats aggregates controller-level d-cache statistics.
+type DStats struct {
+	Loads    int64
+	Stores   int64
+	ByClass  [NumLoadClasses]int64
+	LoadMiss int64
+	// MispredDM counts loads predicted direct-mapped that hit in a
+	// set-associative position; MispredWay counts wrong way predictions.
+	MispredDM  int64
+	MispredWay int64
+}
+
+// DCache is a d-cache access controller: the L1 array, the hierarchy below
+// it, the policy's prediction structures, and the energy account.
+type DCache struct {
+	Policy DPolicy
+	L1     *cache.Cache
+	Hier   *cache.Hierarchy
+	Acct   *energy.Account
+
+	// BaseLatency is the hit latency of the parallel-access baseline
+	// (1 or 2 cycles in the paper). Mispredictions and sequential accesses
+	// add cycles on top; techniques never access faster than the baseline
+	// (the paper's conservative assumption).
+	BaseLatency int
+
+	WayTab  *predict.WayTable // DWayPredPC / DWayPredXOR
+	SelDM   *predict.SelDM    // DSelDM*
+	Victims *cache.VictimList // DSelDM*
+
+	stats DStats
+}
+
+// DConfig assembles a DCache controller.
+type DConfig struct {
+	Policy      DPolicy
+	Cache       cache.Config
+	BaseLatency int
+	Costs       energy.Costs
+	TableSize   int // way-prediction / selective-DM table entries (default 1024)
+	VictimSize  int // victim list entries (default 16)
+}
+
+// NewDCache builds the controller with the policy's prediction structures.
+func NewDCache(cfg DConfig, hier *cache.Hierarchy) *DCache {
+	if cfg.BaseLatency <= 0 {
+		cfg.BaseLatency = 1
+	}
+	if cfg.TableSize == 0 {
+		cfg.TableSize = predict.DefaultWayEntries
+	}
+	if cfg.VictimSize == 0 {
+		cfg.VictimSize = cache.DefaultVictimEntries
+	}
+	d := &DCache{
+		Policy:      cfg.Policy,
+		L1:          cache.New(cfg.Cache),
+		Hier:        hier,
+		Acct:        &energy.Account{Costs: cfg.Costs},
+		BaseLatency: cfg.BaseLatency,
+	}
+	switch cfg.Policy {
+	case DWayPredPC:
+		d.WayTab = predict.NewWayTable(cfg.TableSize)
+	case DWayPredXOR:
+		// XOR handles approximate block addresses: index at block
+		// granularity so one block's offsets share an entry.
+		shift := uint(bits.TrailingZeros(uint(cfg.Cache.BlockBytes)))
+		d.WayTab = predict.NewWayTableShift(cfg.TableSize, shift)
+	case DSelDMParallel, DSelDMWayPred, DSelDMSequential:
+		d.SelDM = predict.NewSelDM(cfg.TableSize)
+		d.Victims = cache.NewVictimList(cfg.VictimSize, cache.DefaultConflictThreshold)
+	}
+	return d
+}
+
+// Stats returns a copy of the counters.
+func (d *DCache) Stats() DStats { return d.stats }
+
+// Account returns the energy account.
+func (d *DCache) Account() *energy.Account { return d.Acct }
+
+// CacheStats returns the L1 array's hit/miss counters.
+func (d *DCache) CacheStats() cache.Stats { return d.L1.Stats() }
+
+// Load services a load and returns its total latency in cycles and its
+// breakdown class.
+func (d *DCache) Load(in *trace.Inst) (latency int, class LoadClass) {
+	d.stats.Loads++
+	addr := in.Addr
+	way, hit := d.L1.Probe(addr)
+
+	switch d.Policy {
+	case DParallel:
+		latency, class = d.loadParallel(addr, way, hit)
+	case DSequential:
+		latency, class = d.loadSequential(addr, way, hit)
+	case DWayPredPC:
+		latency, class = d.loadWayPred(in, in.PC, addr, way, hit)
+	case DWayPredXOR:
+		latency, class = d.loadWayPred(in, in.XORHandle(), addr, way, hit)
+	case DWayPredMRU:
+		latency, class = d.loadMRU(addr, way, hit)
+	default:
+		latency, class = d.loadSelDM(in, addr, way, hit)
+	}
+
+	d.stats.ByClass[class]++
+	if !hit {
+		d.stats.LoadMiss++
+	}
+	return latency, class
+}
+
+func (d *DCache) loadParallel(addr uint64, way int, hit bool) (int, LoadClass) {
+	d.Acct.AddParallelRead()
+	if hit {
+		d.L1.Touch(addr, way, false)
+		return d.BaseLatency, ClassParallel
+	}
+	return d.BaseLatency + d.fill(addr, false), ClassMiss
+}
+
+func (d *DCache) loadSequential(addr uint64, way int, hit bool) (int, LoadClass) {
+	if hit {
+		// Tag first, then exactly the matching data way: +1 cycle.
+		d.Acct.AddOneWayRead()
+		d.L1.Touch(addr, way, false)
+		return d.BaseLatency + 1, ClassSeq
+	}
+	// The tag lookup found no match; no data way is read.
+	d.Acct.AddTagOnly()
+	return d.BaseLatency + 1 + d.fill(addr, false), ClassMiss
+}
+
+func (d *DCache) loadWayPred(in *trace.Inst, handle, addr uint64, way int, hit bool) (int, LoadClass) {
+	predWay, _ := d.WayTab.Lookup(handle) // cold entries predict way 0
+	d.Acct.AddTable(1)
+	if !hit {
+		// The predicted way was probed in vain alongside the tag array.
+		d.Acct.AddOneWayRead()
+		lat := d.BaseLatency + d.fill(addr, false)
+		fillWay, _ := d.L1.Probe(addr)
+		d.train(handle, fillWay)
+		return lat, ClassMiss
+	}
+	d.L1.Touch(addr, way, false)
+	d.train(handle, way)
+	if predWay == way {
+		d.Acct.AddOneWayRead()
+		return d.BaseLatency, ClassWayPred
+	}
+	// Wrong way: second probe of the correct way.
+	d.Acct.AddOneWayRead()
+	d.Acct.AddSecondProbe()
+	d.stats.MispredWay++
+	return d.BaseLatency + 1, ClassMispred
+}
+
+func (d *DCache) train(handle uint64, way int) {
+	d.WayTab.Update(handle, way)
+	d.Acct.AddTable(1)
+}
+
+func (d *DCache) loadSelDM(in *trace.Inst, addr uint64, way int, hit bool) (int, LoadClass) {
+	mapping := d.SelDM.Predict(in.PC)
+	d.Acct.AddTable(1)
+	dmWay := d.L1.DMWay(addr)
+
+	if !hit {
+		lat := d.selDMMissProbe(mapping)
+		d.Acct.AddTable(1) // trailing table update below
+		fillLat, fillWay := d.fillSelDM(addr, false)
+		d.SelDM.Update(in.PC, fillWay == dmWay, fillWay)
+		return lat + fillLat, ClassMiss
+	}
+
+	d.L1.Touch(addr, way, false)
+	hitDM := way == dmWay
+	defer func() {
+		d.SelDM.Update(in.PC, hitDM, way)
+		d.Acct.AddTable(1)
+	}()
+
+	if mapping == predict.MapDirect {
+		if hitDM {
+			d.Acct.AddOneWayRead()
+			return d.BaseLatency, ClassDM
+		}
+		// Predicted non-conflicting but the block lives in an SA way.
+		d.Acct.AddOneWayRead()
+		d.Acct.AddSecondProbe()
+		d.stats.MispredDM++
+		return d.BaseLatency + 1, ClassMispred
+	}
+
+	// Flagged conflicting: handle per sub-policy.
+	switch d.Policy {
+	case DSelDMParallel:
+		d.Acct.AddParallelRead()
+		return d.BaseLatency, ClassParallel
+	case DSelDMSequential:
+		d.Acct.AddOneWayRead()
+		return d.BaseLatency + 1, ClassSeq
+	default: // DSelDMWayPred
+		predWay, _ := d.SelDM.PredictWay(in.PC)
+		if predWay == way {
+			d.Acct.AddOneWayRead()
+			return d.BaseLatency, ClassWayPred
+		}
+		d.Acct.AddOneWayRead()
+		d.Acct.AddSecondProbe()
+		d.stats.MispredWay++
+		return d.BaseLatency + 1, ClassMispred
+	}
+}
+
+// selDMMissProbe charges the probe energy wasted by a miss under the
+// predicted handling and returns the pre-fill latency.
+func (d *DCache) selDMMissProbe(mapping predict.Mapping) int {
+	if mapping == predict.MapDirect {
+		d.Acct.AddOneWayRead()
+		return d.BaseLatency
+	}
+	switch d.Policy {
+	case DSelDMParallel:
+		d.Acct.AddParallelRead()
+		return d.BaseLatency
+	case DSelDMSequential:
+		d.Acct.AddTagOnly()
+		return d.BaseLatency + 1
+	default:
+		d.Acct.AddOneWayRead()
+		return d.BaseLatency
+	}
+}
+
+// Store services a store. Stores probe the tag array first and write only
+// the matching way, in every policy; they carry no prediction.
+func (d *DCache) Store(in *trace.Inst) (latency int) {
+	d.stats.Stores++
+	addr := in.Addr
+	if way, hit := d.L1.Probe(addr); hit {
+		d.L1.Touch(addr, way, true)
+		d.Acct.AddWrite()
+		return d.BaseLatency
+	}
+	// Write-allocate miss.
+	var fillLat int
+	if d.Policy.UsesSelDM() {
+		fillLat, _ = d.fillSelDM(addr, true)
+	} else {
+		fillLat = d.fill(addr, true)
+	}
+	return d.BaseLatency + fillLat
+}
+
+// fill performs a conventional LRU fill and returns the fill latency.
+func (d *DCache) fill(addr uint64, write bool) int {
+	ev, _ := d.L1.Fill(addr, false, write)
+	d.Acct.AddFill()
+	if ev.Valid && ev.Dirty {
+		d.Hier.Writeback(ev.Addr)
+	}
+	return d.Hier.FillLatency(d.L1.BlockAddr(addr))
+}
+
+// fillSelDM performs a selective-DM placement fill: non-conflicting blocks
+// (per the victim list) go to their direct-mapping way, conflicting blocks
+// to the set-associative (LRU) position. Evictions train the victim list.
+func (d *DCache) fillSelDM(addr uint64, write bool) (latency, way int) {
+	blockAddr := d.L1.BlockAddr(addr)
+	dmPlace := !d.Victims.Conflicting(blockAddr)
+	ev, way := d.L1.Fill(addr, dmPlace, write)
+	d.Acct.AddFill()
+	if ev.Valid {
+		d.Victims.RecordEviction(ev.Addr)
+		if ev.Dirty {
+			d.Hier.Writeback(ev.Addr)
+		}
+	}
+	return d.Hier.FillLatency(blockAddr), way
+}

@@ -1,0 +1,263 @@
+package access
+
+import (
+	"testing"
+
+	"waycache/internal/cache"
+	"waycache/internal/energy"
+	"waycache/internal/isa"
+	"waycache/internal/trace"
+)
+
+func l1() cache.Config {
+	return cache.Config{Name: "L1d", SizeBytes: 16 << 10, Ways: 4, BlockBytes: 32}
+}
+
+func newD(policy DPolicy) *DCache {
+	return NewDCache(DConfig{
+		Policy:      policy,
+		Cache:       l1(),
+		BaseLatency: 1,
+		Costs:       energy.PaperCosts(),
+	}, cache.DefaultHierarchy(32))
+}
+
+func load(pc, addr uint64) *trace.Inst {
+	return &trace.Inst{PC: pc, Kind: isa.KindLoad, Addr: addr, BaseValue: addr, Offset: 0}
+}
+
+func store(pc, addr uint64) *trace.Inst {
+	return &trace.Inst{PC: pc, Kind: isa.KindStore, Addr: addr, BaseValue: addr, Offset: 0}
+}
+
+func TestParallelLoadHitLatencyAndEnergy(t *testing.T) {
+	d := newD(DParallel)
+	lat, class := d.Load(load(0x400000, 0x1000)) // miss
+	if class != ClassMiss || lat <= d.BaseLatency {
+		t.Fatalf("cold load: lat=%d class=%v", lat, class)
+	}
+	lat, class = d.Load(load(0x400000, 0x1000)) // hit
+	if lat != 1 || class != ClassParallel {
+		t.Fatalf("parallel hit: lat=%d class=%v", lat, class)
+	}
+	a := d.Acct
+	if a.ParallelReads != 2 || a.Fills != 1 {
+		t.Fatalf("account = %+v", a)
+	}
+}
+
+func TestSequentialAddsOneCycle(t *testing.T) {
+	d := newD(DSequential)
+	d.Load(load(0x400000, 0x1000))
+	lat, class := d.Load(load(0x400000, 0x1000))
+	if lat != 2 || class != ClassSeq {
+		t.Fatalf("sequential hit: lat=%d class=%v", lat, class)
+	}
+	// Sequential never reads more than one way.
+	if d.Acct.ParallelReads != 0 {
+		t.Fatal("sequential policy performed a parallel read")
+	}
+	if d.Acct.TagOnlyReads != 1 { // the initial miss
+		t.Fatalf("TagOnlyReads = %d, want 1", d.Acct.TagOnlyReads)
+	}
+}
+
+func TestWayPredPCLearnsStableWay(t *testing.T) {
+	d := newD(DWayPredPC)
+	in := load(0x400000, 0x1000)
+	d.Load(in) // miss, trains table with fill way
+	lat, class := d.Load(in)
+	if class != ClassWayPred || lat != 1 {
+		t.Fatalf("trained way-pred hit: lat=%d class=%v", lat, class)
+	}
+}
+
+func TestWayPredMispredictionPenalty(t *testing.T) {
+	d := newD(DWayPredPC)
+	// Train PC A on a block, then move A's target to a block in a
+	// different way of the same set.
+	inA := load(0x400000, 0x0<<12) // tag 0 -> some way
+	d.Load(inA)
+	d.Load(inA) // correct now
+	// New block, same set (index 0), different tag: fills another way.
+	inB := load(0x400000, 0x1<<12)
+	d.Load(inB) // miss; table now points at B's way
+	// Return to the first block: prediction points at B's way -> mispredict.
+	lat, class := d.Load(inA)
+	if class != ClassMispred || lat != 2 {
+		t.Fatalf("expected misprediction: lat=%d class=%v", lat, class)
+	}
+	if d.Acct.SecondProbes != 1 {
+		t.Fatalf("SecondProbes = %d", d.Acct.SecondProbes)
+	}
+	if d.Stats().MispredWay != 1 {
+		t.Fatalf("MispredWay = %d", d.Stats().MispredWay)
+	}
+}
+
+func TestXORUsesHandleNotPC(t *testing.T) {
+	d := newD(DWayPredXOR)
+	// Same PC, two different addresses (different base values): the XOR
+	// scheme should keep separate entries, unlike PC indexing.
+	a := &trace.Inst{PC: 0x400000, Kind: isa.KindLoad, Addr: 0x0 << 12, BaseValue: 0x0 << 12}
+	b := &trace.Inst{PC: 0x400000, Kind: isa.KindLoad, Addr: 0x40 << 12, BaseValue: 0x40 << 12}
+	d.Load(a)
+	d.Load(b)
+	// Both were misses that trained distinct entries; both should now be
+	// way-predicted correctly.
+	if _, class := d.Load(a); class != ClassWayPred {
+		t.Fatalf("a reload class = %v", class)
+	}
+	if _, class := d.Load(b); class != ClassWayPred {
+		t.Fatalf("b reload class = %v", class)
+	}
+}
+
+func TestSelDMDefaultsToDirectMapping(t *testing.T) {
+	d := newD(DSelDMWayPred)
+	in := load(0x400000, 0x1000)
+	d.Load(in) // miss -> DM placement (non-conflicting default)
+	lat, class := d.Load(in)
+	if class != ClassDM || lat != 1 {
+		t.Fatalf("non-conflicting reload: lat=%d class=%v", lat, class)
+	}
+	if d.Acct.OneWayReads == 0 {
+		t.Fatal("DM access did not use a one-way read")
+	}
+}
+
+func TestSelDMConflictingBlockMovesToSA(t *testing.T) {
+	d := newD(DSelDMSequential)
+	// Two blocks with the same index and the same DM way (tags differ by
+	// a multiple of 4): they fight over one way until the victim list
+	// flags them conflicting.
+	pcA, pcB := uint64(0x400000), uint64(0x400100)
+	blkA, blkB := uint64(0x0<<12), uint64(0x4<<12) // tags 0 and 4: DM way 0
+	for i := 0; i < 10; i++ {
+		d.Load(load(pcA, blkA))
+		d.Load(load(pcB, blkB))
+	}
+	// After the ping-pong, at least one block should be SA-placed and the
+	// loads should hit (conflict resolved).
+	_, classA := d.Load(load(pcA, blkA))
+	_, classB := d.Load(load(pcB, blkB))
+	if classA == ClassMiss && classB == ClassMiss {
+		t.Fatalf("conflict not resolved: classes %v, %v", classA, classB)
+	}
+	if d.Victims.Stats().Records == 0 {
+		t.Fatal("victim list never trained")
+	}
+}
+
+func TestSelDMParallelUsesParallelForConflicting(t *testing.T) {
+	d := newD(DSelDMParallel)
+	pc := uint64(0x400000)
+	// Force the choice predictor to SA for this PC by updating it directly.
+	d.SelDM.Update(pc, false, 1)
+	d.SelDM.Update(pc, false, 1)
+	in := load(pc, 0x1000)
+	d.Load(in) // miss
+	lat, class := d.Load(in)
+	if class != ClassParallel && class != ClassMispred && class != ClassDM {
+		t.Fatalf("unexpected class %v", class)
+	}
+	_ = lat
+	if d.Acct.ParallelReads == 0 {
+		t.Fatal("SelDM+parallel never issued a parallel read for SA-flagged loads")
+	}
+}
+
+func TestStoresNeverPredict(t *testing.T) {
+	for _, p := range []DPolicy{DParallel, DSequential, DWayPredPC, DSelDMWayPred} {
+		d := newD(p)
+		d.Store(store(0x400000, 0x1000)) // miss, write-allocate
+		lat := d.Store(store(0x400000, 0x1000))
+		if lat != d.BaseLatency {
+			t.Errorf("%v: store hit latency = %d", p, lat)
+		}
+		if d.Acct.Writes != 1 {
+			t.Errorf("%v: store hit writes = %d", p, d.Acct.Writes)
+		}
+		// Stores read no data ways.
+		if d.Acct.ParallelReads != 0 && p != DParallel {
+			t.Errorf("%v: store performed a parallel read", p)
+		}
+		if d.Stats().Stores != 2 {
+			t.Errorf("%v: store count = %d", p, d.Stats().Stores)
+		}
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	d := newD(DParallel)
+	d.Store(store(0x400000, 0x0<<12))
+	// Evict the dirty block by filling the set with 4 more blocks.
+	for i := uint64(1); i <= 4; i++ {
+		d.Load(load(0x400000, i<<12))
+	}
+	if d.Hier.Stats().Writebacks == 0 {
+		t.Fatal("dirty eviction did not write back")
+	}
+}
+
+func TestEnergyOrderingAcrossPolicies(t *testing.T) {
+	// On an identical, hit-heavy access stream: sequential <= seldm+seq <=
+	// seldm+waypred <= parallel in total energy.
+	run := func(p DPolicy) float64 {
+		d := newD(p)
+		for rep := 0; rep < 50; rep++ {
+			for i := uint64(0); i < 64; i++ {
+				d.Load(load(0x400000+i*4, 0x1000+i*32))
+			}
+		}
+		return d.Acct.Total()
+	}
+	seq := run(DSequential)
+	sdmSeq := run(DSelDMSequential)
+	sdmWp := run(DSelDMWayPred)
+	par := run(DParallel)
+	if !(seq < par && sdmSeq < par && sdmWp < par) {
+		t.Fatalf("energy ordering violated: seq=%v sdmSeq=%v sdmWp=%v par=%v", seq, sdmSeq, sdmWp, par)
+	}
+	if par/seq < 2 {
+		t.Fatalf("parallel should cost several times sequential on hits: %v vs %v", par, seq)
+	}
+}
+
+func TestLoadClassCountsSum(t *testing.T) {
+	d := newD(DSelDMWayPred)
+	n := 0
+	for rep := 0; rep < 10; rep++ {
+		for i := uint64(0); i < 512; i++ {
+			d.Load(load(0x400000+(i%64)*4, (i*0x520)&0xffff0))
+			n++
+		}
+	}
+	var sum int64
+	for _, c := range d.Stats().ByClass {
+		sum += c
+	}
+	if sum != int64(n) || d.Stats().Loads != int64(n) {
+		t.Fatalf("class sum %d != loads %d (stat %d)", sum, n, d.Stats().Loads)
+	}
+}
+
+func TestBaseLatencyTwoCycles(t *testing.T) {
+	d := NewDCache(DConfig{
+		Policy: DSelDMSequential, Cache: l1(), BaseLatency: 2,
+		Costs: energy.PaperCosts(),
+	}, cache.DefaultHierarchy(32))
+	in := load(0x400000, 0x1000)
+	d.Load(in)
+	lat, class := d.Load(in)
+	if class != ClassDM || lat != 2 {
+		t.Fatalf("2-cycle DM hit: lat=%d class=%v", lat, class)
+	}
+	// Force SA handling: sequential access on a 2-cycle cache = 3 cycles.
+	d.SelDM.Update(in.PC, false, 0)
+	d.SelDM.Update(in.PC, false, 0)
+	lat, class = d.Load(in)
+	if class != ClassSeq || lat != 3 {
+		t.Fatalf("2-cycle sequential hit: lat=%d class=%v", lat, class)
+	}
+}

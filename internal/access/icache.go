@@ -1,0 +1,191 @@
+package access
+
+import (
+	"fmt"
+
+	"waycache/internal/cache"
+	"waycache/internal/energy"
+)
+
+// IPolicy selects the i-cache access policy.
+type IPolicy int
+
+// I-cache policies evaluated in the paper.
+const (
+	IParallel IPolicy = iota
+	IWayPred
+)
+
+// String names the policy.
+func (p IPolicy) String() string {
+	if p == IParallel {
+		return "parallel"
+	}
+	return "waypred"
+}
+
+// WaySource records which structure supplied an i-cache way prediction,
+// for the Figure 10 access breakdown.
+type WaySource int
+
+// Way-prediction sources.
+const (
+	SrcNone WaySource = iota // no prediction: parallel access
+	SrcSAWP                  // sequential address way-predictor
+	SrcBTB                   // branch target buffer entry
+	SrcRAS                   // return address stack entry
+	NumWaySources
+)
+
+// String names the source.
+func (s WaySource) String() string {
+	switch s {
+	case SrcNone:
+		return "none"
+	case SrcSAWP:
+		return "sawp"
+	case SrcBTB:
+		return "btb"
+	case SrcRAS:
+		return "ras"
+	default:
+		return fmt.Sprintf("WaySource(%d)", int(s))
+	}
+}
+
+// IClass classifies one i-cache fetch access for the breakdown graph:
+// correctly predicted by the SAWP, correctly predicted by the branch
+// predictor structures (BTB/RAS), unpredicted (parallel), or
+// way-mispredicted.
+type IClass int
+
+// I-cache access classes.
+const (
+	IClassTableCorrect IClass = iota // SAWP supplied the correct way
+	IClassBTBCorrect                 // BTB or RAS supplied the correct way
+	IClassNoPred                     // no prediction: parallel access
+	IClassMispred                    // way prediction wrong: second probe
+	IClassMiss                       // i-cache miss
+	NumIClasses
+)
+
+// String names the class.
+func (c IClass) String() string {
+	switch c {
+	case IClassTableCorrect:
+		return "table-correct"
+	case IClassBTBCorrect:
+		return "btb-correct"
+	case IClassNoPred:
+		return "no-prediction"
+	case IClassMispred:
+		return "misprediction"
+	case IClassMiss:
+		return "miss"
+	default:
+		return fmt.Sprintf("IClass(%d)", int(c))
+	}
+}
+
+// IStats aggregates i-cache controller statistics.
+type IStats struct {
+	Fetches  int64
+	ByClass  [NumIClasses]int64
+	BySource [NumWaySources]int64
+	Misses   int64
+}
+
+// ICache is the i-cache access controller.
+type ICache struct {
+	Policy IPolicy
+	L1     *cache.Cache
+	Hier   *cache.Hierarchy
+	Acct   *energy.Account
+
+	// BaseLatency is the fetch hit latency (1 cycle in the paper).
+	BaseLatency int
+
+	stats IStats
+}
+
+// IConfig assembles an ICache controller.
+type IConfig struct {
+	Policy      IPolicy
+	Cache       cache.Config
+	BaseLatency int
+	Costs       energy.Costs
+}
+
+// NewICache builds the controller.
+func NewICache(cfg IConfig, hier *cache.Hierarchy) *ICache {
+	if cfg.BaseLatency <= 0 {
+		cfg.BaseLatency = 1
+	}
+	return &ICache{
+		Policy:      cfg.Policy,
+		L1:          cache.New(cfg.Cache),
+		Hier:        hier,
+		Acct:        &energy.Account{Costs: cfg.Costs},
+		BaseLatency: cfg.BaseLatency,
+	}
+}
+
+// Stats returns a copy of the counters.
+func (c *ICache) Stats() IStats { return c.stats }
+
+// Fetch accesses the i-cache block containing pc. predWay/predOK carry the
+// way prediction assembled by the fetch unit from the BTB, RAS or SAWP
+// (source says which); under IParallel the prediction is ignored. It
+// returns the access latency, the breakdown class, and the true way the
+// block resides in after the access (for training the predictors).
+func (c *ICache) Fetch(pc uint64, predWay int, predOK bool, source WaySource) (latency int, class IClass, trueWay int) {
+	c.stats.Fetches++
+	if c.Policy == IParallel {
+		predOK = false
+		source = SrcNone
+	}
+	if !predOK {
+		source = SrcNone
+	}
+	c.stats.BySource[source]++
+
+	way, hit := c.L1.Probe(pc)
+	if !hit {
+		c.stats.Misses++
+		if predOK {
+			c.Acct.AddOneWayRead() // predicted way probed in vain
+		} else {
+			c.Acct.AddParallelRead()
+		}
+		ev, fillWay := c.L1.Fill(pc, false, false)
+		c.Acct.AddFill()
+		if ev.Valid && ev.Dirty {
+			c.Hier.Writeback(ev.Addr)
+		}
+		lat := c.BaseLatency + c.Hier.FillLatency(c.L1.BlockAddr(pc))
+		c.stats.ByClass[IClassMiss]++
+		return lat, IClassMiss, fillWay
+	}
+
+	c.L1.Touch(pc, way, false)
+	switch {
+	case !predOK:
+		c.Acct.AddParallelRead()
+		c.stats.ByClass[IClassNoPred]++
+		return c.BaseLatency, IClassNoPred, way
+	case predWay == way:
+		c.Acct.AddOneWayRead()
+		class := IClassBTBCorrect
+		if source == SrcSAWP {
+			class = IClassTableCorrect
+		}
+		c.stats.ByClass[class]++
+		return c.BaseLatency, class, way
+	default:
+		// Way misprediction: probe the matching way a second time.
+		c.Acct.AddOneWayRead()
+		c.Acct.AddSecondProbe()
+		c.stats.ByClass[IClassMispred]++
+		return c.BaseLatency + 1, IClassMispred, way
+	}
+}

@@ -1,0 +1,125 @@
+package access
+
+import (
+	"testing"
+
+	"waycache/internal/cache"
+	"waycache/internal/energy"
+)
+
+func newI(policy IPolicy) *ICache {
+	return NewICache(IConfig{
+		Policy:      policy,
+		Cache:       cache.Config{Name: "L1i", SizeBytes: 16 << 10, Ways: 4, BlockBytes: 32},
+		BaseLatency: 1,
+		Costs:       energy.PaperCosts(),
+	}, cache.DefaultHierarchy(32))
+}
+
+func TestIFetchMissThenCorrectPrediction(t *testing.T) {
+	c := newI(IWayPred)
+	lat, class, way := c.Fetch(0x400000, 0, false, SrcNone)
+	if class != IClassMiss || lat <= 1 {
+		t.Fatalf("cold fetch: lat=%d class=%v", lat, class)
+	}
+	lat, class, got := c.Fetch(0x400000, way, true, SrcSAWP)
+	if class != IClassTableCorrect || lat != 1 || got != way {
+		t.Fatalf("predicted fetch: lat=%d class=%v way=%d", lat, class, got)
+	}
+}
+
+func TestIFetchMispredictionPenalty(t *testing.T) {
+	c := newI(IWayPred)
+	_, _, way := c.Fetch(0x400000, 0, false, SrcNone)
+	wrong := (way + 1) % 4
+	lat, class, got := c.Fetch(0x400000, wrong, true, SrcBTB)
+	if class != IClassMispred || lat != 2 || got != way {
+		t.Fatalf("mispredicted fetch: lat=%d class=%v way=%d", lat, class, got)
+	}
+	if c.Acct.SecondProbes != 1 {
+		t.Fatalf("SecondProbes = %d", c.Acct.SecondProbes)
+	}
+}
+
+func TestIFetchNoPredictionIsParallel(t *testing.T) {
+	c := newI(IWayPred)
+	c.Fetch(0x400000, 0, false, SrcNone)
+	lat, class, _ := c.Fetch(0x400000, 0, false, SrcNone)
+	if class != IClassNoPred || lat != 1 {
+		t.Fatalf("unpredicted fetch: lat=%d class=%v", lat, class)
+	}
+	if c.Acct.ParallelReads != 2 { // miss probe + this one
+		t.Fatalf("ParallelReads = %d", c.Acct.ParallelReads)
+	}
+}
+
+func TestIParallelIgnoresPredictions(t *testing.T) {
+	c := newI(IParallel)
+	_, _, way := c.Fetch(0x400000, 0, false, SrcNone)
+	lat, class, _ := c.Fetch(0x400000, way, true, SrcBTB)
+	if class != IClassNoPred || lat != 1 {
+		t.Fatalf("parallel policy: lat=%d class=%v", lat, class)
+	}
+	if c.Acct.OneWayReads != 0 {
+		t.Fatal("parallel policy read a single way")
+	}
+	if c.Stats().BySource[SrcBTB] != 0 {
+		t.Fatal("parallel policy recorded a prediction source")
+	}
+}
+
+func TestIClassBTBvsSAWPAttribution(t *testing.T) {
+	c := newI(IWayPred)
+	_, _, way := c.Fetch(0x400000, 0, false, SrcNone)
+	c.Fetch(0x400000, way, true, SrcBTB)
+	c.Fetch(0x400000, way, true, SrcRAS)
+	c.Fetch(0x400000, way, true, SrcSAWP)
+	st := c.Stats()
+	if st.ByClass[IClassBTBCorrect] != 2 {
+		t.Fatalf("BTB-correct = %d, want 2 (BTB + RAS)", st.ByClass[IClassBTBCorrect])
+	}
+	if st.ByClass[IClassTableCorrect] != 1 {
+		t.Fatalf("table-correct = %d, want 1", st.ByClass[IClassTableCorrect])
+	}
+	if st.BySource[SrcBTB] != 1 || st.BySource[SrcRAS] != 1 || st.BySource[SrcSAWP] != 1 {
+		t.Fatalf("source counts = %+v", st.BySource)
+	}
+}
+
+func TestIFetchEnergyOrdering(t *testing.T) {
+	// A predicted i-cache access stream must dissipate far less than a
+	// parallel one on the same addresses.
+	run := func(p IPolicy, predict bool) float64 {
+		c := newI(p)
+		ways := map[uint64]int{}
+		for rep := 0; rep < 20; rep++ {
+			for b := uint64(0); b < 64; b++ {
+				pc := 0x400000 + b*32
+				w, ok := ways[pc]
+				_, _, trueWay := c.Fetch(pc, w, predict && ok, SrcSAWP)
+				ways[pc] = trueWay
+			}
+		}
+		return c.Acct.Total()
+	}
+	pred := run(IWayPred, true)
+	par := run(IParallel, false)
+	if pred >= par*0.5 {
+		t.Fatalf("way-predicted stream energy %v not well below parallel %v", pred, par)
+	}
+}
+
+func TestIStatsClassSum(t *testing.T) {
+	c := newI(IWayPred)
+	n := 200
+	for i := 0; i < n; i++ {
+		c.Fetch(uint64(0x400000+(i%100)*32), i%4, i%3 == 0, SrcSAWP)
+	}
+	var sum int64
+	for _, v := range c.Stats().ByClass {
+		sum += v
+	}
+	if sum != int64(n) || c.Stats().Fetches != int64(n) {
+		t.Fatalf("class sum %d, fetches %d, want %d", sum, c.Stats().Fetches, n)
+	}
+}

@@ -1,0 +1,128 @@
+package access
+
+import (
+	"waycache/internal/cache"
+	"waycache/internal/energy"
+	"waycache/internal/trace"
+)
+
+// This file implements the two comparative baselines the paper discusses
+// in its Related Work section:
+//
+//   - Selective cache ways (Albonesi, MICRO-32): a coarse-grain scheme
+//     that statically disables some of the N ways for a whole application,
+//     trading capacity (and therefore misses) for per-access energy. The
+//     paper contrasts its all-or-nothing, per-application decision with
+//     selective-DM's per-access decision.
+//
+//   - MRU way-prediction (Inoue, Ishihara & Murakami, ISLPED'99): predict
+//     the most-recently-used way of the accessed set. Accurate, but the
+//     prediction needs the set index — i.e. the data address — so it
+//     inserts a table lookup after address generation into the cache
+//     critical path; the paper rules it out for L1 timing (Section 2.2.1).
+//     We model its energy and accuracy; its timing liability is noted, not
+//     charged, which makes it an *optimistic* baseline.
+
+// SelectiveWays is a d-cache controller implementing Albonesi's selective
+// cache ways: only ActiveWays of the Ways are enabled. Reads probe the
+// enabled ways in parallel; fills allocate only within them. Disabled ways
+// hold no data (we model the stable configuration, not transitions).
+type SelectiveWays struct {
+	L1     *cache.Cache // built with ActiveWays associativity
+	Hier   *cache.Hierarchy
+	Acct   *energy.Account
+	Active int
+	Total  int
+
+	BaseLatency int
+	stats       DStats
+}
+
+// NewSelectiveWays builds the controller. cfg.Cache describes the *full*
+// cache; the controller derives the active-ways array from it by shrinking
+// associativity (and therefore capacity — disabled ways store nothing).
+// Costs must be those of the full geometry so the partial parallel read is
+// priced relative to the full parallel baseline.
+func NewSelectiveWays(cfg DConfig, active int, hier *cache.Hierarchy) *SelectiveWays {
+	if active <= 0 || active > cfg.Cache.Ways {
+		panic("access: selective ways needs 1 <= active <= ways")
+	}
+	shrunk := cfg.Cache
+	shrunk.Ways = active
+	shrunk.SizeBytes = cfg.Cache.SizeBytes / cfg.Cache.Ways * active
+	if cfg.BaseLatency <= 0 {
+		cfg.BaseLatency = 1
+	}
+	return &SelectiveWays{
+		L1:     cache.New(shrunk),
+		Hier:   hier,
+		Acct:   &energy.Account{Costs: cfg.Costs},
+		Active: active,
+		Total:  cfg.Cache.Ways,
+
+		BaseLatency: cfg.BaseLatency,
+	}
+}
+
+// Stats returns a copy of the counters.
+func (s *SelectiveWays) Stats() DStats { return s.stats }
+
+// Account returns the energy account.
+func (s *SelectiveWays) Account() *energy.Account { return s.Acct }
+
+// CacheStats returns the active-ways array's hit/miss counters.
+func (s *SelectiveWays) CacheStats() cache.Stats { return s.L1.Stats() }
+
+// Load services a load: a parallel probe of the enabled ways.
+func (s *SelectiveWays) Load(in *trace.Inst) (latency int, class LoadClass) {
+	s.stats.Loads++
+	s.Acct.AddPartialRead(s.Active)
+	if way, hit := s.L1.Probe(in.Addr); hit {
+		s.L1.Touch(in.Addr, way, false)
+		s.stats.ByClass[ClassParallel]++
+		return s.BaseLatency, ClassParallel
+	}
+	s.stats.LoadMiss++
+	s.stats.ByClass[ClassMiss]++
+	ev, _ := s.L1.Fill(in.Addr, false, false)
+	s.Acct.AddFill()
+	if ev.Valid && ev.Dirty {
+		s.Hier.Writeback(ev.Addr)
+	}
+	return s.BaseLatency + s.Hier.FillLatency(s.L1.BlockAddr(in.Addr)), ClassMiss
+}
+
+// Store services a store (tag probe + one-way write, as always).
+func (s *SelectiveWays) Store(in *trace.Inst) (latency int) {
+	s.stats.Stores++
+	if way, hit := s.L1.Probe(in.Addr); hit {
+		s.L1.Touch(in.Addr, way, true)
+		s.Acct.AddWrite()
+		return s.BaseLatency
+	}
+	ev, _ := s.L1.Fill(in.Addr, false, true)
+	s.Acct.AddFill()
+	if ev.Valid && ev.Dirty {
+		s.Hier.Writeback(ev.Addr)
+	}
+	return s.BaseLatency + s.Hier.FillLatency(s.L1.BlockAddr(in.Addr))
+}
+
+// loadMRU implements MRU way-prediction inside the standard DCache
+// controller: the predicted way is the set's most-recently-used way.
+func (d *DCache) loadMRU(addr uint64, way int, hit bool) (int, LoadClass) {
+	predWay := d.L1.MRUWay(addr)
+	if !hit {
+		d.Acct.AddOneWayRead()
+		return d.BaseLatency + d.fill(addr, false), ClassMiss
+	}
+	d.L1.Touch(addr, way, false)
+	if predWay == way {
+		d.Acct.AddOneWayRead()
+		return d.BaseLatency, ClassWayPred
+	}
+	d.Acct.AddOneWayRead()
+	d.Acct.AddSecondProbe()
+	d.stats.MispredWay++
+	return d.BaseLatency + 1, ClassMispred
+}

@@ -1,0 +1,111 @@
+package access
+
+import (
+	"testing"
+
+	"waycache/internal/cache"
+	"waycache/internal/energy"
+)
+
+func newSelWays(active int) *SelectiveWays {
+	return NewSelectiveWays(DConfig{
+		Policy:      DParallel,
+		Cache:       l1(),
+		BaseLatency: 1,
+		Costs:       energy.PaperCosts(),
+	}, active, cache.DefaultHierarchy(32))
+}
+
+func TestSelectiveWaysShrinksCapacity(t *testing.T) {
+	s := newSelWays(2)
+	cfg := s.L1.Config()
+	if cfg.Ways != 2 || cfg.SizeBytes != 8<<10 {
+		t.Fatalf("2-of-4 ways should give an 8K 2-way array, got %+v", cfg)
+	}
+	if s.L1.NumSets() != 128 {
+		t.Fatalf("set count must be preserved, got %d", s.L1.NumSets())
+	}
+}
+
+func TestSelectiveWaysEnergyScalesWithActiveWays(t *testing.T) {
+	run := func(active int) float64 {
+		s := newSelWays(active)
+		in := load(0x400000, 0x1000)
+		s.Load(in) // miss
+		for i := 0; i < 100; i++ {
+			s.Load(in)
+		}
+		return s.Acct.Total()
+	}
+	e1, e2, e3 := run(1), run(2), run(3)
+	if !(e1 < e2 && e2 < e3) {
+		t.Fatalf("energy not monotone in active ways: %v %v %v", e1, e2, e3)
+	}
+	// A 2-way probe must cost less than half the baseline 4-way parallel
+	// read plus tag overheads.
+	costs := energy.PaperCosts()
+	twoWay := costs.Tag + 2*costs.WayParallel
+	if twoWay >= costs.ParallelRead() {
+		t.Fatal("partial read pricing broken")
+	}
+}
+
+func TestSelectiveWaysMoreMisses(t *testing.T) {
+	// Halving capacity must not reduce misses on a conflicty stream.
+	run := func(active int) int64 {
+		s := newSelWays(active)
+		for rep := 0; rep < 20; rep++ {
+			for i := uint64(0); i < 3; i++ { // 3 blocks, one set
+				s.Load(load(0x400000, i<<12))
+			}
+		}
+		return s.Stats().LoadMiss
+	}
+	if run(2) < run(4) {
+		t.Fatal("fewer active ways produced fewer misses")
+	}
+}
+
+func TestSelectiveWaysRejectsBadCounts(t *testing.T) {
+	for _, bad := range []int{0, 5, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("active=%d accepted", bad)
+				}
+			}()
+			newSelWays(bad)
+		}()
+	}
+}
+
+func TestMRUWayPrediction(t *testing.T) {
+	d := newD(DWayPredMRU)
+	in := load(0x400000, 0x1000)
+	d.Load(in) // miss
+	lat, class := d.Load(in)
+	if class != ClassWayPred || lat != 1 {
+		t.Fatalf("MRU re-access: lat=%d class=%v", lat, class)
+	}
+	// Alternating between two blocks in the same set: MRU predicts the
+	// other block's way each time -> mispredictions.
+	a, b := load(0x400000, 0x0<<12), load(0x400004, 0x1<<12)
+	d2 := newD(DWayPredMRU)
+	d2.Load(a)
+	d2.Load(b)
+	_, classA := d2.Load(a)
+	if classA != ClassMispred {
+		t.Fatalf("MRU should mispredict on alternation, got %v", classA)
+	}
+	if d2.Stats().MispredWay == 0 {
+		t.Fatal("misprediction not counted")
+	}
+}
+
+func TestMRUStoreUnaffected(t *testing.T) {
+	d := newD(DWayPredMRU)
+	d.Store(store(0x400000, 0x1000))
+	if lat := d.Store(store(0x400000, 0x1000)); lat != 1 {
+		t.Fatalf("store latency %d", lat)
+	}
+}

@@ -1,0 +1,95 @@
+package branch
+
+import "fmt"
+
+// BTB is a set-associative branch target buffer whose entries carry the
+// paper's extension: the predicted i-cache way of the target, supplied by
+// next-line-set-prediction for predicted-taken branches.
+type BTB struct {
+	sets    int
+	ways    int
+	entries []btbEntry
+	clock   uint64
+	stats   BTBStats
+}
+
+type btbEntry struct {
+	valid    bool
+	tag      uint64
+	target   uint64
+	way      uint8
+	wayValid bool
+	lru      uint64
+}
+
+// BTBStats counts BTB events.
+type BTBStats struct {
+	Lookups int64
+	Hits    int64
+	Updates int64
+}
+
+// NewBTB builds a BTB with the given geometry; sets must be a power of two.
+func NewBTB(sets, ways int) *BTB {
+	if sets <= 0 || sets&(sets-1) != 0 || ways <= 0 {
+		panic(fmt.Sprintf("branch: bad BTB geometry %dx%d", sets, ways))
+	}
+	return &BTB{sets: sets, ways: ways, entries: make([]btbEntry, sets*ways)}
+}
+
+func (b *BTB) set(pc uint64) []btbEntry {
+	idx := int((pc >> 2) & uint64(b.sets-1))
+	return b.entries[idx*b.ways : (idx+1)*b.ways]
+}
+
+func (b *BTB) tag(pc uint64) uint64 { return pc >> 2 / uint64(b.sets) }
+
+// Lookup returns the predicted target and i-cache way for the branch at pc.
+// wayOK is false when the entry has no way prediction yet.
+func (b *BTB) Lookup(pc uint64) (target uint64, way int, wayOK, ok bool) {
+	b.stats.Lookups++
+	set := b.set(pc)
+	tag := b.tag(pc)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			b.clock++
+			set[i].lru = b.clock
+			b.stats.Hits++
+			return set[i].target, int(set[i].way), set[i].wayValid, true
+		}
+	}
+	return 0, 0, false, false
+}
+
+// Update installs or refreshes the entry for pc with the branch's taken
+// target and, if wayValid, the i-cache way that target was fetched from.
+func (b *BTB) Update(pc, target uint64, way int, wayValid bool) {
+	b.stats.Updates++
+	set := b.set(pc)
+	tag := b.tag(pc)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			victim = i
+			goto fill
+		}
+	}
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			goto fill
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+fill:
+	b.clock++
+	set[victim] = btbEntry{
+		valid: true, tag: tag, target: target,
+		way: uint8(way), wayValid: wayValid, lru: b.clock,
+	}
+}
+
+// Stats returns a copy of the counters.
+func (b *BTB) Stats() BTBStats { return b.stats }

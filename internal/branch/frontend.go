@@ -1,0 +1,48 @@
+package branch
+
+import "waycache/internal/predict"
+
+// SAWP is the Sequential Address Way-Predictor: a table indexed by the
+// current fetch PC that predicts the i-cache way of the *next* sequential
+// fetch (not-taken branches and non-branches). The paper's insight is that
+// the incremented PC does not necessarily map to the same way as the
+// current PC — successive blocks are independent lines — so a dedicated
+// table is needed. Structurally it is the same RAM as a d-cache
+// way-prediction table.
+type SAWP = predict.WayTable
+
+// NewSAWP builds the table with n entries (the paper uses 1024). It is
+// indexed by the current fetch block's address, so the index starts above
+// the 32-byte block offset.
+func NewSAWP(n int) *SAWP { return predict.NewWayTableShift(n, 5) }
+
+// Defaults for the front-end structures.
+const (
+	DefaultHistoryBits = 12
+	DefaultBTBSets     = 512
+	DefaultBTBWays     = 4
+	DefaultRASDepth    = 16
+	DefaultSAWPEntries = 1024
+)
+
+// FrontEnd bundles the fetch-prediction hardware. The shaded structures of
+// the paper's Figure 3 — way fields in the BTB and RAS, and the SAWP — are
+// all here; the fetch unit in the pipeline composes them into next-PC +
+// next-way predictions.
+type FrontEnd struct {
+	Dir  *TwoLevel
+	BTB  *BTB
+	RAS  *RAS
+	SAWP *SAWP
+}
+
+// NewFrontEnd builds the default front end (2-level hybrid predictor,
+// 512x4 BTB, 16-deep RAS, 1024-entry SAWP).
+func NewFrontEnd() *FrontEnd {
+	return &FrontEnd{
+		Dir:  NewTwoLevel(DefaultHistoryBits),
+		BTB:  NewBTB(DefaultBTBSets, DefaultBTBWays),
+		RAS:  NewRAS(DefaultRASDepth),
+		SAWP: NewSAWP(DefaultSAWPEntries),
+	}
+}

@@ -1,0 +1,62 @@
+package branch
+
+// RAS is a return address stack augmented, per the paper, with the i-cache
+// way of each return address so function returns carry a way prediction.
+// It is a fixed-depth circular stack: overflow silently wraps (overwriting
+// the oldest entry), underflow returns ok=false, both matching hardware.
+type RAS struct {
+	entries []rasEntry
+	top     int // index of next push slot
+	depth   int // live entries, capped at len(entries)
+	stats   RASStats
+}
+
+type rasEntry struct {
+	addr     uint64
+	way      uint8
+	wayValid bool
+}
+
+// RASStats counts stack events.
+type RASStats struct {
+	Pushes     int64
+	Pops       int64
+	Underflows int64
+}
+
+// NewRAS builds a stack with n entries.
+func NewRAS(n int) *RAS {
+	if n <= 0 {
+		panic("branch: RAS needs at least one entry")
+	}
+	return &RAS{entries: make([]rasEntry, n)}
+}
+
+// Push records a call's return address and the way prediction for it.
+func (r *RAS) Push(addr uint64, way int, wayValid bool) {
+	r.stats.Pushes++
+	r.entries[r.top] = rasEntry{addr: addr, way: uint8(way), wayValid: wayValid}
+	r.top = (r.top + 1) % len(r.entries)
+	if r.depth < len(r.entries) {
+		r.depth++
+	}
+}
+
+// Pop returns the most recent return address and its way prediction.
+func (r *RAS) Pop() (addr uint64, way int, wayValid, ok bool) {
+	r.stats.Pops++
+	if r.depth == 0 {
+		r.stats.Underflows++
+		return 0, 0, false, false
+	}
+	r.top = (r.top - 1 + len(r.entries)) % len(r.entries)
+	r.depth--
+	e := r.entries[r.top]
+	return e.addr, int(e.way), e.wayValid, true
+}
+
+// Depth returns the number of live entries.
+func (r *RAS) Depth() int { return r.depth }
+
+// Stats returns a copy of the counters.
+func (r *RAS) Stats() RASStats { return r.stats }

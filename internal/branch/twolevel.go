@@ -1,0 +1,115 @@
+// Package branch implements the front-end prediction hardware: a 2-level
+// hybrid direction predictor, a branch target buffer (BTB), a return
+// address stack (RAS), and the Sequential Address Way-Predictor (SAWP)
+// table the paper adds for i-cache way prediction.
+//
+// The BTB and RAS are extended with log2(ways) way-prediction bits exactly
+// as Section 2.3 describes, so predicted-taken branches, returns, and
+// sequential fetches can each supply an i-cache way prediction along with
+// the next fetch address.
+package branch
+
+import "waycache/internal/predict"
+
+// TwoLevel is a hybrid (tournament) direction predictor: a gshare
+// component with global history, a bimodal component, and a chooser that
+// learns per-branch which component to trust — the paper's "2-level
+// hybrid" baseline predictor.
+type TwoLevel struct {
+	history     uint32
+	historyBits uint
+	gshare      []predict.SatCounter
+	bimodal     []predict.SatCounter
+	chooser     []predict.SatCounter // high = use gshare
+
+	stats DirStats
+}
+
+// DirStats counts direction-prediction outcomes.
+type DirStats struct {
+	Predictions int64
+	Correct     int64
+}
+
+// Accuracy returns the fraction of correct direction predictions.
+func (s DirStats) Accuracy() float64 {
+	if s.Predictions == 0 {
+		return 0
+	}
+	return float64(s.Correct) / float64(s.Predictions)
+}
+
+// NewTwoLevel builds the hybrid predictor with 2^historyBits gshare
+// entries and the same number of bimodal/chooser entries.
+func NewTwoLevel(historyBits uint) *TwoLevel {
+	n := 1 << historyBits
+	t := &TwoLevel{
+		historyBits: historyBits,
+		gshare:      make([]predict.SatCounter, n),
+		bimodal:     make([]predict.SatCounter, n),
+		chooser:     make([]predict.SatCounter, n),
+	}
+	for i := 0; i < n; i++ {
+		t.gshare[i] = predict.NewSat(2, 1)
+		t.bimodal[i] = predict.NewSat(2, 1)
+		t.chooser[i] = predict.NewSat(2, 2) // slight initial bias to gshare
+	}
+	return t
+}
+
+func (t *TwoLevel) gIndex(pc uint64) int {
+	return int((uint32(pc>>2) ^ t.history) & uint32(len(t.gshare)-1))
+}
+
+func (t *TwoLevel) bIndex(pc uint64) int {
+	return int(uint32(pc>>2) & uint32(len(t.bimodal)-1))
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (t *TwoLevel) Predict(pc uint64) bool {
+	if t.chooser[t.bIndex(pc)].High() {
+		return t.gshare[t.gIndex(pc)].High()
+	}
+	return t.bimodal[t.bIndex(pc)].High()
+}
+
+// Update trains both components and the chooser with the actual outcome
+// and shifts the global history. It also records accuracy statistics using
+// the prediction the predictor would have made.
+func (t *TwoLevel) Update(pc uint64, taken bool) {
+	gi, bi := t.gIndex(pc), t.bIndex(pc)
+	gPred := t.gshare[gi].High()
+	bPred := t.bimodal[bi].High()
+	pred := bPred
+	if t.chooser[bi].High() {
+		pred = gPred
+	}
+	t.stats.Predictions++
+	if pred == taken {
+		t.stats.Correct++
+	}
+
+	// Chooser trains toward whichever component was right (only when they
+	// disagree).
+	if gPred != bPred {
+		if gPred == taken {
+			t.chooser[bi].Inc()
+		} else {
+			t.chooser[bi].Dec()
+		}
+	}
+	if taken {
+		t.gshare[gi].Inc()
+		t.bimodal[bi].Inc()
+	} else {
+		t.gshare[gi].Dec()
+		t.bimodal[bi].Dec()
+	}
+	t.history = (t.history << 1) & uint32(1<<t.historyBits-1)
+	if taken {
+		t.history |= 1
+	}
+}
+
+// Stats returns a copy of the accuracy counters.
+func (t *TwoLevel) Stats() DirStats { return t.stats }

@@ -1,0 +1,319 @@
+// Package cache models set-associative caches, the victim list used by
+// selective direct-mapping to identify conflicting blocks, and the L2 +
+// memory hierarchy below the L1s.
+//
+// The model is behavioural: it tracks tags, LRU state, dirtiness and the
+// direct-mapped/set-associative placement of every block. Probing and
+// filling are exposed as separate operations because the paper's access
+// policies (parallel, sequential, way-predicted, selective-DM) differ in
+// which data ways they probe and when, while the tag array is always read
+// in full.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config describes one cache array.
+type Config struct {
+	Name       string // for error messages and reports
+	SizeBytes  int    // total data capacity
+	Ways       int    // associativity (1 = direct mapped)
+	BlockBytes int    // line size
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.BlockBytes <= 0 {
+		return fmt.Errorf("cache %s: non-positive geometry %+v", c.Name, c)
+	}
+	if c.BlockBytes&(c.BlockBytes-1) != 0 {
+		return fmt.Errorf("cache %s: block size %d not a power of two", c.Name, c.BlockBytes)
+	}
+	if c.SizeBytes%(c.BlockBytes*c.Ways) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible by ways*block", c.Name, c.SizeBytes)
+	}
+	sets := c.SizeBytes / (c.BlockBytes * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / (c.BlockBytes * c.Ways) }
+
+type line struct {
+	valid    bool
+	dirty    bool
+	dmPlaced bool // resident in its direct-mapped way by selective-DM placement
+	tag      uint64
+	lru      uint64 // last-touch stamp; larger = more recent
+}
+
+// Stats counts cache-array events. Probe-level energy accounting lives with
+// the access policies; these are architectural hit/miss counts.
+type Stats struct {
+	Accesses  int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Dirty     int64 // dirty evictions (writebacks)
+}
+
+// MissRate returns Misses/Accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative cache array with LRU replacement and optional
+// per-fill direct-mapped placement.
+type Cache struct {
+	cfg        Config
+	sets       []line // numSets * ways, row-major
+	numSets    int
+	ways       int
+	blockShift uint
+	indexBits  uint
+	clock      uint64
+	stats      Stats
+}
+
+// New constructs a cache. It panics on invalid geometry: configurations are
+// static and produced by code, so an invalid one is a programming error.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	return &Cache{
+		cfg:        cfg,
+		sets:       make([]line, sets*cfg.Ways),
+		numSets:    sets,
+		ways:       cfg.Ways,
+		blockShift: uint(bits.TrailingZeros(uint(cfg.BlockBytes))),
+		indexBits:  uint(bits.TrailingZeros(uint(sets))),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return c.numSets }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// BlockAddr returns addr rounded down to its block boundary.
+func (c *Cache) BlockAddr(addr uint64) uint64 {
+	return addr &^ (uint64(c.cfg.BlockBytes) - 1)
+}
+
+// Index returns the set index of addr.
+func (c *Cache) Index(addr uint64) int {
+	return int((addr >> c.blockShift) & uint64(c.numSets-1))
+}
+
+// Tag returns the tag of addr.
+func (c *Cache) Tag(addr uint64) uint64 {
+	return addr >> (c.blockShift + c.indexBits)
+}
+
+// DMWay returns the direct-mapping way of addr: the low tag bits select
+// the way the block would occupy if the array were treated as a
+// direct-mapped cache of the same capacity ("index bits extended with
+// bits borrowed from the tag"). For power-of-two associativity this is a
+// bit mask; the modulo form also supports the partial-ways configurations
+// of the selective-cache-ways baseline.
+func (c *Cache) DMWay(addr uint64) int {
+	return int(c.Tag(addr) % uint64(c.ways))
+}
+
+// addrOf reconstructs a block address from a set index and tag.
+func (c *Cache) addrOf(set int, tag uint64) uint64 {
+	return tag<<(c.blockShift+c.indexBits) | uint64(set)<<c.blockShift
+}
+
+func (c *Cache) set(i int) []line {
+	return c.sets[i*c.ways : (i+1)*c.ways]
+}
+
+// Probe performs a tag-array lookup and returns the matching way, if any.
+// It does not update replacement state and counts no statistics: every
+// access policy begins with exactly one Probe and then decides which data
+// ways to read.
+func (c *Cache) Probe(addr uint64) (way int, hit bool) {
+	set := c.set(c.Index(addr))
+	tag := c.Tag(addr)
+	for w := range set {
+		if set[w].valid && set[w].tag == tag {
+			return w, true
+		}
+	}
+	return -1, false
+}
+
+// Touch records a hit on addr in way: it bumps LRU state and hit counters.
+// If write is true the line is marked dirty. Touch panics if the line does
+// not contain addr; callers must pass a way obtained from Probe.
+func (c *Cache) Touch(addr uint64, way int, write bool) {
+	idx := c.Index(addr)
+	set := c.set(idx)
+	if way < 0 || way >= c.ways || !set[way].valid || set[way].tag != c.Tag(addr) {
+		panic(fmt.Sprintf("cache %s: Touch(%#x, way %d) on non-matching line", c.cfg.Name, addr, way))
+	}
+	c.clock++
+	set[way].lru = c.clock
+	if write {
+		set[way].dirty = true
+	}
+	c.stats.Accesses++
+	c.stats.Hits++
+}
+
+// WasDMPlaced reports whether the line holding addr (which must be resident
+// in way) was placed in its direct-mapped position by a selective-DM fill.
+func (c *Cache) WasDMPlaced(addr uint64, way int) bool {
+	return c.set(c.Index(addr))[way].dmPlaced
+}
+
+// MRUWay returns the most-recently-used valid way of addr's set, or 0 for
+// an untouched set. It is the prediction source of MRU-based way
+// prediction (Inoue et al.), which the paper discusses as related work.
+func (c *Cache) MRUWay(addr uint64) int {
+	set := c.set(c.Index(addr))
+	best, stamp := 0, uint64(0)
+	for w := range set {
+		if set[w].valid && set[w].lru >= stamp {
+			best, stamp = w, set[w].lru
+		}
+	}
+	return best
+}
+
+// Eviction describes a block displaced by a fill.
+type Eviction struct {
+	Addr     uint64 // block address of the displaced line
+	Dirty    bool   // needed a writeback
+	DMPlaced bool   // was resident in its direct-mapped way
+	Valid    bool   // false if the fill used an empty way
+}
+
+// Fill installs the block containing addr. If dmPlace is true the block is
+// forced into its direct-mapping way (evicting whatever lives there);
+// otherwise the LRU way of the set is the victim. It returns the eviction,
+// if any, and the way filled. If write is true the new line starts dirty
+// (a store miss). Fill counts one access and one miss.
+func (c *Cache) Fill(addr uint64, dmPlace, write bool) (Eviction, int) {
+	idx := c.Index(addr)
+	set := c.set(idx)
+	tag := c.Tag(addr)
+
+	victim := -1
+	if dmPlace {
+		victim = c.DMWay(addr)
+	} else {
+		// Prefer an invalid way; otherwise LRU.
+		best := uint64(1<<64 - 1)
+		for w := range set {
+			if !set[w].valid {
+				victim = w
+				break
+			}
+			if set[w].lru < best {
+				best = set[w].lru
+				victim = w
+			}
+		}
+	}
+
+	var ev Eviction
+	if set[victim].valid {
+		ev = Eviction{
+			Addr:     c.addrOf(idx, set[victim].tag),
+			Dirty:    set[victim].dirty,
+			DMPlaced: set[victim].dmPlaced,
+			Valid:    true,
+		}
+		c.stats.Evictions++
+		if set[victim].dirty {
+			c.stats.Dirty++
+		}
+	}
+
+	c.clock++
+	set[victim] = line{
+		valid:    true,
+		dirty:    write,
+		dmPlaced: dmPlace && victim == c.DMWay(addr),
+		tag:      tag,
+		lru:      c.clock,
+	}
+	c.stats.Accesses++
+	c.stats.Misses++
+	return ev, victim
+}
+
+// Access is the conventional combined operation: probe, touch on hit, fill
+// (LRU placement) on miss. It is what the baseline caches and the L2 use.
+// It returns whether the access hit and any eviction a miss caused.
+func (c *Cache) Access(addr uint64, write bool) (hit bool, ev Eviction) {
+	if way, ok := c.Probe(addr); ok {
+		c.Touch(addr, way, write)
+		return true, Eviction{}
+	}
+	ev, _ = c.Fill(addr, false, write)
+	return false, ev
+}
+
+// Contains reports whether the block holding addr is resident. It is a
+// debugging/verification helper and updates nothing.
+func (c *Cache) Contains(addr uint64) bool {
+	_, ok := c.Probe(addr)
+	return ok
+}
+
+// ResidentBlocks returns the number of valid lines. Used by invariant tests.
+func (c *Cache) ResidentBlocks() int {
+	n := 0
+	for i := range c.sets {
+		if c.sets[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckInvariants verifies structural invariants: no duplicate tags within
+// a set and LRU stamps not exceeding the internal clock. It returns an
+// error describing the first violation, or nil. Tests call this after
+// random access sequences.
+func (c *Cache) CheckInvariants() error {
+	for s := 0; s < c.numSets; s++ {
+		set := c.set(s)
+		seen := make(map[uint64]int, c.ways)
+		for w := range set {
+			if !set[w].valid {
+				continue
+			}
+			if prev, dup := seen[set[w].tag]; dup {
+				return fmt.Errorf("cache %s: set %d has tag %#x in ways %d and %d",
+					c.cfg.Name, s, set[w].tag, prev, w)
+			}
+			seen[set[w].tag] = w
+			if set[w].lru > c.clock {
+				return fmt.Errorf("cache %s: set %d way %d lru %d exceeds clock %d",
+					c.cfg.Name, s, w, set[w].lru, c.clock)
+			}
+		}
+	}
+	return nil
+}

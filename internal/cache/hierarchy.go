@@ -1,0 +1,78 @@
+package cache
+
+// Hierarchy models everything below an L1: a unified L2 and main memory.
+// L1 misses call FillLatency to learn how many cycles the fill takes and to
+// keep L2/memory statistics, mirroring the paper's configuration:
+// 1 MB 8-way L2 with 12-cycle latency, and memory at 80 cycles plus
+// 4 cycles per 8 bytes transferred.
+type Hierarchy struct {
+	L2 *Cache
+
+	// L2HitLatency is the total L1-miss/L2-hit latency in cycles.
+	L2HitLatency int
+
+	// MemBaseLatency and MemCyclesPer8B define the memory access time for
+	// an L2 miss: MemBaseLatency + MemCyclesPer8B * blockBytes/8.
+	MemBaseLatency int
+	MemCyclesPer8B int
+
+	stats HierarchyStats
+}
+
+// HierarchyStats counts below-L1 traffic.
+type HierarchyStats struct {
+	L2Accesses   int64
+	L2Hits       int64
+	L2Misses     int64
+	MemAccesses  int64
+	Writebacks   int64 // dirty L1 evictions written to L2
+	L2Writebacks int64 // dirty L2 evictions written to memory
+}
+
+// DefaultHierarchy builds the paper's L2 and memory: 1M, 8-way, 12-cycle
+// L2; 80 + 4 per 8 bytes memory.
+func DefaultHierarchy(l2Block int) *Hierarchy {
+	return &Hierarchy{
+		L2: New(Config{
+			Name:       "L2",
+			SizeBytes:  1 << 20,
+			Ways:       8,
+			BlockBytes: l2Block,
+		}),
+		L2HitLatency:   12,
+		MemBaseLatency: 80,
+		MemCyclesPer8B: 4,
+	}
+}
+
+// FillLatency services an L1 miss for the block containing addr and returns
+// the fill latency in cycles (not including the L1's own access time).
+func (h *Hierarchy) FillLatency(addr uint64) int {
+	h.stats.L2Accesses++
+	hit, ev := h.L2.Access(addr, false)
+	if hit {
+		h.stats.L2Hits++
+		return h.L2HitLatency
+	}
+	h.stats.L2Misses++
+	h.stats.MemAccesses++
+	if ev.Valid && ev.Dirty {
+		h.stats.L2Writebacks++
+	}
+	blockBytes := h.L2.Config().BlockBytes
+	return h.L2HitLatency + h.MemBaseLatency + h.MemCyclesPer8B*blockBytes/8
+}
+
+// Writeback accepts a dirty L1 eviction. Writebacks are off the load
+// critical path; only traffic is recorded.
+func (h *Hierarchy) Writeback(addr uint64) {
+	h.stats.Writebacks++
+	hit, ev := h.L2.Access(addr, true)
+	_ = hit
+	if ev.Valid && ev.Dirty {
+		h.stats.L2Writebacks++
+	}
+}
+
+// Stats returns a copy of the traffic counters.
+func (h *Hierarchy) Stats() HierarchyStats { return h.stats }

@@ -1,0 +1,40 @@
+package cache
+
+import "testing"
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := DefaultHierarchy(32)
+	// Cold access: L2 miss -> memory. 12 + 80 + 4*32/8 = 108.
+	if got := h.FillLatency(0x10000); got != 12+80+16 {
+		t.Fatalf("cold fill latency = %d, want 108", got)
+	}
+	// Second access to same block: L2 hit.
+	if got := h.FillLatency(0x10000); got != 12 {
+		t.Fatalf("L2 hit latency = %d, want 12", got)
+	}
+	st := h.Stats()
+	if st.L2Accesses != 2 || st.L2Hits != 1 || st.L2Misses != 1 || st.MemAccesses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHierarchyWriteback(t *testing.T) {
+	h := DefaultHierarchy(32)
+	h.Writeback(0x20000)
+	st := h.Stats()
+	if st.Writebacks != 1 {
+		t.Fatalf("writebacks = %d", st.Writebacks)
+	}
+	// The written-back block is now in L2: fetching it is a hit.
+	if got := h.FillLatency(0x20000); got != 12 {
+		t.Fatalf("fill after writeback = %d, want L2 hit (12)", got)
+	}
+}
+
+func TestDefaultHierarchyGeometry(t *testing.T) {
+	h := DefaultHierarchy(32)
+	cfg := h.L2.Config()
+	if cfg.SizeBytes != 1<<20 || cfg.Ways != 8 {
+		t.Fatalf("L2 geometry = %+v, want 1M 8-way", cfg)
+	}
+}

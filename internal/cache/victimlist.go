@@ -1,0 +1,130 @@
+package cache
+
+// VictimList is the small, fully-associative list of recently evicted block
+// addresses that selective direct-mapping uses to identify conflicting
+// blocks (Section 2.2.2 of the paper).
+//
+// On every L1 eviction the evicted block address is recorded: if already
+// present its counter is incremented, otherwise a new entry replaces the
+// LRU entry. A block whose eviction count exceeds ConflictThreshold is
+// deemed conflicting and is subsequently filled in its set-associative
+// (LRU) position instead of its direct-mapping way.
+type VictimList struct {
+	entries []victimEntry
+	clock   uint64
+
+	// Threshold above which a block is deemed conflicting. The paper uses
+	// "count exceeds two".
+	threshold uint32
+
+	stats VictimStats
+}
+
+type victimEntry struct {
+	valid bool
+	addr  uint64
+	count uint32
+	lru   uint64
+}
+
+// VictimStats counts victim-list events.
+type VictimStats struct {
+	Records     int64 // eviction records processed
+	NewEntries  int64 // allocations of a fresh entry
+	Increments  int64 // hits on an existing entry
+	Lookups     int64 // Conflicting queries
+	Conflicting int64 // Conflicting queries answered true
+}
+
+// DefaultVictimEntries is the paper's victim list size.
+const DefaultVictimEntries = 16
+
+// DefaultConflictThreshold is the paper's "count exceeds two" rule.
+const DefaultConflictThreshold = 2
+
+// NewVictimList returns a victim list with n entries and the given conflict
+// threshold. n must be positive.
+func NewVictimList(n int, threshold uint32) *VictimList {
+	if n <= 0 {
+		panic("cache: victim list needs at least one entry")
+	}
+	return &VictimList{
+		entries:   make([]victimEntry, n),
+		threshold: threshold,
+	}
+}
+
+// RecordEviction notes that blockAddr was evicted and returns its updated
+// eviction count.
+func (v *VictimList) RecordEviction(blockAddr uint64) uint32 {
+	v.stats.Records++
+	v.clock++
+	if e := v.find(blockAddr); e != nil {
+		e.count++
+		e.lru = v.clock
+		v.stats.Increments++
+		return e.count
+	}
+	// Allocate over an invalid or LRU entry.
+	victim := &v.entries[0]
+	for i := range v.entries {
+		e := &v.entries[i]
+		if !e.valid {
+			victim = e
+			break
+		}
+		if e.lru < victim.lru {
+			victim = e
+		}
+	}
+	*victim = victimEntry{valid: true, addr: blockAddr, count: 1, lru: v.clock}
+	v.stats.NewEntries++
+	return 1
+}
+
+// Conflicting reports whether blockAddr is currently deemed conflicting:
+// present in the list with an eviction count exceeding the threshold.
+// Blocks are non-conflicting by default, including after their entry ages
+// out of the list.
+func (v *VictimList) Conflicting(blockAddr uint64) bool {
+	v.stats.Lookups++
+	if e := v.find(blockAddr); e != nil && e.count > v.threshold {
+		v.stats.Conflicting++
+		return true
+	}
+	return false
+}
+
+// Count returns the recorded eviction count for blockAddr (0 if absent).
+func (v *VictimList) Count(blockAddr uint64) uint32 {
+	if e := v.find(blockAddr); e != nil {
+		return e.count
+	}
+	return 0
+}
+
+// Len returns the number of valid entries.
+func (v *VictimList) Len() int {
+	n := 0
+	for i := range v.entries {
+		if v.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Capacity returns the configured entry count.
+func (v *VictimList) Capacity() int { return len(v.entries) }
+
+// Stats returns a copy of the event counters.
+func (v *VictimList) Stats() VictimStats { return v.stats }
+
+func (v *VictimList) find(addr uint64) *victimEntry {
+	for i := range v.entries {
+		if v.entries[i].valid && v.entries[i].addr == addr {
+			return &v.entries[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package cache
+
+import (
+	"testing"
+
+	"waycache/internal/prng"
+)
+
+func TestVictimListCounting(t *testing.T) {
+	v := NewVictimList(DefaultVictimEntries, DefaultConflictThreshold)
+	addr := uint64(0x1000)
+	for i := uint32(1); i <= 5; i++ {
+		if got := v.RecordEviction(addr); got != i {
+			t.Fatalf("count after %d evictions = %d", i, got)
+		}
+	}
+}
+
+func TestConflictThreshold(t *testing.T) {
+	v := NewVictimList(16, 2)
+	addr := uint64(0x2000)
+	// Counts 1 and 2 are not conflicting ("exceeds two" rule).
+	v.RecordEviction(addr)
+	if v.Conflicting(addr) {
+		t.Fatal("count 1 flagged conflicting")
+	}
+	v.RecordEviction(addr)
+	if v.Conflicting(addr) {
+		t.Fatal("count 2 flagged conflicting")
+	}
+	v.RecordEviction(addr)
+	if !v.Conflicting(addr) {
+		t.Fatal("count 3 not flagged conflicting")
+	}
+}
+
+func TestUnknownBlockNonConflicting(t *testing.T) {
+	v := NewVictimList(16, 2)
+	if v.Conflicting(0xdead000) {
+		t.Fatal("never-seen block flagged conflicting")
+	}
+	if v.Count(0xdead000) != 0 {
+		t.Fatal("never-seen block has nonzero count")
+	}
+}
+
+func TestLRUReplacementInVictimList(t *testing.T) {
+	v := NewVictimList(4, 2)
+	for i := uint64(0); i < 4; i++ {
+		v.RecordEviction(i << 12)
+	}
+	// Touch entry 0 so entry 1 is LRU.
+	v.RecordEviction(0 << 12)
+	// A fifth block displaces entry for block 1.
+	v.RecordEviction(5 << 12)
+	if v.Count(1<<12) != 0 {
+		t.Fatal("LRU victim-list entry not replaced")
+	}
+	if v.Count(0<<12) != 2 {
+		t.Fatalf("recently touched entry lost, count = %d", v.Count(0<<12))
+	}
+	if v.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", v.Len())
+	}
+}
+
+func TestAgedOutBlockRevertsToNonConflicting(t *testing.T) {
+	v := NewVictimList(2, 2)
+	hot := uint64(0xa000)
+	for i := 0; i < 3; i++ {
+		v.RecordEviction(hot)
+	}
+	if !v.Conflicting(hot) {
+		t.Fatal("setup: block should be conflicting")
+	}
+	// Push two new blocks through, evicting hot's entry.
+	v.RecordEviction(0xb000)
+	v.RecordEviction(0xc000)
+	if v.Conflicting(hot) {
+		t.Fatal("aged-out block should revert to non-conflicting default")
+	}
+}
+
+func TestVictimListCapacityBound(t *testing.T) {
+	v := NewVictimList(16, 2)
+	r := prng.New(4)
+	for i := 0; i < 10000; i++ {
+		v.RecordEviction(r.Uint64() &^ 31)
+	}
+	if v.Len() > v.Capacity() {
+		t.Fatalf("Len %d exceeds capacity %d", v.Len(), v.Capacity())
+	}
+	st := v.Stats()
+	if st.Records != 10000 {
+		t.Fatalf("Records = %d", st.Records)
+	}
+	if st.NewEntries+st.Increments != st.Records {
+		t.Fatal("NewEntries + Increments != Records")
+	}
+}
+
+func TestVictimListPanicsOnZeroSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewVictimList(0, ...) did not panic")
+		}
+	}()
+	NewVictimList(0, 2)
+}

@@ -1,0 +1,163 @@
+// Package core is the top-level simulator API: it assembles workloads,
+// the out-of-order pipeline, cache access policies, and the energy models
+// into single-call experiment runs, and computes the relative energy-delay
+// metrics every figure in the paper reports.
+//
+// The typical usage is Run with a Config naming a benchmark and the d- and
+// i-cache policies; Compare derives technique-vs-baseline metrics:
+//
+//	base, _ := core.Run(core.Config{Benchmark: "gcc", Insts: 1e6})
+//	tech, _ := core.Run(core.Config{Benchmark: "gcc", Insts: 1e6,
+//	    DPolicy: access.DSelDMWayPred})
+//	cmp := core.Compare(base, tech)       // relative E·D, perf degradation
+package core
+
+import (
+	"fmt"
+
+	"waycache/internal/access"
+	"waycache/internal/cache"
+	"waycache/internal/energy"
+	"waycache/internal/pipeline"
+	"waycache/internal/trace"
+	"waycache/internal/workload"
+)
+
+// Config describes one simulation run. Zero values mean the paper's
+// defaults (Table 1): 16 KB 4-way 32 B L1s, 1-cycle hit, 8-wide core,
+// 1024-entry prediction tables, 16-entry victim list.
+type Config struct {
+	// Benchmark names a workload.Suite profile. Leave empty and set Source
+	// to drive the simulator from a custom trace.
+	Benchmark string
+	Source    trace.Source // optional custom source (overrides Benchmark)
+
+	// Insts is the number of instructions to simulate (default 1,000,000).
+	Insts int64
+
+	DPolicy access.DPolicy
+	IPolicy access.IPolicy
+
+	// SelectiveWays, when positive, replaces the d-cache policy with the
+	// Albonesi selective-cache-ways baseline: only this many of DWays are
+	// enabled (reads probe them in parallel; capacity shrinks
+	// accordingly). Used by the related-work comparison experiment.
+	SelectiveWays int
+
+	// DSize/DWays/DBlock configure the L1 d-cache geometry; ISize/IWays/
+	// IBlock the i-cache.
+	DSize, DWays, DBlock int
+	ISize, IWays, IBlock int
+
+	// DLatency is the base (parallel-access) d-cache hit latency in cycles
+	// (1 or 2 in the paper).
+	DLatency int
+
+	// TableSize overrides the 1024-entry prediction tables; VictimSize the
+	// 16-entry victim list.
+	TableSize  int
+	VictimSize int
+
+	// UsePaperCosts switches the energy model from the mini-CACTI-derived
+	// geometry-dependent costs to the paper's published Table 3 constants
+	// (which are exact only for the 16 KB 4-way reference geometry).
+	UsePaperCosts bool
+
+	// Core overrides pipeline structure; zero means Table 1.
+	Core pipeline.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Insts == 0 {
+		c.Insts = 1_000_000
+	}
+	if c.DSize == 0 {
+		c.DSize = 16 << 10
+	}
+	if c.DWays == 0 {
+		c.DWays = 4
+	}
+	if c.DBlock == 0 {
+		c.DBlock = 32
+	}
+	if c.ISize == 0 {
+		c.ISize = 16 << 10
+	}
+	if c.IWays == 0 {
+		c.IWays = 4
+	}
+	if c.IBlock == 0 {
+		c.IBlock = 32
+	}
+	if c.DLatency == 0 {
+		c.DLatency = 1
+	}
+	if c.Core.ROBSize == 0 {
+		c.Core = pipeline.DefaultConfig(c.Insts)
+	}
+	c.Core.MaxInsts = c.Insts
+	return c
+}
+
+// costsFor derives the energy cost model for one cache geometry.
+func (c Config) costsFor(size, ways, block int) (energy.Costs, error) {
+	if c.UsePaperCosts {
+		return energy.PaperCosts(), nil
+	}
+	return energy.DefaultCacti().CostsFor(energy.Geometry{
+		SizeBytes: size, Ways: ways, BlockBytes: block,
+	})
+}
+
+// source builds the trace source.
+func (c Config) source() (trace.Source, string, error) {
+	if c.Source != nil {
+		name := c.Benchmark
+		if name == "" {
+			name = "custom"
+		}
+		return trace.NewLimit(c.Source, c.Insts), name, nil
+	}
+	if c.Benchmark == "" {
+		return nil, "", fmt.Errorf("core: config needs Benchmark or Source")
+	}
+	p, err := workload.ByName(c.Benchmark)
+	if err != nil {
+		return nil, "", err
+	}
+	return trace.NewLimit(p.NewWalker(), c.Insts), p.Name, nil
+}
+
+// dcacheConfig assembles the d-cache controller configuration.
+func (c Config) dcacheConfig() (access.DConfig, error) {
+	costs, err := c.costsFor(c.DSize, c.DWays, c.DBlock)
+	if err != nil {
+		return access.DConfig{}, err
+	}
+	return access.DConfig{
+		Policy: c.DPolicy,
+		Cache: cache.Config{
+			Name: "L1d", SizeBytes: c.DSize, Ways: c.DWays, BlockBytes: c.DBlock,
+		},
+		BaseLatency: c.DLatency,
+		Costs:       costs,
+		TableSize:   c.TableSize,
+		VictimSize:  c.VictimSize,
+	}, nil
+}
+
+// icacheConfig assembles the i-cache controller configuration.
+func (c Config) icacheConfig() (access.IConfig, error) {
+	costs, err := c.costsFor(c.ISize, c.IWays, c.IBlock)
+	if err != nil {
+		return access.IConfig{}, err
+	}
+	return access.IConfig{
+		Policy: c.IPolicy,
+		Cache: cache.Config{
+			Name: "L1i", SizeBytes: c.ISize, Ways: c.IWays, BlockBytes: c.IBlock,
+		},
+		BaseLatency: 1,
+		Costs:       costs,
+	}, nil
+}

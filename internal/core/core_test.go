@@ -1,0 +1,251 @@
+package core
+
+import (
+	"testing"
+
+	"waycache/internal/access"
+)
+
+const testInsts = 250_000
+
+// runPair runs baseline (parallel/parallel) and a technique on the same
+// benchmark and returns both plus the comparison.
+func runPair(t *testing.T, bench string, d access.DPolicy, i access.IPolicy) (*Result, *Result, Comparison) {
+	t.Helper()
+	base, err := Run(Config{Benchmark: bench, Insts: testInsts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech, err := Run(Config{Benchmark: bench, Insts: testInsts, DPolicy: d, IPolicy: i})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base, tech, Compare(base, tech)
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("config without benchmark accepted")
+	}
+	if _, err := Run(Config{Benchmark: "nope"}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := Run(Config{Benchmark: "gcc", Insts: 1000, DSize: 10000}); err == nil {
+		t.Fatal("invalid cache geometry accepted")
+	}
+}
+
+func TestBaselineSanity(t *testing.T) {
+	r := MustRun(Config{Benchmark: "gcc", Insts: testInsts})
+	if r.Pipeline.Committed != testInsts {
+		t.Fatalf("committed %d", r.Pipeline.Committed)
+	}
+	if ipc := r.Pipeline.IPC(); ipc < 0.3 || ipc > 8 {
+		t.Fatalf("implausible IPC %v", ipc)
+	}
+	// The paper: L1 i+d are 10-16% of processor energy for this config.
+	if s := r.Power.L1Share(); s < 0.07 || s > 0.20 {
+		t.Fatalf("L1 energy share %v outside plausible band", s)
+	}
+	if r.DCacheEnergy() <= 0 || r.ICacheEnergy() <= 0 {
+		t.Fatal("cache energies not accumulated")
+	}
+}
+
+func TestSequentialTradeoff(t *testing.T) {
+	// Fig. 4 shape: sequential access saves most of the d-cache energy but
+	// degrades performance far more than prediction-based schemes.
+	_, _, seq := runPair(t, "gcc", access.DSequential, access.IParallel)
+	if seq.RelDCacheED > 0.45 {
+		t.Fatalf("sequential relative E-D %v; expected large savings", seq.RelDCacheED)
+	}
+	if seq.PerfLoss < 0.02 {
+		t.Fatalf("sequential perf loss %v too small — latency not modeled", seq.PerfLoss)
+	}
+	_, _, sdm := runPair(t, "gcc", access.DSelDMWayPred, access.IParallel)
+	if sdm.PerfLoss >= seq.PerfLoss {
+		t.Fatalf("selective-DM perf loss %v not below sequential %v", sdm.PerfLoss, seq.PerfLoss)
+	}
+}
+
+func TestSelDMBeatsPCWayPredED(t *testing.T) {
+	// Table 5 shape: selective-DM + way-prediction achieves at least the
+	// energy-delay of plain PC way-prediction (69% vs 63% savings).
+	_, _, wp := runPair(t, "gcc", access.DWayPredPC, access.IParallel)
+	_, _, sdm := runPair(t, "gcc", access.DSelDMWayPred, access.IParallel)
+	if sdm.RelDCacheED > wp.RelDCacheED+0.01 {
+		t.Fatalf("SelDM+WP E-D %v worse than PC waypred %v", sdm.RelDCacheED, wp.RelDCacheED)
+	}
+}
+
+func TestXORBeatsPCAccuracy(t *testing.T) {
+	// Fig. 5 shape: XOR-based prediction is more accurate than PC-based.
+	pc := MustRun(Config{Benchmark: "li", Insts: testInsts, DPolicy: access.DWayPredPC})
+	xor := MustRun(Config{Benchmark: "li", Insts: testInsts, DPolicy: access.DWayPredXOR})
+	if xor.WayPredAccuracy() < pc.WayPredAccuracy()-0.02 {
+		t.Fatalf("XOR accuracy %v below PC accuracy %v", xor.WayPredAccuracy(), pc.WayPredAccuracy())
+	}
+}
+
+func TestSelDMCapturesMajorityAsDM(t *testing.T) {
+	// The paper: selective-DM correctly predicts ~77% of reads as
+	// non-conflicting; our synthetic suite should land in that region for
+	// a conflict-light benchmark.
+	r := MustRun(Config{Benchmark: "mgrid", Insts: testInsts, DPolicy: access.DSelDMWayPred})
+	dm := float64(r.DStats.ByClass[access.ClassDM]) / float64(r.DStats.Loads)
+	if dm < 0.5 {
+		t.Fatalf("direct-mapped fraction %v too low", dm)
+	}
+}
+
+func TestICacheWayPrediction(t *testing.T) {
+	// Fig. 10 shape: i-cache way prediction is highly accurate with
+	// negligible performance loss, except fpppp which thrashes.
+	for _, b := range []string{"m88ksim", "swim"} {
+		base, tech, c := runPair(t, b, access.DParallel, access.IWayPred)
+		_ = base
+		if acc := tech.IWayAccuracy(); acc < 0.85 {
+			t.Errorf("%s: i-cache way accuracy %v < 0.85", b, acc)
+		}
+		if c.PerfLoss > 0.01 {
+			t.Errorf("%s: i-cache way-prediction perf loss %v > 1%%", b, c.PerfLoss)
+		}
+		if c.RelICacheED > 0.6 {
+			t.Errorf("%s: i-cache relative E-D %v; expected big savings", b, c.RelICacheED)
+		}
+	}
+	fp := MustRun(Config{Benchmark: "fpppp", Insts: testInsts, IPolicy: access.IWayPred})
+	sw := MustRun(Config{Benchmark: "swim", Insts: testInsts, IPolicy: access.IWayPred})
+	if fp.IWayAccuracy() > sw.IWayAccuracy() {
+		t.Error("fpppp (i-cache thrasher) should not beat swim on way accuracy")
+	}
+}
+
+func TestOverallProcessorED(t *testing.T) {
+	// Fig. 11 shape: combining d-SelDM+WP with i-waypred cuts overall
+	// processor E-D by several percent, bounded by perfect way-prediction.
+	base, _, c := runPair(t, "gcc", access.DSelDMWayPred, access.IWayPred)
+	perfect := PerfectWayPrediction(base)
+	if c.RelProcED > 0.99 {
+		t.Fatalf("overall E-D %v shows no saving", c.RelProcED)
+	}
+	if perfect.RelProcED > c.RelProcED+1e-9 {
+		t.Fatalf("perfect bound %v worse than technique %v", perfect.RelProcED, c.RelProcED)
+	}
+	if perfect.RelProcED < 0.80 || perfect.RelProcED > 0.97 {
+		t.Fatalf("perfect-waypred processor E-D %v outside plausible band", perfect.RelProcED)
+	}
+}
+
+func TestAssociativityTrend(t *testing.T) {
+	// Fig. 8 shape: energy savings grow with associativity.
+	var prev float64 = 1
+	for _, ways := range []int{2, 4, 8} {
+		base := MustRun(Config{Benchmark: "m88ksim", Insts: testInsts, DWays: ways})
+		tech := MustRun(Config{Benchmark: "m88ksim", Insts: testInsts, DWays: ways,
+			DPolicy: access.DSelDMWayPred})
+		c := Compare(base, tech)
+		if c.RelDCacheED >= prev {
+			t.Fatalf("%d-way relative E-D %v not below %d/2-way's %v", ways, c.RelDCacheED, ways, prev)
+		}
+		prev = c.RelDCacheED
+	}
+}
+
+func TestTwoCycleCache(t *testing.T) {
+	// Fig. 9 shape: with a 2-cycle base d-cache the techniques still work;
+	// sequential still degrades performance the most.
+	base2 := MustRun(Config{Benchmark: "gcc", Insts: testInsts, DLatency: 2})
+	seq2 := MustRun(Config{Benchmark: "gcc", Insts: testInsts, DLatency: 2, DPolicy: access.DSequential})
+	sdm2 := MustRun(Config{Benchmark: "gcc", Insts: testInsts, DLatency: 2, DPolicy: access.DSelDMWayPred})
+	cSeq := Compare(base2, seq2)
+	cSdm := Compare(base2, sdm2)
+	if cSeq.PerfLoss <= cSdm.PerfLoss {
+		t.Fatalf("2-cycle: sequential perf loss %v not above SelDM+WP %v", cSeq.PerfLoss, cSdm.PerfLoss)
+	}
+	if cSdm.RelDCacheED > 0.5 {
+		t.Fatalf("2-cycle SelDM+WP relative E-D %v", cSdm.RelDCacheED)
+	}
+}
+
+func TestCustomSource(t *testing.T) {
+	// The public API accepts user traces.
+	base := MustRun(Config{Benchmark: "troff", Insts: 50_000})
+	p := base // reuse benchmark name only
+	_ = p
+	r := MustRun(Config{Benchmark: "troff", Insts: 50_000, DPolicy: access.DSelDMSequential})
+	if r.Pipeline.Committed != 50_000 {
+		t.Fatalf("committed %d", r.Pipeline.Committed)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	a := MustRun(Config{Benchmark: "vortex", Insts: 100_000, DPolicy: access.DSelDMWayPred, IPolicy: access.IWayPred})
+	b := MustRun(Config{Benchmark: "vortex", Insts: 100_000, DPolicy: access.DSelDMWayPred, IPolicy: access.IWayPred})
+	if a.Pipeline != b.Pipeline || a.DAcct != b.DAcct || a.IAcct != b.IAcct {
+		t.Fatal("identical configs produced different results")
+	}
+}
+
+func TestPaperCostsOption(t *testing.T) {
+	r := MustRun(Config{Benchmark: "troff", Insts: 50_000, UsePaperCosts: true})
+	if r.DCacheEnergy() <= 0 {
+		t.Fatal("paper-cost run accumulated no energy")
+	}
+}
+
+func TestPolicyMatrix(t *testing.T) {
+	// Every d-policy x every benchmark must run clean with consistent
+	// accounting: classes sum to loads, energy positive, accuracy sane.
+	if testing.Short() {
+		t.Skip("matrix is slow")
+	}
+	policies := []access.DPolicy{
+		access.DParallel, access.DSequential, access.DWayPredPC,
+		access.DWayPredXOR, access.DWayPredMRU,
+		access.DSelDMParallel, access.DSelDMWayPred, access.DSelDMSequential,
+	}
+	for _, bench := range []string{"applu", "fpppp", "gcc", "go", "li",
+		"m88ksim", "mgrid", "perl", "swim", "troff", "vortex"} {
+		for _, pol := range policies {
+			r := MustRun(Config{Benchmark: bench, Insts: 60_000, DPolicy: pol, IPolicy: access.IWayPred})
+			var classSum int64
+			for _, c := range r.DStats.ByClass {
+				classSum += c
+			}
+			if classSum != r.DStats.Loads {
+				t.Errorf("%s/%v: class sum %d != loads %d", bench, pol, classSum, r.DStats.Loads)
+			}
+			if r.DCacheEnergy() <= 0 || r.ProcessorEnergy() <= 0 {
+				t.Errorf("%s/%v: non-positive energy", bench, pol)
+			}
+			if acc := r.WayPredAccuracy(); acc < 0.3 || acc > 1.0 {
+				t.Errorf("%s/%v: accuracy %v out of range", bench, pol, acc)
+			}
+			if r.Pipeline.Committed != 60_000 {
+				t.Errorf("%s/%v: committed %d", bench, pol, r.Pipeline.Committed)
+			}
+		}
+	}
+}
+
+func TestSelectiveWaysInCore(t *testing.T) {
+	base := MustRun(Config{Benchmark: "gcc", Insts: 100_000})
+	sw := MustRun(Config{Benchmark: "gcc", Insts: 100_000, SelectiveWays: 2})
+	c := Compare(base, sw)
+	if c.RelDCacheEnergy >= 1 {
+		t.Fatalf("2-of-4 selective ways should save energy, rel %v", c.RelDCacheEnergy)
+	}
+	if sw.DMissRate() < base.DMissRate() {
+		t.Fatal("halving capacity should not reduce the miss rate")
+	}
+}
+
+func TestMRUPolicyInCore(t *testing.T) {
+	base := MustRun(Config{Benchmark: "troff", Insts: 100_000})
+	mru := MustRun(Config{Benchmark: "troff", Insts: 100_000, DPolicy: access.DWayPredMRU})
+	c := Compare(base, mru)
+	if c.RelDCacheED >= 0.6 {
+		t.Fatalf("MRU way-prediction rel E-D %v; expected large savings", c.RelDCacheED)
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"waycache/internal/access"
+	"waycache/internal/branch"
+	"waycache/internal/cache"
+	"waycache/internal/energy"
+	"waycache/internal/pipeline"
+	"waycache/internal/wattch"
+)
+
+// Result holds everything a run produced: timing, cache behaviour, energy
+// accounts, and the processor-wide energy breakdown.
+type Result struct {
+	Benchmark string
+	Config    Config
+
+	Pipeline pipeline.Stats
+	DStats   access.DStats
+	IStats   access.IStats
+	DAcct    energy.Account
+	IAcct    energy.Account
+	DL1      cache.Stats
+	IL1      cache.Stats
+	Hier     cache.HierarchyStats
+	Power    wattch.Breakdown
+}
+
+// Cycles returns the run's execution time in cycles.
+func (r *Result) Cycles() int64 { return r.Pipeline.Cycles }
+
+// DCacheEnergy returns total L1 d-cache energy (normalized units),
+// including prediction-structure overhead.
+func (r *Result) DCacheEnergy() float64 { return r.DAcct.Total() }
+
+// ICacheEnergy returns total L1 i-cache energy.
+func (r *Result) ICacheEnergy() float64 { return r.IAcct.Total() }
+
+// ProcessorEnergy returns the Wattch-style whole-processor energy.
+func (r *Result) ProcessorEnergy() float64 { return r.Power.Total() }
+
+// DMissRate returns the d-cache miss rate over loads and stores.
+func (r *Result) DMissRate() float64 { return r.DL1.MissRate() }
+
+// WayPredAccuracy returns the fraction of d-cache loads whose first probe
+// hit the right way (direct-mapped, way-predicted, parallel and sequential
+// accesses all count as "right"; mispredictions as wrong). For pure
+// way-prediction policies this matches the paper's accuracy metric.
+func (r *Result) WayPredAccuracy() float64 {
+	total := r.DStats.Loads
+	if total == 0 {
+		return 0
+	}
+	wrong := r.DStats.ByClass[access.ClassMispred]
+	return 1 - float64(wrong)/float64(total)
+}
+
+// IWayAccuracy returns the fraction of i-cache fetches with a correct way
+// prediction (SAWP + BTB/RAS correct over all fetches).
+func (r *Result) IWayAccuracy() float64 {
+	if r.IStats.Fetches == 0 {
+		return 0
+	}
+	good := r.IStats.ByClass[access.IClassTableCorrect] + r.IStats.ByClass[access.IClassBTBCorrect]
+	return float64(good) / float64(r.IStats.Fetches)
+}
+
+// Run executes one configuration and returns its results.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	src, name, err := cfg.source()
+	if err != nil {
+		return nil, err
+	}
+	dcfg, err := cfg.dcacheConfig()
+	if err != nil {
+		return nil, err
+	}
+	icfg, err := cfg.icacheConfig()
+	if err != nil {
+		return nil, err
+	}
+
+	// One unified L2 below both L1s, as in the paper.
+	hier := cache.DefaultHierarchy(32)
+	var dc access.DController
+	if cfg.SelectiveWays > 0 {
+		dc = access.NewSelectiveWays(dcfg, cfg.SelectiveWays, hier)
+	} else {
+		dc = access.NewDCache(dcfg, hier)
+	}
+	ic := access.NewICache(icfg, hier)
+	fe := branch.NewFrontEnd()
+	if cfg.TableSize > 0 {
+		fe.SAWP = branch.NewSAWP(cfg.TableSize)
+	}
+
+	pipe := pipeline.New(cfg.Core, src, dc, ic, fe)
+	ps := pipe.Run()
+
+	res := &Result{
+		Benchmark: name,
+		Config:    cfg,
+		Pipeline:  ps,
+		DStats:    dc.Stats(),
+		IStats:    ic.Stats(),
+		DAcct:     *dc.Account(),
+		IAcct:     *ic.Acct,
+		DL1:       dc.CacheStats(),
+		IL1:       ic.L1.Stats(),
+		Hier:      hier.Stats(),
+	}
+	res.Power = wattch.Compute(ps, dc.Account(), ic.Acct, hier.Stats(), wattch.DefaultUnits())
+	return res, nil
+}
+
+// MustRun is Run that panics on configuration errors; experiment configs
+// are static data.
+func MustRun(cfg Config) *Result {
+	r, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Comparison holds technique-vs-baseline relative metrics, the quantities
+// on the paper's figure axes. Values are ratios: RelDCacheED = 0.31 means
+// a 69 % d-cache energy-delay reduction.
+type Comparison struct {
+	// Relative execution time and its inverse framing.
+	RelTime  float64 // T_tech / T_base
+	PerfLoss float64 // (T_tech - T_base) / T_base
+
+	RelDCacheEnergy float64
+	RelDCacheED     float64 // relative energy x relative time
+
+	RelICacheEnergy float64
+	RelICacheED     float64
+
+	RelProcEnergy float64
+	RelProcED     float64
+}
+
+// Compare derives relative metrics of tech against base. Both runs must
+// have simulated the same benchmark and instruction count.
+func Compare(base, tech *Result) Comparison {
+	ratio := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+	relT := ratio(float64(tech.Cycles()), float64(base.Cycles()))
+	c := Comparison{
+		RelTime:         relT,
+		PerfLoss:        relT - 1,
+		RelDCacheEnergy: ratio(tech.DCacheEnergy(), base.DCacheEnergy()),
+		RelICacheEnergy: ratio(tech.ICacheEnergy(), base.ICacheEnergy()),
+		RelProcEnergy:   ratio(tech.ProcessorEnergy(), base.ProcessorEnergy()),
+	}
+	c.RelDCacheED = c.RelDCacheEnergy * relT
+	c.RelICacheED = c.RelICacheEnergy * relT
+	c.RelProcED = c.RelProcEnergy * relT
+	return c
+}
+
+// PerfectWayPrediction derives the paper's "perfect way-prediction" bound
+// from a parallel-baseline run: every load and fetch reads exactly one data
+// way, with no mispredictions, no table overhead, and no performance loss.
+// It returns the Comparison of that ideal against the same baseline.
+func PerfectWayPrediction(base *Result) Comparison {
+	perfect := func(a energy.Account) energy.Account {
+		a.OneWayReads += a.ParallelReads
+		a.ParallelReads = 0
+		a.SecondProbes = 0
+		a.TableAccesses = 0
+		return a
+	}
+	dp := perfect(base.DAcct)
+	ip := perfect(base.IAcct)
+
+	c := Comparison{RelTime: 1, PerfLoss: 0}
+	div := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+	c.RelDCacheEnergy = div(dp.Total(), base.DCacheEnergy())
+	c.RelICacheEnergy = div(ip.Total(), base.ICacheEnergy())
+	c.RelDCacheED = c.RelDCacheEnergy
+	c.RelICacheED = c.RelICacheEnergy
+
+	proc := base.Power
+	proc.L1D = dp.Total()
+	proc.L1I = ip.Total()
+	c.RelProcEnergy = div(proc.Total(), base.ProcessorEnergy())
+	c.RelProcED = c.RelProcEnergy
+	return c
+}

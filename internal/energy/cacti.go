@@ -1,0 +1,247 @@
+package energy
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Cacti is a first-order analytical SRAM-array energy model in the spirit
+// of CACTI (Wilton & Jouppi, WRL TR 93/5), reduced to what the paper's
+// evaluation needs: relative energies of tag reads, parallel data reads,
+// single-way data reads, writes and small prediction tables, as a function
+// of cache geometry.
+//
+// Energies are sums of switched capacitance in arbitrary units (absolute
+// scale cancels: all results are normalized to the parallel read of the
+// geometry under study). Components:
+//
+//   - row decoder:   predecode gates grow with log2(rows); the word-select
+//     wire grows with physical row count.
+//   - wordline:      proportional to the driven width (columns).
+//   - bitlines:      each column swings a capacitance proportional to the
+//     number of rows; reads use a reduced sensing swing,
+//     writes a full swing.
+//   - sense amps:    per sensed column.
+//   - comparators:   per tag bit per way.
+//   - output drive:  per delivered output bit.
+//
+// A parallel read activates every way's subarray; a way-known access
+// activates one subarray with gated precharge and sense enable
+// (SoloGating), which is how CACTI makes a one-way read of the paper's
+// reference cache cost 0.21 rather than tag + (1 - tag)/4.
+//
+// First-order component models cannot reproduce a full CACTI run exactly
+// (CACTI folds arrays, shares drivers and models second-order parasitics),
+// so the model is *calibrated*: Calibrate solves per-component fit factors
+// such that a chosen reference geometry reproduces a chosen Costs vector
+// (by default, the paper's Table 3). The fit factors are then applied at
+// every other geometry, so cross-geometry *scaling* — the part the paper's
+// size/associativity sweeps depend on — still comes from the physical
+// terms.
+type Cacti struct {
+	// Per-unit switched capacitances (arbitrary units).
+	CellCap    float64 // bitline cap contributed by one cell (drain + wire)
+	ReadSwing  float64 // fraction of full swing during a read
+	WriteSwing float64 // fraction of full swing during a write
+	WordCap    float64 // wordline cap per column
+	SenseCap   float64 // sense-amp energy per sensed column
+	CmpCap     float64 // comparator energy per tag bit
+	OutCap     float64 // output-driver energy per bit
+	DecodeCap  float64 // decoder energy per address bit decoded
+	DriveCap   float64 // word-select wire energy per row of array height
+
+	// SoloGating scales the data-way read energy when the way is known in
+	// advance (selective precharge and sense enable).
+	SoloGating float64
+
+	// FoldRows is the maximum physical subarray height. Arrays with more
+	// sets fold into multiple subarrays (CACTI's Ndbl); only one subarray
+	// per way is activated per access, so bitline energy stops growing
+	// with capacity while global routing (RouteCap per subarray) grows.
+	// This is what makes the fixed components "increase slightly as a
+	// proportion of total cache energy" for larger caches, as the paper
+	// observes in its 32 KB experiment.
+	FoldRows int
+	RouteCap float64
+
+	// TableSubbanks models the subbanking of small prediction tables: only
+	// 1/TableSubbanks of the array's bitlines swing per access.
+	TableSubbanks int
+
+	// AddressBits sets the physical address width for tag sizing.
+	AddressBits int
+	// StatusBits are per-line non-tag bits (valid, dirty, placement).
+	StatusBits int
+	// OutputBits is the width delivered to the load/store unit.
+	OutputBits int
+
+	// Calibration fit factors (1.0 = uncalibrated). See Calibrate.
+	FitTag   float64
+	FitSolo  float64
+	FitWrite float64
+	FitTable float64
+}
+
+// ReferenceGeometry is the paper's L1: 16 KB, 4-way, 32 B blocks.
+var ReferenceGeometry = Geometry{SizeBytes: 16 << 10, Ways: 4, BlockBytes: 32}
+
+// DefaultCacti returns the model calibrated so that ReferenceGeometry
+// reproduces Table 3 exactly: parallel read 1.00, one-way read 0.21,
+// write 0.24, tag 0.06, 1024 x 4-bit table 0.007.
+func DefaultCacti() Cacti {
+	c := Cacti{
+		CellCap:       1.0,
+		ReadSwing:     0.18,
+		WriteSwing:    0.70,
+		WordCap:       1.8,
+		SenseCap:      5.5,
+		CmpCap:        3.0,
+		OutCap:        9.0,
+		DecodeCap:     40.0,
+		DriveCap:      0.6,
+		SoloGating:    0.60,
+		FoldRows:      128,
+		RouteCap:      260.0,
+		TableSubbanks: 4,
+		AddressBits:   32,
+		StatusBits:    2,
+		OutputBits:    64,
+		FitTag:        1, FitSolo: 1, FitWrite: 1, FitTable: 1,
+	}
+	c.Calibrate(ReferenceGeometry, PaperCosts())
+	return c
+}
+
+// Geometry describes the array whose energies are wanted.
+type Geometry struct {
+	SizeBytes  int
+	Ways       int
+	BlockBytes int
+}
+
+// Validate checks the geometry.
+func (g Geometry) Validate() error {
+	if g.SizeBytes <= 0 || g.Ways <= 0 || g.BlockBytes <= 0 {
+		return fmt.Errorf("energy: non-positive geometry %+v", g)
+	}
+	if g.SizeBytes%(g.BlockBytes*g.Ways) != 0 {
+		return fmt.Errorf("energy: size %d not divisible by ways*block", g.SizeBytes)
+	}
+	sets := g.Sets()
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("energy: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (g Geometry) Sets() int { return g.SizeBytes / (g.BlockBytes * g.Ways) }
+
+// TagBits returns the tag width for the model's address size.
+func (c Cacti) TagBits(g Geometry) int {
+	offset := bits.TrailingZeros(uint(g.BlockBytes))
+	index := bits.TrailingZeros(uint(g.Sets()))
+	tb := c.AddressBits - offset - index
+	if tb < 1 {
+		tb = 1
+	}
+	return tb
+}
+
+// raw holds un-normalized component energies for one geometry.
+type raw struct {
+	tag   float64 // full tag array read + comparators
+	way   float64 // one data way read, parallel context
+	dec   float64 // shared decoder
+	out   float64 // output drivers
+	solo  float64 // one data way read, way known in advance (incl dec, out)
+	write float64 // one data way write (store word)
+	table float64 // 1024 x 4-bit prediction table access
+}
+
+func (c Cacti) raws(g Geometry) raw {
+	sets := g.Sets()
+	physRows := sets
+	subarrays := 1
+	if c.FoldRows > 0 && sets > c.FoldRows {
+		physRows = c.FoldRows
+		subarrays = sets / c.FoldRows
+	}
+	rows := float64(physRows)
+	dataCols := float64(g.BlockBytes * 8)
+	tagCols := float64((c.TagBits(g) + c.StatusBits) * g.Ways)
+
+	dec := c.DecodeCap*float64(bits.Len(uint(sets-1))) + c.DriveCap*rows +
+		c.RouteCap*float64(subarrays)
+	way := c.WordCap*dataCols + dataCols*rows*c.CellCap*c.ReadSwing + c.SenseCap*dataCols
+	tag := c.WordCap*tagCols + tagCols*rows*c.CellCap*c.ReadSwing + c.SenseCap*tagCols +
+		c.CmpCap*float64(c.TagBits(g)*g.Ways)
+	out := c.OutCap * float64(c.OutputBits)
+	solo := c.SoloGating*(way+dec) + out
+	write := c.WordCap*dataCols + float64(c.OutputBits)*rows*c.CellCap*c.WriteSwing + dec
+
+	tableBits := 1024 * 4
+	tCols, tRows := 32.0, 128.0
+	tBit := float64(tableBits) * c.CellCap * c.ReadSwing / float64(c.TableSubbanks)
+	table := c.WordCap*tCols + tBit + c.SenseCap*4 +
+		c.DecodeCap*float64(bits.Len(uint(tRows-1)))/float64(c.TableSubbanks) + c.DriveCap*tRows/float64(c.TableSubbanks)
+
+	return raw{tag: tag, way: way, dec: dec, out: out, solo: solo, write: write, table: table}
+}
+
+// Calibrate solves fit factors so that CostsFor(ref) equals target (up to
+// the normalization identity ParallelRead() == 1). It modifies c in place.
+func (c *Cacti) Calibrate(ref Geometry, target Costs) {
+	c.FitTag, c.FitSolo, c.FitWrite, c.FitTable = 1, 1, 1, 1
+	r := c.raws(ref)
+	ways := float64(ref.Ways)
+
+	// With tag' = fTag * tag: choose fTag so tag'/(tag' + A) = target.Tag,
+	// where A = ways*way + dec + out is untouched by calibration.
+	a := ways*r.way + r.dec + r.out
+	wantTagShare := target.Tag
+	tagPrime := wantTagShare / (1 - wantTagShare) * a
+	c.FitTag = tagPrime / r.tag
+
+	parallel := tagPrime + a
+	soloPrime := target.OneWayRead()*parallel - tagPrime
+	c.FitSolo = soloPrime / r.solo
+	writePrime := target.Write()*parallel - tagPrime
+	c.FitWrite = writePrime / r.write
+	c.FitTable = target.Table * parallel / r.table
+}
+
+// CostsFor derives the relative per-event Costs of geometry g, normalized
+// so that g's own parallel read equals 1.0 (this is how every figure in
+// the paper normalizes: "relative to a parallel access cache of the same
+// size and associativity").
+func (c Cacti) CostsFor(g Geometry) (Costs, error) {
+	if err := g.Validate(); err != nil {
+		return Costs{}, err
+	}
+	r := c.raws(g)
+	tag := r.tag * c.FitTag
+	solo := r.solo * c.FitSolo
+	write := r.write * c.FitWrite
+	table := r.table * c.FitTable
+
+	parallel := tag + float64(g.Ways)*r.way + r.dec + r.out
+	n := parallel
+	return Costs{
+		Ways:        g.Ways,
+		Tag:         tag / n,
+		WayParallel: (r.way + (r.dec+r.out)/float64(g.Ways)) / n,
+		WaySolo:     solo / n,
+		WriteWay:    write / n,
+		Table:       table / n,
+	}, nil
+}
+
+// MustCostsFor is CostsFor that panics on invalid geometry.
+func (c Cacti) MustCostsFor(g Geometry) Costs {
+	costs, err := c.CostsFor(g)
+	if err != nil {
+		panic(err)
+	}
+	return costs
+}

@@ -1,0 +1,164 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol
+}
+
+func TestPaperCostsMatchTable3(t *testing.T) {
+	c := PaperCosts()
+	if !approx(c.ParallelRead(), 1.00, 1e-12) {
+		t.Errorf("parallel read = %v, want 1.00", c.ParallelRead())
+	}
+	if !approx(c.OneWayRead(), 0.21, 1e-12) {
+		t.Errorf("one-way read = %v, want 0.21", c.OneWayRead())
+	}
+	if !approx(c.Write(), 0.24, 1e-12) {
+		t.Errorf("write = %v, want 0.24", c.Write())
+	}
+	if !approx(c.Tag, 0.06, 1e-12) {
+		t.Errorf("tag = %v, want 0.06", c.Tag)
+	}
+	if !approx(c.Table, 0.007, 1e-12) {
+		t.Errorf("table = %v, want 0.007", c.Table)
+	}
+}
+
+func TestMispredictionAddsOneWay(t *testing.T) {
+	c := PaperCosts()
+	// "the second probe increases the energy by (1 data way energy)"
+	if !approx(c.MispredictedRead(), c.OneWayRead()+c.WaySolo, 1e-12) {
+		t.Error("mispredicted read != one-way read + one data way")
+	}
+	if c.MispredictedRead() >= c.ParallelRead() {
+		t.Error("for 4 ways, a misprediction must still beat a parallel read")
+	}
+}
+
+func TestCactiReproducesTable3(t *testing.T) {
+	cs := DefaultCacti().MustCostsFor(ReferenceGeometry)
+	if !approx(cs.ParallelRead(), 1.00, 1e-9) {
+		t.Errorf("parallel = %v", cs.ParallelRead())
+	}
+	if !approx(cs.OneWayRead(), 0.21, 0.005) {
+		t.Errorf("one-way = %v, want ~0.21", cs.OneWayRead())
+	}
+	if !approx(cs.Write(), 0.24, 0.005) {
+		t.Errorf("write = %v, want ~0.24", cs.Write())
+	}
+	if !approx(cs.Tag, 0.06, 0.005) {
+		t.Errorf("tag = %v, want ~0.06", cs.Tag)
+	}
+	if !approx(cs.Table, 0.007, 0.0015) {
+		t.Errorf("table = %v, want ~0.007", cs.Table)
+	}
+}
+
+func TestCactiAssociativityTrend(t *testing.T) {
+	// The energy-saving opportunity (1 - oneWay/parallel) must grow with
+	// associativity: an N-way parallel cache wastes N-1 ways.
+	c := DefaultCacti()
+	prev := 0.0
+	for _, ways := range []int{2, 4, 8} {
+		cs := c.MustCostsFor(Geometry{SizeBytes: 16 << 10, Ways: ways, BlockBytes: 32})
+		saving := 1 - cs.OneWayRead()
+		if saving <= prev {
+			t.Fatalf("%d-way saving %v not greater than previous %v", ways, saving, prev)
+		}
+		prev = saving
+	}
+}
+
+func TestCactiSizeTrend(t *testing.T) {
+	// Fixed components grow slightly as a proportion for larger caches, so
+	// the one-way read share at 32K must not be lower than at 16K by more
+	// than noise, and should not collapse.
+	c := DefaultCacti()
+	c16 := c.MustCostsFor(Geometry{SizeBytes: 16 << 10, Ways: 4, BlockBytes: 32})
+	c32 := c.MustCostsFor(Geometry{SizeBytes: 32 << 10, Ways: 4, BlockBytes: 32})
+	if c32.OneWayRead() < c16.OneWayRead()-0.001 {
+		t.Fatalf("32K one-way share %v below 16K %v: savings should shrink with size",
+			c32.OneWayRead(), c16.OneWayRead())
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	bad := []Geometry{
+		{},
+		{SizeBytes: 10000, Ways: 4, BlockBytes: 32},
+		{SizeBytes: 24 << 10, Ways: 4, BlockBytes: 32}, // 192 sets: not pow2
+	}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("geometry %+v accepted", g)
+		}
+	}
+	if err := ReferenceGeometry.Validate(); err != nil {
+		t.Errorf("reference geometry rejected: %v", err)
+	}
+}
+
+func TestTagBits(t *testing.T) {
+	c := DefaultCacti()
+	// 32-bit address, 16K 4-way 32B: 32 - 7 index - 5 offset = 20.
+	if got := c.TagBits(ReferenceGeometry); got != 20 {
+		t.Fatalf("TagBits = %d, want 20", got)
+	}
+}
+
+func TestAccountTotals(t *testing.T) {
+	a := Account{Costs: PaperCosts()}
+	a.AddParallelRead()
+	a.AddOneWayRead()
+	a.AddSecondProbe()
+	a.AddWrite()
+	a.AddFill()
+	a.AddTable(2)
+	want := 1.00 + 0.21 + PaperCosts().WaySolo + 0.24 + 0.24 + 2*0.007
+	if !approx(a.Total(), want, 1e-12) {
+		t.Fatalf("Total = %v, want %v", a.Total(), want)
+	}
+}
+
+func TestAccountMonotonic(t *testing.T) {
+	// Property: adding any event never decreases total energy.
+	f := func(pr, ow, sp, w, fl, tb uint8) bool {
+		a := Account{Costs: PaperCosts()}
+		prev := 0.0
+		add := []func(){a.AddParallelRead, a.AddOneWayRead, a.AddSecondProbe, a.AddWrite, a.AddFill, func() { a.AddTable(1) }}
+		counts := []uint8{pr, ow, sp, w, fl, tb}
+		for i, n := range counts {
+			for j := uint8(0); j < n%8; j++ {
+				add[i]()
+				if a.Total() < prev {
+					return false
+				}
+				prev = a.Total()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizationIdentity(t *testing.T) {
+	// For every geometry, ParallelRead() of CostsFor(g) must be exactly 1:
+	// figures are normalized to the same-geometry parallel cache.
+	c := DefaultCacti()
+	for _, g := range []Geometry{
+		{16 << 10, 2, 32}, {16 << 10, 4, 32}, {16 << 10, 8, 32},
+		{32 << 10, 4, 32}, {8 << 10, 4, 32}, {64 << 10, 4, 64},
+	} {
+		cs := c.MustCostsFor(g)
+		if !approx(cs.ParallelRead(), 1.0, 1e-9) {
+			t.Errorf("geometry %+v: parallel read = %v", g, cs.ParallelRead())
+		}
+	}
+}

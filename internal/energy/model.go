@@ -1,0 +1,140 @@
+// Package energy models the dynamic energy of cache accesses.
+//
+// The paper takes per-access energies from CACTI scaled for a 0.25 µm
+// process; its Table 3 reports them relative to a parallel 4-way read of
+// the 16 KB L1 (= 1.00): a sequential / way-predicted / direct-mapped
+// access reading one data way costs 0.21, a cache write 0.24, the tag
+// array 0.06, and a 1024 x 4-bit prediction-table access 0.007.
+//
+// Two models are provided:
+//
+//   - Costs / PaperCosts: the published constants, exactly.
+//   - Cacti (cacti.go): a first-order analytical array model that derives
+//     Costs for arbitrary geometries; at the paper's reference geometry it
+//     reproduces Table 3 within a few percent, and experiments that sweep
+//     size and associativity use it so tag/decoder shares scale the way the
+//     paper describes.
+package energy
+
+// Costs holds the per-event energies of one cache in normalized units
+// (1.0 = a full parallel read of the paper's reference 16 KB 4-way L1
+// unless stated otherwise).
+//
+// The asymmetry between WayParallel and WaySolo is deliberate and follows
+// CACTI: in a parallel read every way's bitlines are precharged, sensed and
+// driven to the select mux, while an access that knows its way in advance
+// activates only that way's subarray with gated precharge and sense enable.
+// The paper's own numbers require it: 1.00 = tag + 4 x WayParallel but
+// 0.21 = tag + WaySolo.
+type Costs struct {
+	Ways int // associativity these costs were derived for
+
+	Tag         float64 // full tag-array read (all ways' tags + comparators)
+	WayParallel float64 // per-way cost within a parallel all-ways read
+	WaySolo     float64 // cost of reading a single, pre-identified data way
+	WriteWay    float64 // data-array cost of writing one way (store hit/fill)
+	Table       float64 // one prediction-table read or write (1024 x 4 bit)
+}
+
+// PaperCosts returns the exact Table 3 constants for the reference 16 KB
+// 4-way 32 B-block cache.
+func PaperCosts() Costs {
+	return Costs{
+		Ways:        4,
+		Tag:         0.06,
+		WayParallel: (1.00 - 0.06) / 4, // 0.235: parallel read = tag + 4 ways
+		WaySolo:     0.21 - 0.06,       // 0.15: one-way read = tag + solo way
+		WriteWay:    0.24 - 0.06,       // 0.18: write = tag + one-way write
+		Table:       0.007,
+	}
+}
+
+// ParallelRead returns the energy of a conventional read probing all ways.
+func (c Costs) ParallelRead() float64 {
+	return c.Tag + float64(c.Ways)*c.WayParallel
+}
+
+// OneWayRead returns the energy of a read that probes exactly one data way
+// (sequential access, correct way-prediction, correct direct-mapping).
+func (c Costs) OneWayRead() float64 {
+	return c.Tag + c.WaySolo
+}
+
+// MispredictedRead returns the energy of a read whose first probe chose the
+// wrong way: the second probe adds one data-way read.
+func (c Costs) MispredictedRead() float64 {
+	return c.Tag + 2*c.WaySolo
+}
+
+// Write returns the energy of a store: tag check plus one data-way write.
+// Stores never read multiple ways, in any configuration.
+func (c Costs) Write() float64 {
+	return c.Tag + c.WriteWay
+}
+
+// FillWrite returns the energy of installing a block after a miss. Like a
+// store it writes exactly one way.
+func (c Costs) FillWrite() float64 {
+	return c.Tag + c.WriteWay
+}
+
+// Account accumulates L1 energy event counts for one cache and prices them
+// with a Costs model. The access policies report events; relative
+// energy-delay is computed from totals.
+type Account struct {
+	Costs Costs
+
+	ParallelReads int64 // all-ways probes
+	OneWayReads   int64 // single-way probes that were correct
+	TagOnlyReads  int64 // tag-array lookups with no data way (sequential miss)
+	SecondProbes  int64 // extra probes after a way/mapping misprediction
+	Writes        int64 // store writes
+	Fills         int64 // miss fills
+	TableAccesses int64 // prediction-table reads + updates
+	// PartialWays counts individual data-way reads of partial parallel
+	// probes (selective cache ways reading only the enabled ways); each
+	// partial probe also records one TagOnlyReads for its tag access.
+	PartialWays int64
+}
+
+// AddParallelRead records a conventional read.
+func (a *Account) AddParallelRead() { a.ParallelReads++ }
+
+// AddOneWayRead records a single-way read (first probe).
+func (a *Account) AddOneWayRead() { a.OneWayReads++ }
+
+// AddTagOnly records a tag-array lookup that read no data way: a
+// sequential-access miss learns from the tags alone that no way matches.
+func (a *Account) AddTagOnly() { a.TagOnlyReads++ }
+
+// AddSecondProbe records the corrective probe after a misprediction.
+func (a *Account) AddSecondProbe() { a.SecondProbes++ }
+
+// AddWrite records a store write.
+func (a *Account) AddWrite() { a.Writes++ }
+
+// AddFill records a miss fill write.
+func (a *Account) AddFill() { a.Fills++ }
+
+// AddTable records n prediction-structure accesses.
+func (a *Account) AddTable(n int64) { a.TableAccesses += n }
+
+// AddPartialRead records a parallel probe of only `ways` enabled data ways
+// (selective cache ways): one tag read plus ways x the per-way parallel
+// read energy.
+func (a *Account) AddPartialRead(ways int) {
+	a.TagOnlyReads++
+	a.PartialWays += int64(ways)
+}
+
+// Total returns the accumulated energy in normalized units.
+func (a *Account) Total() float64 {
+	return float64(a.ParallelReads)*a.Costs.ParallelRead() +
+		float64(a.OneWayReads)*a.Costs.OneWayRead() +
+		float64(a.TagOnlyReads)*a.Costs.Tag +
+		float64(a.SecondProbes)*a.Costs.WaySolo +
+		float64(a.Writes)*a.Costs.Write() +
+		float64(a.Fills)*a.Costs.FillWrite() +
+		float64(a.TableAccesses)*a.Costs.Table +
+		float64(a.PartialWays)*a.Costs.WayParallel
+}

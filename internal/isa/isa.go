@@ -1,0 +1,127 @@
+// Package isa defines the abstract RISC micro-op ISA executed by the
+// simulator.
+//
+// The paper simulates the Alpha ISA on SimpleScalar. We substitute an
+// abstract load/store RISC ISA that captures everything the evaluated
+// mechanisms can observe: opcode class, register dependences, effective
+// addresses, and (for loads) the base-register value and immediate offset
+// that the XOR-based way predictor approximates the address from.
+package isa
+
+import "fmt"
+
+// Kind classifies a dynamic instruction.
+type Kind uint8
+
+// Instruction kinds. Memory and control kinds carry extra payload in
+// trace.Inst; compute kinds differ only in functional-unit latency.
+const (
+	KindNop Kind = iota
+	KindIntALU
+	KindIntMul
+	KindFPALU
+	KindFPMul
+	KindFPDiv
+	KindLoad
+	KindStore
+	KindBranch // conditional branch
+	KindJump   // unconditional direct jump
+	KindCall   // direct call (pushes return address)
+	KindReturn // return (pops return address)
+	numKinds
+)
+
+// NumKinds is the number of distinct instruction kinds.
+const NumKinds = int(numKinds)
+
+// String returns a short mnemonic for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNop:
+		return "nop"
+	case KindIntALU:
+		return "ialu"
+	case KindIntMul:
+		return "imul"
+	case KindFPALU:
+		return "falu"
+	case KindFPMul:
+		return "fmul"
+	case KindFPDiv:
+		return "fdiv"
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	case KindBranch:
+		return "br"
+	case KindJump:
+		return "jmp"
+	case KindCall:
+		return "call"
+	case KindReturn:
+		return "ret"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// IsMem reports whether the kind accesses data memory.
+func (k Kind) IsMem() bool { return k == KindLoad || k == KindStore }
+
+// IsControl reports whether the kind redirects the PC.
+func (k Kind) IsControl() bool {
+	switch k {
+	case KindBranch, KindJump, KindCall, KindReturn:
+		return true
+	}
+	return false
+}
+
+// Reg identifies an architectural register. Register 0 is hard-wired to
+// zero (no dependence), registers 1..NumIntRegs-1 are general purpose,
+// and NumIntRegs..NumIntRegs+NumFPRegs-1 are floating point.
+type Reg uint8
+
+// Register-file dimensions.
+const (
+	RegZero    Reg = 0
+	NumIntRegs     = 32
+	NumFPRegs      = 32
+	NumRegs        = NumIntRegs + NumFPRegs
+)
+
+// IsZero reports whether r is the hard-wired zero register.
+func (r Reg) IsZero() bool { return r == RegZero }
+
+// FP returns the i'th floating-point register.
+func FP(i int) Reg { return Reg(NumIntRegs + i%NumFPRegs) }
+
+// Int returns the i'th integer register, skipping the zero register.
+func Int(i int) Reg { return Reg(1 + i%(NumIntRegs-1)) }
+
+// InstBytes is the fixed encoding size of one instruction. PCs advance by
+// InstBytes; instruction cache blocks therefore hold BlockBytes/InstBytes
+// instructions.
+const InstBytes = 4
+
+// Latency returns the functional-unit execution latency of the kind in
+// cycles, excluding memory time for loads and stores.
+func (k Kind) Latency() int {
+	switch k {
+	case KindIntALU, KindNop, KindBranch, KindJump, KindCall, KindReturn:
+		return 1
+	case KindIntMul:
+		return 3
+	case KindFPALU:
+		return 2
+	case KindFPMul:
+		return 4
+	case KindFPDiv:
+		return 12
+	case KindLoad, KindStore:
+		return 1 // address generation; cache time is added by the pipeline
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,63 @@
+package isa
+
+import "testing"
+
+func TestKindClassification(t *testing.T) {
+	memKinds := map[Kind]bool{KindLoad: true, KindStore: true}
+	ctlKinds := map[Kind]bool{KindBranch: true, KindJump: true, KindCall: true, KindReturn: true}
+	for k := KindNop; k < Kind(NumKinds); k++ {
+		if got := k.IsMem(); got != memKinds[k] {
+			t.Errorf("%v.IsMem() = %v", k, got)
+		}
+		if got := k.IsControl(); got != ctlKinds[k] {
+			t.Errorf("%v.IsControl() = %v", k, got)
+		}
+	}
+}
+
+func TestKindStringsUnique(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := KindNop; k < Kind(NumKinds); k++ {
+		s := k.String()
+		if s == "" {
+			t.Errorf("kind %d has empty mnemonic", k)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("kinds %v and %v share mnemonic %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+}
+
+func TestLatenciesPositive(t *testing.T) {
+	for k := KindNop; k < Kind(NumKinds); k++ {
+		if k.Latency() <= 0 {
+			t.Errorf("%v.Latency() = %d, want positive", k, k.Latency())
+		}
+	}
+	if KindIntMul.Latency() <= KindIntALU.Latency() {
+		t.Error("integer multiply should be slower than ALU op")
+	}
+	if KindFPDiv.Latency() <= KindFPMul.Latency() {
+		t.Error("FP divide should be slower than FP multiply")
+	}
+}
+
+func TestRegisterHelpers(t *testing.T) {
+	if !RegZero.IsZero() {
+		t.Error("RegZero.IsZero() = false")
+	}
+	for i := 0; i < 100; i++ {
+		r := Int(i)
+		if r.IsZero() {
+			t.Errorf("Int(%d) returned the zero register", i)
+		}
+		if int(r) >= NumIntRegs {
+			t.Errorf("Int(%d) = %d outside integer register file", i, r)
+		}
+		f := FP(i)
+		if int(f) < NumIntRegs || int(f) >= NumRegs {
+			t.Errorf("FP(%d) = %d outside FP register file", i, f)
+		}
+	}
+}

@@ -1,0 +1,474 @@
+// Package pipeline is the cycle-level out-of-order processor timing model:
+// the stand-in for SimpleScalar's sim-outorder configured as in the paper's
+// Table 1 (8-wide issue, 64-entry reorder buffer, 32-entry load/store
+// queue, 2 d-cache ports, 2-level hybrid branch prediction).
+//
+// The model is trace-driven: it consumes the architecturally correct
+// dynamic instruction stream and imposes timing. Branch mispredictions
+// stall fetch until the branch resolves (wrong-path instructions are not
+// simulated — their timing effect, the fetch bubble, is). Loads access the
+// d-cache when they issue; stores access it at commit through a write
+// buffer. The i-cache is accessed once per fetch group with the way
+// prediction assembled from the BTB, RAS, and SAWP per Section 2.3 of the
+// paper.
+//
+// Simplifications, all orthogonal to the energy techniques under study and
+// applied identically to baselines and techniques: perfect memory
+// disambiguation with no store-to-load forwarding stalls, unlimited
+// outstanding misses, universal function units.
+package pipeline
+
+import (
+	"fmt"
+
+	"waycache/internal/access"
+	"waycache/internal/branch"
+	"waycache/internal/isa"
+	"waycache/internal/trace"
+)
+
+// Config sets the machine's structural parameters (paper Table 1 defaults
+// via DefaultConfig).
+type Config struct {
+	FetchWidth  int
+	IssueWidth  int
+	CommitWidth int
+	ROBSize     int
+	LSQSize     int
+	DCachePorts int
+
+	// MaxInsts stops the run after this many committed instructions.
+	MaxInsts int64
+}
+
+// DefaultConfig returns the paper's Table 1 core.
+func DefaultConfig(maxInsts int64) Config {
+	return Config{
+		FetchWidth:  8,
+		IssueWidth:  8,
+		CommitWidth: 8,
+		ROBSize:     64,
+		LSQSize:     32,
+		DCachePorts: 2,
+		MaxInsts:    maxInsts,
+	}
+}
+
+// Stats aggregates the run's timing and activity counters; the wattch
+// package prices the activity into processor energy.
+type Stats struct {
+	Cycles    int64
+	Committed int64
+
+	FetchGroups   int64
+	Dispatched    int64
+	Issued        int64
+	Loads         int64
+	Stores        int64
+	Branches      int64
+	BranchMispred int64
+	RASMispred    int64
+	RegReads      int64
+	RegWrites     int64
+	IntOps        int64
+	FPOps         int64
+}
+
+// IPC returns committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+type robEntry struct {
+	inst    trace.Inst
+	seq     int64
+	issued  bool
+	done    bool
+	doneAt  int64
+	prod1   int64 // producer sequence numbers, -1 when none
+	prod2   int64
+	mispred bool // control instruction that redirects fetch at resolution
+}
+
+// Pipeline wires a trace source to the cache controllers and front end.
+type Pipeline struct {
+	cfg Config
+	src trace.Source
+	dc  access.DController
+	ic  *access.ICache
+	fe  *branch.FrontEnd
+
+	stats Stats
+	cycle int64
+
+	// ROB as a ring: entries [seq % ROBSize] valid for head <= seq < tail.
+	rob  []robEntry
+	head int64
+	tail int64
+	lsq  int // mem ops currently in the ROB
+
+	regProducer [isa.NumRegs]int64 // seq of last in-flight writer, -1 if none
+
+	// Fetch state.
+	pending     trace.Inst // lookahead instruction
+	pendingOK   bool
+	exhausted   bool
+	fetchableAt int64 // next cycle fetch may run
+	waitBranch  int64 // seq of unresolved mispredicted control, -1 if none
+
+	// Way-prediction plumbing between consecutive fetch groups.
+	nextWay    int
+	nextWayOK  bool
+	nextWaySrc access.WaySource
+	trainBTB   struct {
+		valid  bool
+		pc     uint64
+		target uint64
+	}
+	trainSAWP struct {
+		valid bool
+		block uint64
+	}
+}
+
+// New builds a pipeline. dc and ic must be freshly constructed controllers;
+// fe the front end whose BTB/RAS/SAWP carry way predictions.
+func New(cfg Config, src trace.Source, dc access.DController, ic *access.ICache, fe *branch.FrontEnd) *Pipeline {
+	if cfg.ROBSize <= 0 || cfg.FetchWidth <= 0 || cfg.IssueWidth <= 0 ||
+		cfg.CommitWidth <= 0 || cfg.LSQSize <= 0 || cfg.DCachePorts <= 0 {
+		panic(fmt.Sprintf("pipeline: non-positive config %+v", cfg))
+	}
+	p := &Pipeline{
+		cfg: cfg, src: src, dc: dc, ic: ic, fe: fe,
+		rob:        make([]robEntry, cfg.ROBSize),
+		waitBranch: -1,
+	}
+	for i := range p.regProducer {
+		p.regProducer[i] = -1
+	}
+	return p
+}
+
+// Stats returns a copy of the counters.
+func (p *Pipeline) Stats() Stats { return p.stats }
+
+// Run simulates until MaxInsts instructions commit or the source drains,
+// and returns the final statistics.
+func (p *Pipeline) Run() Stats {
+	limit := p.cfg.MaxInsts*200 + 1_000_000 // safety net against livelock bugs
+	for p.stats.Committed < p.cfg.MaxInsts && p.cycle < limit {
+		p.commit()
+		p.issue()
+		p.fetch()
+		p.cycle++
+		p.stats.Cycles = p.cycle
+		if p.exhausted && p.head == p.tail {
+			break
+		}
+	}
+	if p.cycle >= limit {
+		panic("pipeline: cycle limit exceeded — livelock")
+	}
+	return p.stats
+}
+
+func (p *Pipeline) entry(seq int64) *robEntry {
+	return &p.rob[seq%int64(p.cfg.ROBSize)]
+}
+
+func (p *Pipeline) commit() {
+	for n := 0; n < p.cfg.CommitWidth && p.head < p.tail &&
+		p.stats.Committed < p.cfg.MaxInsts; n++ {
+		e := p.entry(p.head)
+		if !e.done || e.doneAt > p.cycle {
+			return
+		}
+		if e.inst.Kind == isa.KindStore {
+			// Stores probe the tag array and write the matching way at
+			// commit; the write buffer hides the latency.
+			p.dc.Store(&e.inst)
+			p.lsq--
+		}
+		if e.inst.Kind == isa.KindLoad {
+			p.lsq--
+		}
+		// Free the architectural register mapping if this is still the
+		// newest producer.
+		if d := e.inst.Dst; !d.IsZero() && p.regProducer[d] == e.seq {
+			p.regProducer[d] = -1
+		}
+		p.head++
+		p.stats.Committed++
+	}
+}
+
+// ready reports whether the producer identified by seq has finished.
+func (p *Pipeline) producerDone(seq int64) bool {
+	if seq < 0 || seq < p.head {
+		return true // retired: value lives in the register file
+	}
+	e := p.entry(seq)
+	return e.done && e.doneAt <= p.cycle
+}
+
+func (p *Pipeline) issue() {
+	issued := 0
+	ports := p.cfg.DCachePorts
+	for seq := p.head; seq < p.tail && issued < p.cfg.IssueWidth; seq++ {
+		e := p.entry(seq)
+		if e.issued {
+			continue
+		}
+		if !p.producerDone(e.prod1) || !p.producerDone(e.prod2) {
+			continue
+		}
+		kind := e.inst.Kind
+		if kind == isa.KindLoad && ports == 0 {
+			continue
+		}
+
+		lat := kind.Latency()
+		switch kind {
+		case isa.KindLoad:
+			ports--
+			p.stats.Loads++
+			cacheLat, _ := p.dc.Load(&e.inst)
+			lat += cacheLat - 1 // the cache latency includes the access cycle
+		case isa.KindStore:
+			p.stats.Stores++
+			// Address generation only; the write happens at commit.
+		case isa.KindIntALU, isa.KindIntMul:
+			p.stats.IntOps++
+		case isa.KindFPALU, isa.KindFPMul, isa.KindFPDiv:
+			p.stats.FPOps++
+		}
+		e.issued = true
+		e.done = true
+		e.doneAt = p.cycle + int64(lat)
+		issued++
+		p.stats.Issued++
+		if !e.inst.Src1.IsZero() {
+			p.stats.RegReads++
+		}
+		if !e.inst.Src2.IsZero() {
+			p.stats.RegReads++
+		}
+		if !e.inst.Dst.IsZero() {
+			p.stats.RegWrites++
+		}
+
+		// A mispredicted control instruction restarts fetch one cycle
+		// after it resolves.
+		if e.mispred && p.waitBranch == e.seq {
+			p.fetchableAt = e.doneAt + 1
+			p.waitBranch = -1
+		}
+	}
+}
+
+// peek fills p.pending from the source.
+func (p *Pipeline) peek() bool {
+	if p.pendingOK {
+		return true
+	}
+	if p.exhausted {
+		return false
+	}
+	if !p.src.Next(&p.pending) {
+		p.exhausted = true
+		return false
+	}
+	p.pendingOK = true
+	return true
+}
+
+func (p *Pipeline) robFull() bool {
+	return p.tail-p.head >= int64(p.cfg.ROBSize)
+}
+
+func (p *Pipeline) dispatch(in *trace.Inst, mispred bool) {
+	e := p.entry(p.tail)
+	*e = robEntry{inst: *in, seq: p.tail, prod1: -1, prod2: -1, mispred: mispred}
+	if !in.Src1.IsZero() {
+		e.prod1 = p.regProducer[in.Src1]
+	}
+	if !in.Src2.IsZero() {
+		e.prod2 = p.regProducer[in.Src2]
+	}
+	if !in.Dst.IsZero() {
+		p.regProducer[in.Dst] = p.tail
+	}
+	if in.Kind.IsMem() {
+		p.lsq++
+	}
+	if mispred {
+		p.waitBranch = p.tail
+	}
+	p.tail++
+	p.stats.Dispatched++
+}
+
+// fetch runs one fetch group: a single i-cache access plus up to FetchWidth
+// instructions from the same cache block, ending early at a taken (or
+// mispredicted) control instruction.
+func (p *Pipeline) fetch() {
+	if p.cycle < p.fetchableAt || p.waitBranch >= 0 {
+		return
+	}
+	if !p.peek() {
+		return
+	}
+	if p.robFull() || p.lsq >= p.cfg.LSQSize {
+		return
+	}
+
+	blockMask := ^uint64(int64(p.ic.L1.Config().BlockBytes - 1))
+	block := p.pending.PC & blockMask
+
+	lat, _, trueWay := p.ic.Fetch(p.pending.PC, p.nextWay, p.nextWayOK, p.nextWaySrc)
+	p.stats.FetchGroups++
+
+	// Train the structures that predicted (or should predict) this block's
+	// way, now that the true way is known.
+	if p.trainBTB.valid {
+		p.fe.BTB.Update(p.trainBTB.pc, p.trainBTB.target, trueWay, true)
+		p.trainBTB.valid = false
+	}
+	if p.trainSAWP.valid {
+		p.fe.SAWP.Update(p.trainSAWP.block, trueWay)
+		p.trainSAWP.valid = false
+	}
+
+	// Defaults for the next access: sequential transition predicted by the
+	// SAWP, trained on this block.
+	endedByControl := false
+	for n := 0; n < p.cfg.FetchWidth; n++ {
+		if p.robFull() || p.lsq >= p.cfg.LSQSize {
+			break
+		}
+		if !p.peek() {
+			break
+		}
+		if p.pending.PC&blockMask != block {
+			break
+		}
+		in := p.pending
+		p.pendingOK = false
+
+		if !in.Kind.IsControl() {
+			p.dispatch(&in, false)
+			continue
+		}
+		endedByControl = true
+		stop := p.fetchControl(&in, block, trueWay)
+		if stop {
+			break
+		}
+		endedByControl = false
+	}
+
+	if !endedByControl {
+		// Sequential (or not-taken-branch) transition into the next block:
+		// the SAWP predicts and is trained on it.
+		way, ok := p.fe.SAWP.Lookup(block)
+		p.nextWay, p.nextWayOK, p.nextWaySrc = way, ok, access.SrcSAWP
+		p.trainSAWP.valid = true
+		p.trainSAWP.block = block
+	}
+
+	// The i-cache occupies the port for lat cycles on misses and way
+	// mispredictions; the next group cannot start before that.
+	if lat < 1 {
+		lat = 1
+	}
+	p.fetchableAt = p.cycle + int64(lat)
+}
+
+// fetchControl dispatches a control instruction, performs all front-end
+// prediction and training, and reports whether the fetch group must stop.
+func (p *Pipeline) fetchControl(in *trace.Inst, block uint64, blockWay int) bool {
+	fe := p.fe
+	switch in.Kind {
+	case isa.KindBranch:
+		p.stats.Branches++
+		predTaken := fe.Dir.Predict(in.PC)
+		fe.Dir.Update(in.PC, in.Taken)
+		mispred := predTaken != in.Taken
+		if mispred {
+			p.stats.BranchMispred++
+		}
+		if in.Taken {
+			// Train the BTB with the target's way at the next access.
+			p.trainBTB = struct {
+				valid  bool
+				pc     uint64
+				target uint64
+			}{true, in.PC, in.Target}
+		}
+		p.dispatch(in, mispred)
+		if mispred {
+			// Fetch stalls until resolution; the restart fetch has no way
+			// prediction (parallel access), per the paper.
+			p.nextWay, p.nextWayOK, p.nextWaySrc = 0, false, access.SrcNone
+			return true
+		}
+		if in.Taken {
+			_, way, wayOK, hit := fe.BTB.Lookup(in.PC)
+			if hit && wayOK {
+				p.nextWay, p.nextWayOK, p.nextWaySrc = way, true, access.SrcBTB
+			} else {
+				p.nextWay, p.nextWayOK, p.nextWaySrc = 0, false, access.SrcNone
+			}
+			return true
+		}
+		// Correctly predicted not-taken: fetch continues within the block.
+		return false
+
+	case isa.KindJump, isa.KindCall:
+		p.stats.Branches++
+		_, way, wayOK, hit := fe.BTB.Lookup(in.PC)
+		if hit && wayOK {
+			p.nextWay, p.nextWayOK, p.nextWaySrc = way, true, access.SrcBTB
+		} else {
+			p.nextWay, p.nextWayOK, p.nextWaySrc = 0, false, access.SrcNone
+		}
+		p.trainBTB = struct {
+			valid  bool
+			pc     uint64
+			target uint64
+		}{true, in.PC, in.Target}
+		if in.Kind == isa.KindCall {
+			// Push the return address; its block is usually the current
+			// one, whose way we know right now.
+			ret := in.FallThrough()
+			sameBlock := ret&^uint64(p.ic.L1.Config().BlockBytes-1) == block
+			fe.RAS.Push(ret, blockWay, sameBlock)
+		}
+		p.dispatch(in, false)
+		return true
+
+	case isa.KindReturn:
+		p.stats.Branches++
+		addr, way, wayOK, ok := fe.RAS.Pop()
+		mispred := !ok || addr != in.Target
+		if mispred {
+			p.stats.RASMispred++
+			p.stats.BranchMispred++
+		}
+		p.dispatch(in, mispred)
+		if mispred {
+			p.nextWay, p.nextWayOK, p.nextWaySrc = 0, false, access.SrcNone
+			return true
+		}
+		if wayOK {
+			p.nextWay, p.nextWayOK, p.nextWaySrc = way, true, access.SrcRAS
+		} else {
+			p.nextWay, p.nextWayOK, p.nextWaySrc = 0, false, access.SrcNone
+		}
+		return true
+	}
+	panic("pipeline: non-control kind in fetchControl")
+}

@@ -1,0 +1,41 @@
+// Package predict implements the paper's prediction structures for d-cache
+// accesses: PC- and XOR-indexed way-prediction tables and the selective
+// direct-mapping choice predictor (a table of 2-bit saturating counters
+// indexed by load PC).
+package predict
+
+// SatCounter is an n-bit saturating counter. The zero value is a counter
+// saturated at 0 with Max unset; use NewSat or set Max explicitly.
+type SatCounter struct {
+	V   uint8 // current value, 0..Max
+	Max uint8 // saturation ceiling (3 for a 2-bit counter)
+}
+
+// NewSat returns a counter with the given bits and initial value.
+func NewSat(bits int, initial uint8) SatCounter {
+	max := uint8(1<<bits - 1)
+	if initial > max {
+		initial = max
+	}
+	return SatCounter{V: initial, Max: max}
+}
+
+// Inc increments, saturating at Max.
+func (c *SatCounter) Inc() {
+	if c.V < c.Max {
+		c.V++
+	}
+}
+
+// Dec decrements, saturating at 0.
+func (c *SatCounter) Dec() {
+	if c.V > 0 {
+		c.V--
+	}
+}
+
+// High reports whether the counter is in its upper half (e.g. 2 or 3 for a
+// 2-bit counter) — the "taken" / "set-associative" side.
+func (c *SatCounter) High() bool {
+	return c.V > c.Max/2
+}

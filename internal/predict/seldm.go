@@ -1,0 +1,116 @@
+package predict
+
+import "fmt"
+
+// Mapping is the binary choice the selective-DM predictor makes per access.
+type Mapping uint8
+
+// Mapping values.
+const (
+	MapDirect Mapping = iota // probe the direct-mapping way
+	MapSetAssoc
+)
+
+// String names the mapping.
+func (m Mapping) String() string {
+	if m == MapDirect {
+		return "direct"
+	}
+	return "set-assoc"
+}
+
+// SelDM is the selective direct-mapping choice predictor: a PC-indexed
+// table of 2-bit saturating counters (Section 2.2.2). Counter values 0 and
+// 1 flag direct mapping; 2 and 3 flag set-associative mapping. A hit in
+// the block's direct-mapping way decrements the load's counter; a hit in
+// any other way increments it.
+//
+// The same table optionally carries a predicted way number per entry,
+// which implements the paper's "incremental extension ... adds a way
+// number to the prediction table, allowing way-prediction instead of
+// sequential access" for the accesses flagged set-associative.
+type SelDM struct {
+	counters []SatCounter
+	ways     []wayEntry
+	mask     uint64
+	stats    SelDMStats
+}
+
+// SelDMStats counts choice-predictor events.
+type SelDMStats struct {
+	Lookups    int64
+	PredDirect int64
+	PredAssoc  int64
+	IncAssoc   int64 // updates toward set-associative
+	DecDirect  int64 // updates toward direct
+}
+
+// NewSelDM builds the predictor with n entries (power of two). Counters
+// start at 0: blocks are non-conflicting by default, so loads begin life
+// predicted direct-mapped, matching the paper.
+func NewSelDM(n int) *SelDM {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("predict: selective-DM table size %d not a power of two", n))
+	}
+	s := &SelDM{
+		counters: make([]SatCounter, n),
+		ways:     make([]wayEntry, n),
+		mask:     uint64(n - 1),
+	}
+	for i := range s.counters {
+		s.counters[i] = NewSat(2, 0)
+	}
+	return s
+}
+
+func (s *SelDM) index(pc uint64) uint64 {
+	h := pc >> 2
+	h ^= h >> 10
+	return h & s.mask
+}
+
+// Predict returns the mapping choice for the load at pc.
+func (s *SelDM) Predict(pc uint64) Mapping {
+	s.stats.Lookups++
+	if s.counters[s.index(pc)].High() {
+		s.stats.PredAssoc++
+		return MapSetAssoc
+	}
+	s.stats.PredDirect++
+	return MapDirect
+}
+
+// PredictWay returns the auxiliary way prediction for pc, used when the
+// access is flagged set-associative and the configuration supplements
+// selective-DM with way-prediction.
+func (s *SelDM) PredictWay(pc uint64) (way int, ok bool) {
+	e := s.ways[s.index(pc)]
+	if !e.valid {
+		return 0, false
+	}
+	return int(e.way), true
+}
+
+// Update trains the predictor after the access resolves: hitDM is true if
+// the access hit in (or was filled into) the block's direct-mapping way;
+// way is the true matching way, recorded for the auxiliary way predictor.
+func (s *SelDM) Update(pc uint64, hitDM bool, way int) {
+	i := s.index(pc)
+	if hitDM {
+		s.counters[i].Dec()
+		s.stats.DecDirect++
+	} else {
+		s.counters[i].Inc()
+		s.stats.IncAssoc++
+	}
+	s.ways[i] = wayEntry{valid: true, way: uint8(way)}
+}
+
+// Counter returns the raw counter value for pc (testing/inspection).
+func (s *SelDM) Counter(pc uint64) uint8 { return s.counters[s.index(pc)].V }
+
+// Len returns the table size.
+func (s *SelDM) Len() int { return len(s.counters) }
+
+// Stats returns a copy of the counters.
+func (s *SelDM) Stats() SelDMStats { return s.stats }

@@ -1,0 +1,89 @@
+package predict
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// WayTable is a direct-mapped table of predicted way numbers, the structure
+// behind both PC-based and XOR-based d-cache way prediction (Section 2.2.1).
+// The handle used to index it is chosen by the caller: a load PC (early
+// available, less accurate) or the XOR approximation of the load address
+// (late available, more accurate).
+//
+// Entries start invalid; Lookup reports whether a prediction exists. Every
+// resolved access calls Update with the true matching way.
+type WayTable struct {
+	entries []wayEntry
+	mask    uint64
+	shift   uint
+	stats   WayTableStats
+}
+
+type wayEntry struct {
+	valid bool
+	way   uint8
+}
+
+// WayTableStats counts predictor events. Lookups that find no valid entry
+// are Cold; the caller decides how to access the cache in that case (the
+// paper probes the predicted way anyway for d-caches — an invalid entry
+// predicts way 0 — while i-caches fall back to parallel).
+type WayTableStats struct {
+	Lookups int64
+	Cold    int64
+	Updates int64
+}
+
+// DefaultWayEntries is the paper's prediction-table size.
+const DefaultWayEntries = 1024
+
+// NewWayTable builds a table with n entries indexed by PC-like handles
+// (4-byte granular); n must be a power of two.
+func NewWayTable(n int) *WayTable {
+	return NewWayTableShift(n, 2)
+}
+
+// NewWayTableShift builds a table whose handles carry no information below
+// the given bit: 2 for PCs, log2(blockBytes) for block-address handles like
+// the XOR approximation or the SAWP's fetch-block index. Choosing the wrong
+// shift either discards entropy (index bits that are always zero) or
+// fragments one block's accesses across entries.
+func NewWayTableShift(n int, shift uint) *WayTable {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("predict: way table size %d not a power of two", n))
+	}
+	return &WayTable{entries: make([]wayEntry, n), mask: uint64(n - 1), shift: shift}
+}
+
+// index hashes a handle into the table: drop the always-zero low bits,
+// then fold high bits down so large strides still spread across entries.
+func (t *WayTable) index(handle uint64) uint64 {
+	h := handle >> t.shift
+	h ^= h >> bits.Len64(t.mask)
+	return h & t.mask
+}
+
+// Lookup returns the predicted way for handle. ok is false for a cold
+// entry, in which case way is 0.
+func (t *WayTable) Lookup(handle uint64) (way int, ok bool) {
+	t.stats.Lookups++
+	e := t.entries[t.index(handle)]
+	if !e.valid {
+		t.stats.Cold++
+		return 0, false
+	}
+	return int(e.way), true
+}
+
+// Update records the true way for handle.
+func (t *WayTable) Update(handle uint64, way int) {
+	t.stats.Updates++
+	t.entries[t.index(handle)] = wayEntry{valid: true, way: uint8(way)}
+}
+
+// Len returns the table size.
+func (t *WayTable) Len() int { return len(t.entries) }
+
+// Stats returns a copy of the counters.
+func (t *WayTable) Stats() WayTableStats { return t.stats }

@@ -1,0 +1,101 @@
+// Package prng provides small, fast, deterministic pseudo-random number
+// generators used throughout the simulator.
+//
+// The simulator must be exactly reproducible across runs and platforms, so
+// nothing in the code base uses math/rand's global state. Every stochastic
+// component (workload walkers, data-reference streams, tie-breaking) owns a
+// Source seeded from a (benchmark, purpose) pair.
+package prng
+
+// Source is a SplitMix64 generator. It has a 64-bit state, passes BigCrush
+// when used as a stream, and is trivially seedable: every seed gives an
+// independent-looking sequence. The zero value is a valid generator seeded
+// with 0.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Derive returns a new Source whose stream is decorrelated from s but fully
+// determined by (s's current state, label). It is used to hand independent
+// streams to sub-components without sharing state.
+func (s *Source) Derive(label uint64) *Source {
+	return New(mix(s.state ^ rotl(label, 31) ^ 0x9e3779b97f4a7c15))
+}
+
+// Uint64 returns the next value in the stream.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	return mix(s.state)
+}
+
+// Uint32 returns the high 32 bits of the next value.
+func (s *Source) Uint32() uint32 {
+	return uint32(s.Uint64() >> 32)
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Uint64n returns a value in [0, n). It panics if n == 0.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("prng: Uint64n with zero n")
+	}
+	return s.Uint64() % n
+}
+
+// Float64 returns a value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// Geometric returns a sample from a geometric-ish distribution with mean
+// approximately mean (minimum 1). It is used for run lengths such as loop
+// trip counts and basic-block repeat counts.
+func (s *Source) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	n := 1
+	for !s.Bool(p) && n < 1<<20 {
+		n++
+	}
+	return n
+}
+
+// Perm fills out with a pseudo-random permutation of [0, len(out)).
+func (s *Source) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}
+
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func rotl(x uint64, k uint) uint64 {
+	return (x << k) | (x >> (64 - k))
+}

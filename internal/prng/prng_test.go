@@ -1,0 +1,135 @@
+package prng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values in 1000 draws", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	s := New(7)
+	d1 := s.Derive(1)
+	d2 := s.Derive(2)
+	if d1.Uint64() == d2.Uint64() {
+		t.Fatal("derived streams with different labels start identically")
+	}
+	// Deriving must not disturb the parent stream.
+	s2 := New(7)
+	s2.Derive(1)
+	s2.Derive(2)
+	a, b := New(7), s2
+	_ = a.Derive(9)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Derive perturbed the parent stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3)
+	if err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := s.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(5)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.28 || frac > 0.32 {
+		t.Fatalf("Bool(0.3) frequency %v outside [0.28, 0.32]", frac)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(9)
+	const n = 50000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += s.Geometric(8)
+	}
+	mean := float64(sum) / n
+	if mean < 7 || mean > 9 {
+		t.Fatalf("Geometric(8) mean %v outside [7, 9]", mean)
+	}
+	if g := s.Geometric(0.5); g != 1 {
+		t.Fatalf("Geometric(<1) = %d, want 1", g)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(17)
+	out := make([]int, 64)
+	s.Perm(out)
+	seen := make(map[int]bool, len(out))
+	for _, v := range out {
+		if v < 0 || v >= len(out) || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", out)
+		}
+		seen[v] = true
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// Coarse chi-square-ish check over 16 buckets.
+	s := New(123)
+	const n = 160000
+	var buckets [16]int
+	for i := 0; i < n; i++ {
+		buckets[s.Uint64()%16]++
+	}
+	for i, b := range buckets {
+		if b < n/16-n/160 || b > n/16+n/160 {
+			t.Fatalf("bucket %d count %d deviates more than 10%% from uniform", i, b)
+		}
+	}
+}

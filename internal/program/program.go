@@ -1,0 +1,223 @@
+// Package program models static synthetic programs: control-flow graphs of
+// functions, basic blocks and instruction templates, plus the data-reference
+// streams their memory instructions draw addresses from.
+//
+// A Walker (walker.go) executes the CFG to produce the dynamic instruction
+// trace the pipeline consumes. The paper runs SPEC95 binaries; we substitute
+// programs whose *observable* behaviour — per-PC block locality, conflict
+// patterns, branch predictability, code footprint — is shaped by a handful
+// of knobs calibrated per benchmark in internal/workload.
+package program
+
+import (
+	"fmt"
+
+	"waycache/internal/isa"
+)
+
+// CodeBase is where function layout starts, mimicking a conventional text
+// segment address.
+const CodeBase uint64 = 0x0040_0000
+
+// TermKind is the control transfer ending a basic block.
+type TermKind uint8
+
+// Terminator kinds.
+const (
+	TermFall   TermKind = iota // fall through to the next block (no instruction)
+	TermBranch                 // conditional branch to Target
+	TermJump                   // unconditional jump to Target
+	TermCall                   // call Callee, continue at next block on return
+	TermReturn                 // return to caller (or restart main)
+)
+
+// BranchPattern chooses how a conditional branch's direction behaves.
+type BranchPattern uint8
+
+// Branch behaviour patterns.
+const (
+	PatLoop   BranchPattern = iota // back-edge taken Trip-1 times out of Trip
+	PatBiased                      // taken with probability Prob
+	PatAlt                         // strict alternation
+	PatRandom                      // 50/50, unpredictable
+)
+
+// Terminator describes a block's ending control transfer.
+type Terminator struct {
+	Kind    TermKind
+	Target  int // block index within the function (TermBranch/TermJump)
+	Callee  int // function index (TermCall)
+	Pattern BranchPattern
+	Prob    float64 // PatBiased: probability taken
+	Trip    float64 // PatLoop: mean trip count
+	Fixed   bool    // PatLoop: trip count is exactly Trip (predictable)
+}
+
+// InstTemplate is one static (non-control) instruction.
+type InstTemplate struct {
+	Kind isa.Kind
+	Dst  isa.Reg
+	Src1 isa.Reg
+	Src2 isa.Reg
+
+	// Memory instructions only: the stream supplying the base value and
+	// the immediate offset added to it.
+	Stream int // index into Program.Streams, -1 for non-memory
+	Offset int32
+}
+
+// Block is a basic block: straight-line body plus a terminator.
+type Block struct {
+	Body []InstTemplate
+	Term Terminator
+
+	// Addr is assigned by Layout: the PC of Body[0].
+	Addr uint64
+}
+
+// Insts returns the number of instructions the block occupies, including
+// the terminator's instruction if it has one.
+func (b *Block) Insts() int {
+	n := len(b.Body)
+	if b.Term.Kind != TermFall {
+		n++
+	}
+	return n
+}
+
+// TermPC returns the PC of the terminator instruction. Only meaningful for
+// blocks with a non-fallthrough terminator.
+func (b *Block) TermPC() uint64 {
+	return b.Addr + uint64(len(b.Body))*isa.InstBytes
+}
+
+// End returns the first PC after the block.
+func (b *Block) End() uint64 {
+	return b.Addr + uint64(b.Insts())*isa.InstBytes
+}
+
+// Func is a function: its blocks in layout order. Block 0 is the entry.
+type Func struct {
+	Name   string
+	Blocks []*Block
+}
+
+// StreamKind chooses how a data stream generates base values.
+type StreamKind uint8
+
+// Stream kinds.
+const (
+	StreamGlobal StreamKind = iota // fixed address (loop-invariant global)
+	StreamSeq                      // sequential walk: Base..Base+Length by Stride
+	StreamRandom                   // uniform random within [Base, Base+Length)
+	StreamChase                    // pseudo-random pointer chase within region
+	StreamStack                    // frame-local: StackBase - depth*FrameBytes
+	StreamCyclic                   // round-robin over NWays fixed conflicting blocks
+)
+
+// Stream describes one data object / reference pattern.
+type Stream struct {
+	Name   string
+	Kind   StreamKind
+	Base   uint64
+	Length uint64 // region size in bytes (Seq/Random/Chase/Cyclic span)
+	Stride int64  // Seq step per advance
+
+	// AdvanceEvery: the stream steps after this many accesses through it,
+	// letting several loads (struct fields) share one base value.
+	AdvanceEvery int
+
+	// Align forces generated base values to a multiple (element size).
+	Align uint64
+
+	// NWays: StreamCyclic only — number of distinct blocks cycled through,
+	// each CycleStride bytes apart (use the cache way-span to force set
+	// conflicts, as swim's pathological pattern needs).
+	NWays       int
+	CycleStride uint64
+}
+
+// Program is a complete synthetic program.
+type Program struct {
+	Name    string
+	Funcs   []*Func
+	Entry   int // index of the function execution starts in
+	Streams []Stream
+}
+
+// Layout assigns addresses to every block: functions in order from
+// CodeBase, blocks contiguous within a function, functions padded to a
+// 32-byte boundary so i-cache mappings are stable and realistic.
+func (p *Program) Layout() {
+	addr := CodeBase
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			b.Addr = addr
+			addr = b.End()
+		}
+		// Pad to the next 32-byte boundary between functions.
+		if rem := addr % 32; rem != 0 {
+			addr += 32 - rem
+		}
+	}
+}
+
+// CodeBytes returns the total laid-out code size.
+func (p *Program) CodeBytes() uint64 {
+	if len(p.Funcs) == 0 {
+		return 0
+	}
+	last := p.Funcs[len(p.Funcs)-1]
+	if len(last.Blocks) == 0 {
+		return 0
+	}
+	return last.Blocks[len(last.Blocks)-1].End() - CodeBase
+}
+
+// Validate checks structural sanity: entry exists, block targets in range,
+// callees in range, call graph acyclic (so the walker cannot recurse
+// unboundedly), stream indices valid.
+func (p *Program) Validate() error {
+	if p.Entry < 0 || p.Entry >= len(p.Funcs) {
+		return fmt.Errorf("program %s: entry %d out of range", p.Name, p.Entry)
+	}
+	for fi, f := range p.Funcs {
+		if len(f.Blocks) == 0 {
+			return fmt.Errorf("program %s: function %s has no blocks", p.Name, f.Name)
+		}
+		for bi, b := range f.Blocks {
+			t := b.Term
+			switch t.Kind {
+			case TermBranch, TermJump:
+				if t.Target < 0 || t.Target >= len(f.Blocks) {
+					return fmt.Errorf("%s/%s block %d: target %d out of range", p.Name, f.Name, bi, t.Target)
+				}
+			case TermCall:
+				if t.Callee < 0 || t.Callee >= len(p.Funcs) {
+					return fmt.Errorf("%s/%s block %d: callee %d out of range", p.Name, f.Name, bi, t.Callee)
+				}
+				if t.Callee <= fi {
+					return fmt.Errorf("%s/%s block %d: call to %d not forward (call graph must be a DAG)", p.Name, f.Name, bi, t.Callee)
+				}
+				if bi == len(f.Blocks)-1 {
+					return fmt.Errorf("%s/%s block %d: call in final block has no return-to block", p.Name, f.Name, bi)
+				}
+			case TermFall:
+				if bi == len(f.Blocks)-1 {
+					return fmt.Errorf("%s/%s: final block falls through off the function", p.Name, f.Name)
+				}
+			}
+			for ii, in := range b.Body {
+				if in.Kind.IsControl() {
+					return fmt.Errorf("%s/%s block %d inst %d: control kind in body", p.Name, f.Name, bi, ii)
+				}
+				if in.Kind.IsMem() {
+					if in.Stream < 0 || in.Stream >= len(p.Streams) {
+						return fmt.Errorf("%s/%s block %d inst %d: stream %d out of range", p.Name, f.Name, bi, ii, in.Stream)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+package program
+
+import (
+	"testing"
+
+	"waycache/internal/isa"
+	"waycache/internal/trace"
+)
+
+// twoBlockLoop builds a minimal program: entry block loops on itself N
+// times (fixed), then returns.
+func twoBlockLoop(trip float64) *Program {
+	p := &Program{
+		Name: "loop",
+		Funcs: []*Func{{
+			Name: "main",
+			Blocks: []*Block{
+				{
+					Body: []InstTemplate{
+						{Kind: isa.KindIntALU, Dst: isa.Int(1), Stream: -1},
+						{Kind: isa.KindLoad, Dst: isa.Int(2), Stream: 0},
+					},
+					Term: Terminator{Kind: TermBranch, Target: 0, Pattern: PatLoop, Trip: trip, Fixed: true},
+				},
+				{Term: Terminator{Kind: TermReturn}},
+			},
+		}},
+		Streams: []Stream{{Name: "g", Kind: StreamGlobal, Base: 0x600000}},
+	}
+	p.Layout()
+	return p
+}
+
+func TestLayoutAssignsContiguousPCs(t *testing.T) {
+	p := twoBlockLoop(3)
+	b0, b1 := p.Funcs[0].Blocks[0], p.Funcs[0].Blocks[1]
+	if b0.Addr != CodeBase {
+		t.Fatalf("entry block at %#x, want %#x", b0.Addr, CodeBase)
+	}
+	if b0.Insts() != 3 { // 2 body + branch
+		t.Fatalf("block 0 insts = %d", b0.Insts())
+	}
+	if b1.Addr != b0.End() {
+		t.Fatalf("block 1 at %#x, want %#x", b1.Addr, b0.End())
+	}
+	if p.CodeBytes() == 0 {
+		t.Fatal("CodeBytes = 0")
+	}
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	cases := []func(*Program){
+		func(p *Program) { p.Entry = 5 },
+		func(p *Program) { p.Funcs[0].Blocks[0].Term.Target = 9 },
+		func(p *Program) { p.Funcs[0].Blocks[0].Body[1].Stream = 3 },
+		func(p *Program) { p.Funcs[0].Blocks[1].Term = Terminator{Kind: TermFall} },
+		func(p *Program) {
+			p.Funcs[0].Blocks[0].Body[0] = InstTemplate{Kind: isa.KindBranch}
+		},
+		func(p *Program) {
+			// Backward call breaks the DAG requirement.
+			p.Funcs = append(p.Funcs, &Func{Name: "f1", Blocks: []*Block{
+				{Term: Terminator{Kind: TermCall, Callee: 0}},
+				{Term: Terminator{Kind: TermReturn}},
+			}})
+		},
+	}
+	for i, breakIt := range cases {
+		p := twoBlockLoop(3)
+		breakIt(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: broken program validated", i)
+		}
+	}
+}
+
+func TestWalkerFixedLoopTrips(t *testing.T) {
+	p := twoBlockLoop(4)
+	w := NewWalker(p, 1)
+	// One program iteration: block0 body(2) + branch, repeated 4 times,
+	// then block1 return. Count branch outcomes.
+	taken, notTaken := 0, 0
+	var in traceInst
+	for i := 0; i < 4*3+1; i++ {
+		in = next(t, w)
+		if in.Kind == isa.KindBranch {
+			if in.Taken {
+				taken++
+			} else {
+				notTaken++
+			}
+		}
+		if in.Kind == isa.KindReturn {
+			break
+		}
+	}
+	if taken != 3 || notTaken != 1 {
+		t.Fatalf("fixed trip-4 loop: taken=%d notTaken=%d, want 3/1", taken, notTaken)
+	}
+}
+
+func TestWalkerRestartsAfterMainReturns(t *testing.T) {
+	p := twoBlockLoop(1)
+	w := NewWalker(p, 1)
+	sawRestart := false
+	for i := 0; i < 100; i++ {
+		in := next(t, w)
+		// The entry function's return is emitted as a jump back to the
+		// entry (keeping the RAS balanced across program restarts).
+		if in.Kind == isa.KindJump {
+			sawRestart = true
+			if in.Target != CodeBase {
+				t.Fatalf("restart should target entry %#x, got %#x", CodeBase, in.Target)
+			}
+			nxt := next(t, w)
+			if nxt.PC != CodeBase {
+				t.Fatalf("after restart, PC = %#x", nxt.PC)
+			}
+			break
+		}
+		if in.Kind == isa.KindReturn {
+			t.Fatal("entry-function return must not underflow the RAS")
+		}
+	}
+	if !sawRestart {
+		t.Fatal("program never restarted")
+	}
+}
+
+func TestWalkerCallReturnMatching(t *testing.T) {
+	p := &Program{
+		Name: "callret",
+		Funcs: []*Func{
+			{Name: "main", Blocks: []*Block{
+				{Term: Terminator{Kind: TermCall, Callee: 1}},
+				{Term: Terminator{Kind: TermReturn}},
+			}},
+			{Name: "leaf", Blocks: []*Block{
+				{Body: []InstTemplate{{Kind: isa.KindIntALU, Dst: isa.Int(1), Stream: -1}},
+					Term: Terminator{Kind: TermReturn}},
+			}},
+		},
+		Streams: []Stream{},
+	}
+	p.Layout()
+	w := NewWalker(p, 2)
+
+	call := next(t, w)
+	if call.Kind != isa.KindCall {
+		t.Fatalf("first inst = %v", call.Kind)
+	}
+	if call.Target != p.Funcs[1].Blocks[0].Addr {
+		t.Fatalf("call target %#x", call.Target)
+	}
+	body := next(t, w)
+	if body.PC != p.Funcs[1].Blocks[0].Addr {
+		t.Fatalf("callee body at %#x", body.PC)
+	}
+	ret := next(t, w)
+	if ret.Kind != isa.KindReturn {
+		t.Fatalf("expected return, got %v", ret.Kind)
+	}
+	if want := p.Funcs[0].Blocks[1].Addr; ret.Target != want {
+		t.Fatalf("return target %#x, want %#x", ret.Target, want)
+	}
+}
+
+func TestWalkerDeterminism(t *testing.T) {
+	p1 := twoBlockLoop(8)
+	p2 := twoBlockLoop(8)
+	w1, w2 := NewWalker(p1, 42), NewWalker(p2, 42)
+	for i := 0; i < 5000; i++ {
+		a, b := next(t, w1), next(t, w2)
+		if a != b {
+			t.Fatalf("walkers diverged at instruction %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestStreamSeqWrapsAndAligns(t *testing.T) {
+	p := twoBlockLoop(1000)
+	p.Streams[0] = Stream{Name: "arr", Kind: StreamSeq, Base: 0x800000, Length: 64, Stride: 8, AdvanceEvery: 1, Align: 8}
+	w := NewWalker(p, 3)
+	var addrs []uint64
+	for len(addrs) < 20 {
+		in := next(t, w)
+		if in.Kind == isa.KindLoad {
+			addrs = append(addrs, in.Addr)
+		}
+	}
+	for i, a := range addrs {
+		want := uint64(0x800000) + uint64(i%8)*8
+		if a != want {
+			t.Fatalf("access %d at %#x, want %#x (wrap at 64 bytes)", i, a, want)
+		}
+	}
+}
+
+func TestStreamAdvanceEvery(t *testing.T) {
+	p := twoBlockLoop(1000)
+	p.Streams[0] = Stream{Name: "arr", Kind: StreamSeq, Base: 0x800000, Length: 1 << 20, Stride: 8, AdvanceEvery: 3, Align: 8}
+	w := NewWalker(p, 3)
+	var addrs []uint64
+	for len(addrs) < 9 {
+		in := next(t, w)
+		if in.Kind == isa.KindLoad {
+			addrs = append(addrs, in.Addr)
+		}
+	}
+	// Three accesses per base value.
+	for i := 0; i < 9; i += 3 {
+		if addrs[i] != addrs[i+1] || addrs[i+1] != addrs[i+2] {
+			t.Fatalf("AdvanceEvery=3 violated: %v", addrs[:9])
+		}
+	}
+	if addrs[0] == addrs[3] {
+		t.Fatal("stream never advanced")
+	}
+}
+
+func TestStreamCyclic(t *testing.T) {
+	p := twoBlockLoop(1000)
+	p.Streams[0] = Stream{Name: "cyc", Kind: StreamCyclic, Base: 0x600000, NWays: 3, CycleStride: 0x4000, AdvanceEvery: 1}
+	w := NewWalker(p, 3)
+	var addrs []uint64
+	for len(addrs) < 6 {
+		in := next(t, w)
+		if in.Kind == isa.KindLoad {
+			addrs = append(addrs, in.Addr)
+		}
+	}
+	for i, a := range addrs {
+		want := uint64(0x600000) + uint64(i%3)*0x4000
+		if a != want {
+			t.Fatalf("cyclic access %d = %#x, want %#x", i, a, want)
+		}
+	}
+}
+
+func TestStreamStackDepth(t *testing.T) {
+	// main calls leaf; stack stream addresses must differ by frame size
+	// between depth 0 and depth 1.
+	p := &Program{
+		Name: "stack",
+		Funcs: []*Func{
+			{Name: "main", Blocks: []*Block{
+				{Body: []InstTemplate{{Kind: isa.KindLoad, Dst: isa.Int(1), Stream: 0}},
+					Term: Terminator{Kind: TermCall, Callee: 1}},
+				{Term: Terminator{Kind: TermReturn}},
+			}},
+			{Name: "leaf", Blocks: []*Block{
+				{Body: []InstTemplate{{Kind: isa.KindLoad, Dst: isa.Int(2), Stream: 0}},
+					Term: Terminator{Kind: TermReturn}},
+			}},
+		},
+		Streams: []Stream{{Name: "stack", Kind: StreamStack, Base: StackBase, Stride: 128}},
+	}
+	p.Layout()
+	w := NewWalker(p, 4)
+	ld0 := next(t, w) // load at depth 0
+	next(t, w)        // call
+	ld1 := next(t, w) // load at depth 1
+	if ld0.Kind != isa.KindLoad || ld1.Kind != isa.KindLoad {
+		t.Fatalf("unexpected kinds %v %v", ld0.Kind, ld1.Kind)
+	}
+	if ld0.Addr-ld1.Addr != 128 {
+		t.Fatalf("stack depth addressing: %#x vs %#x", ld0.Addr, ld1.Addr)
+	}
+}
+
+func TestXORPayloadConsistency(t *testing.T) {
+	p := twoBlockLoop(50)
+	p.Funcs[0].Blocks[0].Body[1].Offset = 16
+	w := NewWalker(p, 5)
+	for i := 0; i < 1000; i++ {
+		in := next(t, w)
+		if in.Kind == isa.KindLoad {
+			if in.Addr != in.BaseValue+uint64(int64(in.Offset)) {
+				t.Fatalf("Addr != BaseValue + Offset: %+v", in)
+			}
+			if in.Offset != 16 {
+				t.Fatalf("offset not propagated: %d", in.Offset)
+			}
+		}
+	}
+}
+
+// Helpers.
+
+type instAlias = trace.Inst
+type traceInst = instAlias
+
+func next(t *testing.T, w *Walker) instAlias {
+	t.Helper()
+	var in instAlias
+	if !w.Next(&in) {
+		t.Fatal("walker stream ended")
+	}
+	return in
+}

@@ -1,0 +1,129 @@
+// Package stats provides small reporting helpers: fixed-width text tables
+// for the experiment harness and summary statistics used by the figures.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; cells beyond the header count are dropped, missing
+// cells are blank.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Addf appends a row of formatted values: strings pass through, float64s
+// are rendered with three decimals, everything else via %v.
+func (t *Table) Addf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, fmt.Sprintf("%.3f", v))
+		default:
+			row = append(row, fmt.Sprintf("%v", v))
+		}
+	}
+	t.Add(row...)
+}
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, r := range t.rows {
+		line(r)
+	}
+	b.WriteByte('\n')
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_, _ = t.WriteTo(&b)
+	return b.String()
+}
+
+// Pct formats a ratio as a percentage with one decimal.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// F3 formats with three decimals.
+func F3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

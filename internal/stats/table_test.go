@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "bench", "value")
+	tb.Add("gcc", "0.31")
+	tb.Addf("swim", 0.12345)
+	out := tb.String()
+	for _, want := range []string{"Demo", "bench", "gcc", "0.31", "swim", "0.123"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.Add("x")
+	tb.Add("1", "2", "3", "4") // extra dropped
+	out := tb.String()
+	if strings.Contains(out, "4") {
+		t.Error("extra cell not dropped")
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if Mean(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty inputs should yield 0")
+	}
+	xs := []float64{1, 2, 6}
+	if Mean(xs) != 3 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Max(xs) != 6 {
+		t.Errorf("Max = %v", Max(xs))
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.125) != "12.5%" {
+		t.Errorf("Pct = %q", Pct(0.125))
+	}
+	if F3(0.12345) != "0.123" {
+		t.Errorf("F3 = %q", F3(0.12345))
+	}
+}

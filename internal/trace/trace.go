@@ -1,0 +1,143 @@
+// Package trace defines the dynamic instruction record produced by workload
+// generators and consumed by the timing pipeline.
+//
+// A trace is the moral equivalent of a SimpleScalar sim-outorder dynamic
+// stream: each record carries the architectural information timing and
+// energy models need, and nothing else.
+package trace
+
+import "waycache/internal/isa"
+
+// Inst is one dynamic instruction.
+//
+// For loads and stores, Addr is the effective data address and BaseValue /
+// Offset satisfy Addr == BaseValue + uint64(Offset) (two's complement).
+// The XOR-based way predictor forms its approximate handle as
+// BaseValue ^ uint64(Offset), exactly as proposed by Austin & Sohi and used
+// by Calder, Grunwald & Emer; whether that approximation lands in the same
+// predictor entry as the true address is decided by real carry behaviour,
+// not by a modelled accuracy constant.
+//
+// For control transfers, Taken and Target describe the actual outcome, which
+// the front end compares against its prediction.
+type Inst struct {
+	PC   uint64
+	Kind isa.Kind
+
+	// Register dependences. Src registers equal to isa.RegZero carry no
+	// dependence. Dst equal to isa.RegZero means no register is written.
+	Dst  isa.Reg
+	Src1 isa.Reg
+	Src2 isa.Reg
+
+	// Memory payload (loads and stores).
+	Addr      uint64
+	BaseValue uint64
+	Offset    int32
+
+	// Control payload.
+	Taken  bool
+	Target uint64
+}
+
+// XORHandle returns the approximate-address handle used by XOR-based way
+// prediction: the load's base register value XORed with its sign-extended
+// immediate offset. For addresses where base+offset generates no carries
+// into the index bits this equals the true effective address.
+func (in *Inst) XORHandle() uint64 {
+	return in.BaseValue ^ uint64(int64(in.Offset))
+}
+
+// FallThrough returns the next sequential PC.
+func (in *Inst) FallThrough() uint64 { return in.PC + isa.InstBytes }
+
+// NextPC returns the architecturally correct next PC.
+func (in *Inst) NextPC() uint64 {
+	if in.Kind.IsControl() && in.Taken {
+		return in.Target
+	}
+	return in.FallThrough()
+}
+
+// Source produces a dynamic instruction stream.
+//
+// Next fills *out and returns true, or returns false when the stream is
+// exhausted. Implementations must be deterministic for a fixed construction
+// seed.
+type Source interface {
+	Next(out *Inst) bool
+}
+
+// SliceSource replays a fixed slice of instructions. It is primarily a test
+// helper but is also useful for user-supplied traces.
+type SliceSource struct {
+	Insts []Inst
+	pos   int
+}
+
+// Next implements Source.
+func (s *SliceSource) Next(out *Inst) bool {
+	if s.pos >= len(s.Insts) {
+		return false
+	}
+	*out = s.Insts[s.pos]
+	s.pos++
+	return true
+}
+
+// Reset rewinds the source to the beginning.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Repeat replays a fixed slice of instructions Times times (0 means
+// forever). Because the PCs repeat, caches and predictors warm up after the
+// first pass — convenient for timing tests that should not be dominated by
+// compulsory misses.
+type Repeat struct {
+	Insts []Inst
+	Times int
+
+	pos  int
+	done int
+}
+
+// Next implements Source.
+func (r *Repeat) Next(out *Inst) bool {
+	if len(r.Insts) == 0 {
+		return false
+	}
+	if r.pos >= len(r.Insts) {
+		r.pos = 0
+		r.done++
+		if r.Times > 0 && r.done >= r.Times {
+			return false
+		}
+	}
+	*out = r.Insts[r.pos]
+	r.pos++
+	return true
+}
+
+// Limit wraps a Source and stops after n instructions.
+type Limit struct {
+	Src Source
+	N   int64
+
+	seen int64
+}
+
+// NewLimit returns a Source that yields at most n instructions from src.
+func NewLimit(src Source, n int64) *Limit {
+	return &Limit{Src: src, N: n}
+}
+
+// Next implements Source.
+func (l *Limit) Next(out *Inst) bool {
+	if l.seen >= l.N {
+		return false
+	}
+	if !l.Src.Next(out) {
+		return false
+	}
+	l.seen++
+	return true
+}

@@ -1,0 +1,96 @@
+// Package wattch estimates whole-processor dynamic energy from pipeline
+// activity counts, in the spirit of Wattch's activity-based accounting.
+//
+// Every unit has a per-event energy in the same normalized units as the
+// cache model (1.0 = one parallel read of the reference 16 KB 4-way L1).
+// The unit constants are calibrated so that, for the parallel-access
+// baseline, the two L1 caches dissipate 10–16 % of total processor energy
+// — the paper's own characterization of its Wattch configuration — with a
+// plausible Wattch-like split for the rest (clock dominant, then the issue
+// window, functional units, register file, front end).
+package wattch
+
+import (
+	"waycache/internal/cache"
+	"waycache/internal/energy"
+	"waycache/internal/pipeline"
+)
+
+// Units holds per-event energies for the non-cache processor units.
+type Units struct {
+	Clock    float64 // per cycle: clock tree + latches (conditional clocking folded in)
+	Rename   float64 // per dispatched instruction
+	Window   float64 // per issued instruction: wakeup + select
+	LSQ      float64 // per load or store: address CAM + queue write
+	RegRead  float64 // per register-file read port use
+	RegWrite float64 // per register-file write
+	IntOp    float64 // per integer ALU/multiplier operation
+	FPOp     float64 // per floating-point operation
+	Fetch    float64 // per fetch group: fetch datapath + BTB probe
+	Dir      float64 // per conditional branch: direction-predictor access
+	L2Access float64 // per L2 access (reads, fills, writebacks)
+}
+
+// DefaultUnits returns the calibrated constants.
+func DefaultUnits() Units {
+	return Units{
+		Clock:    2.6,
+		Rename:   0.20,
+		Window:   0.55,
+		LSQ:      0.15,
+		RegRead:  0.12,
+		RegWrite: 0.15,
+		IntOp:    0.40,
+		FPOp:     0.90,
+		Fetch:    0.50,
+		Dir:      0.15,
+		L2Access: 3.50,
+	}
+}
+
+// Breakdown is the per-unit energy total of one run.
+type Breakdown struct {
+	Clock    float64
+	Frontend float64 // fetch datapath, BTB, direction predictor
+	Rename   float64
+	Window   float64
+	Regfile  float64
+	FU       float64
+	LSQ      float64
+	L1I      float64 // includes way-prediction structure overhead
+	L1D      float64 // includes prediction-table overhead
+	L2       float64
+}
+
+// Total sums all units.
+func (b Breakdown) Total() float64 {
+	return b.Clock + b.Frontend + b.Rename + b.Window + b.Regfile +
+		b.FU + b.LSQ + b.L1I + b.L1D + b.L2
+}
+
+// L1Share returns the L1 i+d fraction of total energy.
+func (b Breakdown) L1Share() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return (b.L1I + b.L1D) / t
+}
+
+// Compute prices a run's activity. dAcct and iAcct are the L1 energy
+// accounts maintained by the access controllers; hier the shared L2/memory
+// statistics.
+func Compute(ps pipeline.Stats, dAcct, iAcct *energy.Account, hier cache.HierarchyStats, u Units) Breakdown {
+	return Breakdown{
+		Clock:    float64(ps.Cycles) * u.Clock,
+		Frontend: float64(ps.FetchGroups)*u.Fetch + float64(ps.Branches)*u.Dir,
+		Rename:   float64(ps.Dispatched) * u.Rename,
+		Window:   float64(ps.Issued) * u.Window,
+		Regfile:  float64(ps.RegReads)*u.RegRead + float64(ps.RegWrites)*u.RegWrite,
+		FU:       float64(ps.IntOps)*u.IntOp + float64(ps.FPOps)*u.FPOp,
+		LSQ:      float64(ps.Loads+ps.Stores) * u.LSQ,
+		L1I:      iAcct.Total(),
+		L1D:      dAcct.Total(),
+		L2:       float64(hier.L2Accesses+hier.Writebacks) * u.L2Access,
+	}
+}

@@ -1,0 +1,78 @@
+package wattch
+
+import (
+	"testing"
+
+	"waycache/internal/cache"
+	"waycache/internal/energy"
+	"waycache/internal/pipeline"
+)
+
+func sampleStats() pipeline.Stats {
+	return pipeline.Stats{
+		Cycles: 1000, Committed: 2000,
+		FetchGroups: 300, Dispatched: 2100, Issued: 2050,
+		Loads: 500, Stores: 200, Branches: 250,
+		RegReads: 3000, RegWrites: 1800,
+		IntOps: 900, FPOps: 150,
+	}
+}
+
+func TestBreakdownTotalsAndShares(t *testing.T) {
+	d := &energy.Account{Costs: energy.PaperCosts(), ParallelReads: 500, Writes: 200, Fills: 20}
+	i := &energy.Account{Costs: energy.PaperCosts(), ParallelReads: 300, Fills: 5}
+	h := cache.HierarchyStats{L2Accesses: 25, Writebacks: 5}
+	b := Compute(sampleStats(), d, i, h, DefaultUnits())
+
+	sum := b.Clock + b.Frontend + b.Rename + b.Window + b.Regfile + b.FU + b.LSQ + b.L1I + b.L1D + b.L2
+	if diff := b.Total() - sum; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("Total %v != component sum %v", b.Total(), sum)
+	}
+	if b.L1D != d.Total() || b.L1I != i.Total() {
+		t.Fatal("L1 components must equal the accounts' totals")
+	}
+	share := b.L1Share()
+	if share <= 0 || share >= 1 {
+		t.Fatalf("L1Share = %v", share)
+	}
+}
+
+func TestClockScalesWithCycles(t *testing.T) {
+	d := &energy.Account{Costs: energy.PaperCosts()}
+	i := &energy.Account{Costs: energy.PaperCosts()}
+	ps := sampleStats()
+	b1 := Compute(ps, d, i, cache.HierarchyStats{}, DefaultUnits())
+	ps.Cycles *= 2
+	b2 := Compute(ps, d, i, cache.HierarchyStats{}, DefaultUnits())
+	if b2.Clock != 2*b1.Clock {
+		t.Fatalf("clock energy %v -> %v not proportional to cycles", b1.Clock, b2.Clock)
+	}
+}
+
+func TestZeroActivityZeroEnergy(t *testing.T) {
+	d := &energy.Account{Costs: energy.PaperCosts()}
+	i := &energy.Account{Costs: energy.PaperCosts()}
+	b := Compute(pipeline.Stats{}, d, i, cache.HierarchyStats{}, DefaultUnits())
+	if b.Total() != 0 {
+		t.Fatalf("zero activity produced energy %v", b.Total())
+	}
+	if b.L1Share() != 0 {
+		t.Fatal("L1Share of zero-energy run should be 0")
+	}
+}
+
+func TestCacheSavingsMoveTotal(t *testing.T) {
+	// Replacing parallel reads with one-way reads must reduce the total by
+	// exactly the L1 delta — no hidden coupling.
+	ps := sampleStats()
+	h := cache.HierarchyStats{}
+	par := &energy.Account{Costs: energy.PaperCosts(), ParallelReads: 500}
+	one := &energy.Account{Costs: energy.PaperCosts(), OneWayReads: 500}
+	i := &energy.Account{Costs: energy.PaperCosts()}
+	bPar := Compute(ps, par, i, h, DefaultUnits())
+	bOne := Compute(ps, one, i, h, DefaultUnits())
+	wantDelta := par.Total() - one.Total()
+	if got := bPar.Total() - bOne.Total(); got-wantDelta > 1e-9 || wantDelta-got > 1e-9 {
+		t.Fatalf("total delta %v != L1 delta %v", got, wantDelta)
+	}
+}

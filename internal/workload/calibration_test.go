@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"testing"
+
+	"waycache/internal/cache"
+	"waycache/internal/isa"
+	"waycache/internal/trace"
+)
+
+// missRates runs n instructions of the profile through a 16 KB
+// direct-mapped and a 16 KB 4-way cache and returns the d-cache miss rates,
+// mirroring the paper's Table 4 methodology.
+func missRates(t *testing.T, p Profile, n int64) (dm, sa float64) {
+	t.Helper()
+	dmc := cache.New(cache.Config{Name: "dm", SizeBytes: 16 << 10, Ways: 1, BlockBytes: 32})
+	sac := cache.New(cache.Config{Name: "sa", SizeBytes: 16 << 10, Ways: 4, BlockBytes: 32})
+	w := p.NewWalker()
+	var in trace.Inst
+	for i := int64(0); i < n; i++ {
+		if !w.Next(&in) {
+			t.Fatalf("%s: walker ended early", p.Name)
+		}
+		if in.Kind.IsMem() {
+			dmc.Access(in.Addr, in.Kind == isa.KindStore)
+			sac.Access(in.Addr, in.Kind == isa.KindStore)
+		}
+	}
+	return dmc.Stats().MissRate(), sac.Stats().MissRate()
+}
+
+// paperTable4 holds the published miss rates (percent) for reference.
+var paperTable4 = map[string][2]float64{
+	"applu": {8.2, 7.0}, "fpppp": {6.3, 0.5}, "gcc": {5.1, 3.3},
+	"go": {5.9, 2.0}, "li": {4.7, 3.3}, "m88ksim": {3.5, 1.3},
+	"mgrid": {5.4, 5.1}, "perl": {3.0, 1.3}, "swim": {23.3, 25.2},
+	"troff": {2.7, 0.8}, "vortex": {3.1, 1.8},
+}
+
+func TestTable4Calibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run is slow")
+	}
+	const n = 1_500_000
+	for _, p := range Suite() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			dm, sa := missRates(t, p, n)
+			want := paperTable4[p.Name]
+			t.Logf("%-8s DM %.1f%% (paper %.1f) | 4-way %.1f%% (paper %.1f)",
+				p.Name, dm*100, want[0], sa*100, want[1])
+
+			if p.Name == "swim" {
+				// The pathological case: 4-way must be at least as bad as DM,
+				// and both must be high.
+				if sa < dm-0.01 {
+					t.Errorf("swim: 4-way (%.1f%%) should not beat DM (%.1f%%)", sa*100, dm*100)
+				}
+				if dm < 0.10 {
+					t.Errorf("swim DM miss rate %.1f%% too low", dm*100)
+				}
+				return
+			}
+			// Everyone else: DM strictly worse than 4-way.
+			if dm <= sa {
+				t.Errorf("%s: DM (%.2f%%) not worse than 4-way (%.2f%%)", p.Name, dm*100, sa*100)
+			}
+			// Coarse magnitude bands: within a factor of ~2.5 of the paper.
+			checkBand := func(label string, got, paper float64) {
+				lo, hi := paper/2.5, paper*2.5
+				if got*100 < lo || got*100 > hi {
+					t.Errorf("%s %s miss %.2f%% outside [%.2f, %.2f] around paper's %.1f%%",
+						p.Name, label, got*100, lo, hi, paper)
+				}
+			}
+			checkBand("DM", dm, want[0])
+			checkBand("4-way", sa, want[1])
+		})
+	}
+}

@@ -1,0 +1,347 @@
+// Package workload defines the synthetic benchmark suite standing in for
+// the paper's SPEC95 applications (Table 2), and the profile-driven
+// program generator that builds them.
+//
+// Each benchmark is a Profile: knobs for code shape (functions, basic-block
+// lengths, loop structure, call density), branch behaviour, instruction mix
+// and — most importantly for this paper — the data-reference streams whose
+// conflict and locality structure is calibrated against the paper's Table 4
+// miss rates (direct-mapped vs 4-way set-associative 16 KB L1).
+package workload
+
+import (
+	"fmt"
+
+	"waycache/internal/isa"
+	"waycache/internal/prng"
+	"waycache/internal/program"
+)
+
+// Memory-layout bases for generated data regions.
+const (
+	GlobalBase uint64 = 0x0060_0000
+	HeapBase   uint64 = 0x0080_0000
+	StackBase         = program.StackBase
+)
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	Name string
+	Seed uint64
+
+	// Code shape.
+	Funcs         int
+	BlocksPerFunc [2]int // inclusive min,max
+	InstsPerBlock [2]int // inclusive min,max (body length)
+
+	// Instruction mix (fractions of body instructions).
+	LoadFrac  float64
+	StoreFrac float64
+	FPFrac    float64 // fraction of compute instructions that are FP
+
+	// Control behaviour.
+	LoopFrac   float64 // fraction of non-final blocks ending in a back-edge
+	LoopTrip   float64 // mean loop trip count
+	LoopFixed  bool    // trip counts exactly LoopTrip (predictable)
+	CallFrac   float64 // fraction of non-final blocks ending in a call
+	BiasedFrac float64 // of remaining branches: biased conditionals
+	RandomFrac float64 // of remaining branches: 50/50 conditionals
+	TakenBias  float64 // probability for biased branches
+	FallFrac   float64 // of remaining blocks: plain fallthrough
+
+	// MaxCallDepth caps the call-graph depth (default 12, safely inside
+	// the 16-entry return address stack; real programs' call depths
+	// oscillate near the top of the stack rather than sweeping it).
+	MaxCallDepth int
+
+	// Data behaviour.
+	Streams       []program.Stream
+	StreamWeights []float64 // relative probability a memory template binds to stream i
+	OffsetMax     int32     // immediate offsets drawn from {0,8,...,OffsetMax}
+}
+
+// Validate performs basic sanity checks.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile missing name")
+	}
+	if p.Funcs <= 0 {
+		return fmt.Errorf("workload %s: need at least one function", p.Name)
+	}
+	if len(p.Streams) == 0 || len(p.StreamWeights) != len(p.Streams) {
+		return fmt.Errorf("workload %s: streams/weights mismatch (%d vs %d)",
+			p.Name, len(p.Streams), len(p.StreamWeights))
+	}
+	if p.LoadFrac+p.StoreFrac > 0.9 {
+		return fmt.Errorf("workload %s: memory fraction %.2f too high", p.Name, p.LoadFrac+p.StoreFrac)
+	}
+	return nil
+}
+
+// Build generates the static program for the profile. Construction is
+// entirely deterministic in p.Seed.
+func (p Profile) Build() (*program.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.MaxCallDepth == 0 {
+		p.MaxCallDepth = 12
+	}
+	rng := prng.New(p.Seed)
+	g := &generator{p: p, rng: rng, depth: make([]int, p.Funcs)}
+	prog := &program.Program{Name: p.Name, Streams: p.Streams}
+	for fi := 0; fi < p.Funcs; fi++ {
+		prog.Funcs = append(prog.Funcs, g.buildFunc(fi))
+	}
+	prog.Entry = 0
+	prog.Layout()
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("workload %s: generated invalid program: %w", p.Name, err)
+	}
+	return prog, nil
+}
+
+// MustBuild is Build that panics on error; profiles are static data, so an
+// error is a programming mistake.
+func (p Profile) MustBuild() *program.Program {
+	prog, err := p.Build()
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// NewWalker builds the program and returns a trace source over it, seeded
+// independently of program construction.
+func (p Profile) NewWalker() *program.Walker {
+	return program.NewWalker(p.MustBuild(), p.Seed^0x9e3779b9)
+}
+
+type generator struct {
+	p       Profile
+	rng     *prng.Source
+	intReg  int
+	fpReg   int
+	recent  []isa.Reg // recently written registers, for source picking
+	recentF []isa.Reg
+	sched   []float64 // smooth weighted round-robin state for stream binding
+	depth   []int     // call-DAG depth per function, for MaxCallDepth capping
+}
+
+func (g *generator) rangeIn(r [2]int) int {
+	lo, hi := r[0], r[1]
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.rng.Intn(hi-lo+1)
+}
+
+func (g *generator) nextIntReg() isa.Reg {
+	g.intReg++
+	r := isa.Int(g.intReg)
+	g.recent = append(g.recent, r)
+	if len(g.recent) > 8 {
+		g.recent = g.recent[1:]
+	}
+	return r
+}
+
+func (g *generator) nextFPReg() isa.Reg {
+	g.fpReg++
+	r := isa.FP(g.fpReg)
+	g.recentF = append(g.recentF, r)
+	if len(g.recentF) > 8 {
+		g.recentF = g.recentF[1:]
+	}
+	return r
+}
+
+func (g *generator) pickSrc(fp bool) isa.Reg {
+	pool := g.recent
+	if fp {
+		pool = g.recentF
+	}
+	if len(pool) == 0 {
+		return isa.RegZero
+	}
+	return pool[g.rng.Intn(len(pool))]
+}
+
+// pickStream binds a memory template to a stream using smooth weighted
+// round-robin rather than random sampling. Loop bodies dominate dynamic
+// execution, so a random binding would make the *dynamic* stream mix hostage
+// to which handful of blocks happens to be hot; the low-discrepancy schedule
+// interleaves streams through the template sequence so every loop sees a
+// representative mix and the dynamic proportions track StreamWeights.
+func (g *generator) pickStream() int {
+	weights := g.p.StreamWeights
+	if g.sched == nil {
+		g.sched = make([]float64, len(weights))
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	best := 0
+	for i, w := range weights {
+		g.sched[i] += w
+		if g.sched[i] > g.sched[best] {
+			best = i
+		}
+	}
+	g.sched[best] -= total
+	return best
+}
+
+func (g *generator) pickOffset() int32 {
+	if g.p.OffsetMax <= 0 {
+		return 0
+	}
+	steps := int(g.p.OffsetMax/8) + 1
+	return int32(g.rng.Intn(steps)) * 8
+}
+
+// buildBody fills a block with a realistic mix of compute and memory
+// instructions. Dependences are deliberately tight, as in compiled code:
+// a load's value is usually consumed by the instruction right after it
+// (load-use criticality is what makes sequential-access and misprediction
+// latency hurt, as the paper's 11 % sequential degradation shows), and
+// compute instructions frequently chain.
+func (g *generator) buildBody(n int) []program.InstTemplate {
+	body := make([]program.InstTemplate, 0, n)
+	var lastLoad isa.Reg // dst of the most recent load, 0 = none
+	var lastALU isa.Reg  // dst of the most recent compute op
+	for i := 0; i < n; i++ {
+		r := g.rng.Float64()
+		switch {
+		case r < g.p.LoadFrac:
+			stream := g.pickStream()
+			// Address dependences: chased streams are load-to-load chains
+			// (the address is the previous load's result); other loads
+			// frequently compute their address from recent ALU results.
+			addr := g.pickSrc(false)
+			switch {
+			case g.p.Streams[stream].Kind == program.StreamChase && !lastLoad.IsZero() && g.rng.Bool(0.85):
+				addr = lastLoad // p = p->next
+			case !lastLoad.IsZero() && g.rng.Bool(0.30):
+				addr = lastLoad // indexed indirection: a[b[i]], spill reloads
+			case !lastALU.IsZero() && g.rng.Bool(0.55):
+				addr = lastALU // address arithmetic
+			}
+			dst := g.nextIntReg()
+			body = append(body, program.InstTemplate{
+				Kind:   isa.KindLoad,
+				Dst:    dst,
+				Src1:   addr,
+				Stream: stream, Offset: g.pickOffset(),
+			})
+			lastLoad = dst
+		case r < g.p.LoadFrac+g.p.StoreFrac:
+			val := g.pickSrc(false)
+			if !lastALU.IsZero() && g.rng.Bool(0.6) {
+				val = lastALU
+			}
+			body = append(body, program.InstTemplate{
+				Kind: isa.KindStore,
+				Src1: g.pickSrc(false), Src2: val,
+				Stream: g.pickStream(), Offset: g.pickOffset(),
+			})
+		default:
+			fp := g.rng.Bool(g.p.FPFrac)
+			src1 := g.pickSrc(fp)
+			// Load-use chain: consume the pending load value immediately.
+			if !lastLoad.IsZero() && g.rng.Bool(0.85) {
+				src1 = lastLoad
+				lastLoad = isa.RegZero
+			} else if !lastALU.IsZero() && g.rng.Bool(0.6) {
+				src1 = lastALU // compute chain
+			}
+			if fp {
+				kind := isa.KindFPALU
+				switch g.rng.Intn(8) {
+				case 0:
+					kind = isa.KindFPDiv
+				case 1, 2:
+					kind = isa.KindFPMul
+				}
+				dst := g.nextFPReg()
+				body = append(body, program.InstTemplate{
+					Kind: kind, Dst: dst,
+					Src1: src1, Src2: g.pickSrc(true),
+					Stream: -1,
+				})
+				lastALU = dst
+			} else {
+				kind := isa.KindIntALU
+				if g.rng.Bool(0.1) {
+					kind = isa.KindIntMul
+				}
+				dst := g.nextIntReg()
+				body = append(body, program.InstTemplate{
+					Kind: kind, Dst: dst,
+					Src1: src1, Src2: g.pickSrc(false),
+					Stream: -1,
+				})
+				lastALU = dst
+			}
+		}
+	}
+	return body
+}
+
+// buildFunc generates one function's CFG: a chain of blocks with loop
+// back-edges, forward conditional skips, calls (forward-only, keeping the
+// call graph a DAG) and a final return.
+func (g *generator) buildFunc(fi int) *program.Func {
+	nb := g.rangeIn(g.p.BlocksPerFunc)
+	if nb < 1 {
+		nb = 1
+	}
+	f := &program.Func{Name: fmt.Sprintf("%s_f%03d", g.p.Name, fi)}
+	for bi := 0; bi < nb; bi++ {
+		blk := &program.Block{Body: g.buildBody(g.rangeIn(g.p.InstsPerBlock))}
+		if bi == nb-1 {
+			blk.Term = program.Terminator{Kind: program.TermReturn}
+			f.Blocks = append(f.Blocks, blk)
+			break
+		}
+		r := g.rng.Float64()
+		switch {
+		case r < g.p.LoopFrac && bi > 0:
+			// Back-edge: loop over the last 1-3 blocks.
+			span := 1 + g.rng.Intn(3)
+			target := bi - span + 1
+			if target < 0 {
+				target = 0
+			}
+			blk.Term = program.Terminator{
+				Kind: program.TermBranch, Target: target,
+				Pattern: program.PatLoop, Trip: g.p.LoopTrip, Fixed: g.p.LoopFixed,
+			}
+		case r < g.p.LoopFrac+g.p.CallFrac && fi+1 < g.p.Funcs && g.depth[fi] < g.p.MaxCallDepth:
+			callee := fi + 1 + g.rng.Intn(g.p.Funcs-fi-1)
+			if d := g.depth[fi] + 1; d > g.depth[callee] {
+				g.depth[callee] = d
+			}
+			blk.Term = program.Terminator{Kind: program.TermCall, Callee: callee}
+		case r < g.p.LoopFrac+g.p.CallFrac+g.p.FallFrac:
+			blk.Term = program.Terminator{Kind: program.TermFall}
+		default:
+			// Forward conditional: skip 1-2 blocks when taken.
+			target := bi + 1 + 1 + g.rng.Intn(2)
+			if target >= nb {
+				target = nb - 1
+			}
+			t := program.Terminator{Kind: program.TermBranch, Target: target}
+			pr := g.rng.Float64() * (g.p.BiasedFrac + g.p.RandomFrac)
+			if pr < g.p.BiasedFrac {
+				t.Pattern, t.Prob = program.PatBiased, g.p.TakenBias
+			} else {
+				t.Pattern = program.PatRandom
+			}
+			blk.Term = t
+		}
+		f.Blocks = append(f.Blocks, blk)
+	}
+	return f
+}

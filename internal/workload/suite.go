@@ -1,0 +1,348 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"waycache/internal/program"
+)
+
+// Stream constructor helpers. All data streams produce 8-byte-aligned base
+// values; immediate offsets are multiples of 8 as well, so effective
+// addresses look like compiled scalar code.
+
+func seqStream(name string, base, length uint64, stride int64, advEvery int) program.Stream {
+	return program.Stream{Name: name, Kind: program.StreamSeq, Base: base, Length: length,
+		Stride: stride, AdvanceEvery: advEvery, Align: 8}
+}
+
+func globalStream(name string, base uint64) program.Stream {
+	return program.Stream{Name: name, Kind: program.StreamGlobal, Base: base}
+}
+
+func randomStream(name string, base, length uint64, advEvery int) program.Stream {
+	return program.Stream{Name: name, Kind: program.StreamRandom, Base: base, Length: length,
+		AdvanceEvery: advEvery, Align: 8}
+}
+
+func chaseStream(name string, base, length uint64, advEvery int) program.Stream {
+	return program.Stream{Name: name, Kind: program.StreamChase, Base: base, Length: length,
+		AdvanceEvery: advEvery, Align: 8}
+}
+
+func stackStream(name string, frameBytes int64) program.Stream {
+	return program.Stream{Name: name, Kind: program.StreamStack, Base: StackBase - stackSlot,
+		Stride: frameBytes}
+}
+
+func cyclicStream(name string, base uint64, nways int, cycleStride uint64, advEvery int) program.Stream {
+	return program.Stream{Name: name, Kind: program.StreamCyclic, Base: base, NWays: nways,
+		CycleStride: cycleStride, AdvanceEvery: advEvery}
+}
+
+// The 16 KB direct-mapping span: addresses equal modulo dmSpan collide in
+// the 16 KB direct-mapped reference cache and in the direct-mapping
+// position of the 16 KB 4-way cache (index bits + 2 borrowed tag bits).
+const dmSpan = 16 << 10
+
+// Small hot objects are placed at deliberate offsets within the 16 KB span
+// so they do not alias each other accidentally; only the cf* conflict sets
+// (spaced exactly dmSpan apart) collide by construction. Large streamed
+// regions necessarily sweep the whole span — that interference is real and
+// wanted.
+//
+//	0x0000-0x0BFF  hot globals (slotG0/G1/G2)
+//	0x0C00-0x1BFF  small resident array
+//	0x1C00-0x27FF  conflict set (duo/trio spaced dmSpan apart)
+//	0x2800-0x33FF  stack frames (descending from 0x3400)
+const (
+	slotG0    = 0x0000
+	slotG1    = 0x0400
+	slotG2    = 0x0800
+	slotRes   = 0x0C00
+	slotCf    = 0x1C00
+	stackSlot = 0x0C00 // StackBase is dmSpan-aligned; descend from slot 0x3400
+)
+
+// Suite returns the synthetic stand-ins for the paper's Table 2
+// applications, in alphabetical order (the paper's table order).
+func Suite() []Profile {
+	return []Profile{
+		applu(), fpppp(), gcc(), govm(), li(), m88ksim(),
+		mgrid(), perl(), swim(), troff(), vortex(),
+	}
+}
+
+// Names lists the suite's benchmark names in order.
+func Names() []string {
+	s := Suite()
+	names := make([]string, len(s))
+	for i, p := range s {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ByName returns the named profile.
+func ByName(name string) (Profile, error) {
+	for _, p := range Suite() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	known := Names()
+	sort.Strings(known)
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, known)
+}
+
+// conflictPair returns the canonical conflicting-access generator: two hot
+// blocks exactly dmSpan apart, alternated deterministically. Every switch
+// misses in a direct-mapped cache (and in the direct-mapping *position* of
+// the 4-way cache, which is what the victim list must learn), while the
+// 4-way set-associative cache keeps both resident.
+//
+// Binding weight and miss contribution are decoupled: the stream is bound
+// with a substantial weight (so every hot loop carries a representative
+// template and the dynamic mix is stable) while advEvery throttles how
+// often the pair actually alternates — the direct-mapped miss contribution
+// is weight/advEvery, tuned per benchmark.
+func conflictPair(advEvery int) program.Stream {
+	return cyclicStream("cfpair", GlobalBase+slotCf, 2, dmSpan, advEvery)
+}
+
+// Standard integer-code binding weights for the intStreams environment:
+// irregular, resident, stack, gA, gB, gC, cfpair. Rare *behaviour* is
+// expressed through AdvanceEvery, never through tiny binding weights,
+// which would make the dynamic mix a lottery over which loops are hot.
+var intWeights = []float64{0.12, 0.26, 0.20, 0.14, 0.10, 0.08, 0.08}
+
+// intStreams builds the common integer-code data environment: one
+// irregular region (chase or random), a small resident array, stack, three
+// hot globals, and the conflict pair.
+func intStreams(irregular program.Stream, cfAdv int) []program.Stream {
+	g := GlobalBase
+	return []program.Stream{
+		irregular,
+		seqStream("resident", g+slotRes, 3<<10, 32, 1),
+		stackStream("stack", 160),
+		globalStream("gA", g+slotG0),
+		globalStream("gB", g+slotG1),
+		globalStream("gC", g+slotG2),
+		conflictPair(cfAdv),
+	}
+}
+
+// applu — FP solver: long basic blocks, deep fixed-trip loops, large grid
+// arrays streamed with good spatial locality. High miss rate in both DM
+// and 4-way (capacity), small conflict component (Table 4: 8.2 / 7.0).
+func applu() Profile {
+	h, g := HeapBase, GlobalBase
+	return Profile{
+		Name: "applu", Seed: 0xA991,
+		Funcs: 14, BlocksPerFunc: [2]int{6, 12}, InstsPerBlock: [2]int{14, 26},
+		LoadFrac: 0.28, StoreFrac: 0.10, FPFrac: 0.75,
+		LoopFrac: 0.50, LoopTrip: 40, LoopFixed: true,
+		CallFrac: 0.04, BiasedFrac: 0.75, RandomFrac: 0.10, TakenBias: 0.85, FallFrac: 0.1,
+		OffsetMax: 24,
+		Streams: []program.Stream{
+			seqStream("grid1", h, 1<<20, 8, 2),
+			seqStream("grid2", h+2<<20, 512<<10, 16, 1),
+			seqStream("resident", g+slotRes, 2<<10, 32, 1),
+			globalStream("gA", g+slotG0),
+			globalStream("gB", g+slotG1),
+			conflictPair(8),
+		},
+		StreamWeights: []float64{0.24, 0.055, 0.14, 0.15, 0.14, 0.08},
+	}
+}
+
+// fpppp — FP chemistry kernel: enormous basic blocks and a code footprint
+// far beyond 16 KB (the i-cache thrasher of Figure 10), data mostly
+// resident except a trio of DM-conflicting hot arrays (6.3 / 0.5).
+func fpppp() Profile {
+	h, g := HeapBase, GlobalBase
+	return Profile{
+		Name: "fpppp", Seed: 0xF1FF,
+		Funcs: 16, BlocksPerFunc: [2]int{12, 24}, InstsPerBlock: [2]int{30, 60},
+		LoadFrac: 0.33, StoreFrac: 0.12, FPFrac: 0.85,
+		LoopFrac: 0.10, LoopTrip: 6, LoopFixed: false,
+		CallFrac: 0.10, BiasedFrac: 0.82, RandomFrac: 0.03, TakenBias: 0.92, FallFrac: 0.3,
+		OffsetMax: 24,
+		Streams: []program.Stream{
+			seqStream("work", h, 64<<10, 8, 4),
+			seqStream("resident", g+slotRes, 4<<10, 32, 1),
+			globalStream("gA", g+slotG0),
+			globalStream("gB", g+slotG1),
+			globalStream("cfA", g+slotCf),
+			globalStream("cfB", g+slotCf+dmSpan),
+			globalStream("cfC", g+slotCf+2*dmSpan),
+		},
+		StreamWeights: []float64{0.05, 0.26, 0.28, 0.27, 0.017, 0.017, 0.017},
+	}
+}
+
+// gcc — compiler: many functions, short blocks, call-dense, data spread
+// over IR-sized chased structures plus DM-conflicting hot tables
+// (5.1 / 3.3).
+func gcc() Profile {
+	h := HeapBase
+	return Profile{
+		Name: "gcc", Seed: 0x6CC1,
+		Funcs: 80, BlocksPerFunc: [2]int{6, 14}, InstsPerBlock: [2]int{4, 10},
+		LoadFrac: 0.26, StoreFrac: 0.11, FPFrac: 0.0,
+		LoopFrac: 0.22, LoopTrip: 10, LoopFixed: false,
+		CallFrac: 0.12, BiasedFrac: 0.75, RandomFrac: 0.05, TakenBias: 0.9, FallFrac: 0.1,
+		OffsetMax:     32,
+		Streams:       intStreams(chaseStream("ir", h, 48<<10, 3), 4),
+		StreamWeights: intWeights,
+	}
+}
+
+// govm — the go-playing program (named govm internally to avoid clashing
+// with the language): branchy, irregular, random-ish board reads with a
+// strong conflict component (5.9 / 2.0).
+func govm() Profile {
+	h := HeapBase
+	return Profile{
+		Name: "go", Seed: 0x6011,
+		Funcs: 60, BlocksPerFunc: [2]int{6, 14}, InstsPerBlock: [2]int{4, 10},
+		LoadFrac: 0.27, StoreFrac: 0.09, FPFrac: 0.0,
+		LoopFrac: 0.20, LoopTrip: 8, LoopFixed: false,
+		CallFrac: 0.10, BiasedFrac: 0.62, RandomFrac: 0.18, TakenBias: 0.82, FallFrac: 0.1,
+		OffsetMax:     24,
+		Streams:       intStreams(randomStream("board", h, 40<<10, 4), 2),
+		StreamWeights: intWeights,
+	}
+}
+
+// li — lisp interpreter: cons-cell chasing with strong temporal reuse,
+// deep call stacks (4.7 / 3.3).
+func li() Profile {
+	h := HeapBase
+	return Profile{
+		Name: "li", Seed: 0x1151,
+		Funcs: 30, BlocksPerFunc: [2]int{4, 9}, InstsPerBlock: [2]int{4, 9},
+		LoadFrac: 0.29, StoreFrac: 0.10, FPFrac: 0.0,
+		LoopFrac: 0.18, LoopTrip: 8, LoopFixed: false,
+		CallFrac: 0.16, BiasedFrac: 0.73, RandomFrac: 0.05, TakenBias: 0.88, FallFrac: 0.1,
+		OffsetMax:     16,
+		Streams:       intStreams(chaseStream("cons", h, 40<<10, 3), 6),
+		StreamWeights: intWeights,
+	}
+}
+
+// m88ksim — CPU simulator: tight interpreter loop over big global machine
+// state (3.5 / 1.3).
+func m88ksim() Profile {
+	h := HeapBase
+	return Profile{
+		Name: "m88ksim", Seed: 0x8851,
+		Funcs: 40, BlocksPerFunc: [2]int{5, 11}, InstsPerBlock: [2]int{5, 10},
+		LoadFrac: 0.27, StoreFrac: 0.10, FPFrac: 0.0,
+		LoopFrac: 0.25, LoopTrip: 10, LoopFixed: false,
+		CallFrac: 0.10, BiasedFrac: 0.76, RandomFrac: 0.04, TakenBias: 0.92, FallFrac: 0.1,
+		OffsetMax:     24,
+		Streams:       intStreams(randomStream("memimg", h, 48<<10, 12), 4),
+		StreamWeights: intWeights,
+	}
+}
+
+// mgrid — multigrid FP stencil: almost pure sequential streaming, nearly
+// all accesses non-conflicting (5.4 / 5.1; the paper notes >99 %
+// non-conflicting accesses).
+func mgrid() Profile {
+	h, g := HeapBase, GlobalBase
+	return Profile{
+		Name: "mgrid", Seed: 0x4641,
+		Funcs: 12, BlocksPerFunc: [2]int{5, 10}, InstsPerBlock: [2]int{14, 26},
+		LoadFrac: 0.30, StoreFrac: 0.08, FPFrac: 0.8,
+		LoopFrac: 0.55, LoopTrip: 60, LoopFixed: true,
+		CallFrac: 0.03, BiasedFrac: 0.80, RandomFrac: 0.05, TakenBias: 0.9, FallFrac: 0.1,
+		OffsetMax: 16,
+		Streams: []program.Stream{
+			seqStream("grid", h, 2<<20, 8, 2),
+			seqStream("gridB", h+4<<20, 1<<20, 8, 1),
+			seqStream("resident", g+slotRes, 2<<10, 32, 1),
+			globalStream("gA", g+slotG0),
+			globalStream("gB", g+slotG1),
+			conflictPair(24),
+		},
+		StreamWeights: []float64{0.31, 0.09, 0.14, 0.18, 0.17, 0.08},
+	}
+}
+
+// perl — interpreter: hash-table randomness plus conflicting hot globals
+// (3.0 / 1.3).
+func perl() Profile {
+	h := HeapBase
+	return Profile{
+		Name: "perl", Seed: 0x9E23,
+		Funcs: 50, BlocksPerFunc: [2]int{5, 11}, InstsPerBlock: [2]int{4, 10},
+		LoadFrac: 0.28, StoreFrac: 0.11, FPFrac: 0.05,
+		LoopFrac: 0.22, LoopTrip: 9, LoopFixed: false,
+		CallFrac: 0.13, BiasedFrac: 0.73, RandomFrac: 0.05, TakenBias: 0.88, FallFrac: 0.1,
+		OffsetMax:     24,
+		Streams:       intStreams(chaseStream("hash", h, 32<<10, 3), 5),
+		StreamWeights: intWeights,
+	}
+}
+
+// swim — shallow-water FP code: huge streaming arrays plus the pathology
+// the paper calls out: a >4-way cyclic conflict pattern that makes the
+// 4-way LRU cache miss *more* than direct-mapped (23.3 / 25.2).
+func swim() Profile {
+	h, g := HeapBase, GlobalBase
+	return Profile{
+		Name: "swim", Seed: 0x5A13,
+		Funcs: 10, BlocksPerFunc: [2]int{5, 10}, InstsPerBlock: [2]int{16, 30},
+		LoadFrac: 0.30, StoreFrac: 0.10, FPFrac: 0.8,
+		LoopFrac: 0.55, LoopTrip: 80, LoopFixed: true,
+		CallFrac: 0.02, BiasedFrac: 0.85, RandomFrac: 0.03, TakenBias: 0.9, FallFrac: 0.1,
+		OffsetMax: 8,
+		Streams: []program.Stream{
+			seqStream("u", h, 4<<20, 8, 1),
+			seqStream("v", h+8<<20, 4<<20, 8, 1),
+			// Five blocks 4 KB apart: same 4-way set, cycled round-robin.
+			// LRU in 4 ways loses every time; only the pair 16 KB apart
+			// collides in the direct-mapped positions, so DM does better.
+			cyclicStream("pathological", g+0x3400, 5, 4<<10, 1),
+			seqStream("resident", g+slotRes, 4<<10, 32, 1),
+			globalStream("gA", g+slotG0),
+			globalStream("gB", g+slotG1),
+			conflictPair(4),
+		},
+		StreamWeights: []float64{0.20, 0.17, 0.160, 0.18, 0.12, 0.10, 0.080},
+	}
+}
+
+// troff — text formatter: small working set, mostly resident, a modest
+// conflict pair (2.7 / 0.8).
+func troff() Profile {
+	h := HeapBase
+	return Profile{
+		Name: "troff", Seed: 0x7201,
+		Funcs: 35, BlocksPerFunc: [2]int{5, 10}, InstsPerBlock: [2]int{4, 10},
+		LoadFrac: 0.27, StoreFrac: 0.10, FPFrac: 0.0,
+		LoopFrac: 0.25, LoopTrip: 10, LoopFixed: false,
+		CallFrac: 0.10, BiasedFrac: 0.76, RandomFrac: 0.04, TakenBias: 0.92, FallFrac: 0.1,
+		OffsetMax:     16,
+		Streams:       intStreams(randomStream("doc", h, 24<<10, 8), 4),
+		StreamWeights: intWeights,
+	}
+}
+
+// vortex — object-oriented database: store-heavy, chased object graphs
+// (3.1 / 1.8).
+func vortex() Profile {
+	h := HeapBase
+	return Profile{
+		Name: "vortex", Seed: 0xB0B1,
+		Funcs: 70, BlocksPerFunc: [2]int{5, 11}, InstsPerBlock: [2]int{4, 10},
+		LoadFrac: 0.25, StoreFrac: 0.15, FPFrac: 0.0,
+		LoopFrac: 0.20, LoopTrip: 9, LoopFixed: false,
+		CallFrac: 0.12, BiasedFrac: 0.74, RandomFrac: 0.04, TakenBias: 0.9, FallFrac: 0.1,
+		OffsetMax:     32,
+		Streams:       intStreams(chaseStream("objects", h, 40<<10, 5), 6),
+		StreamWeights: intWeights,
+	}
+}

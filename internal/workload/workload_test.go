@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"testing"
+
+	"waycache/internal/isa"
+	"waycache/internal/trace"
+)
+
+func TestSuiteCompleteness(t *testing.T) {
+	s := Suite()
+	if len(s) != 11 {
+		t.Fatalf("suite has %d benchmarks, want 11 (Table 2)", len(s))
+	}
+	want := []string{"applu", "fpppp", "gcc", "go", "li", "m88ksim",
+		"mgrid", "perl", "swim", "troff", "vortex"}
+	for i, name := range want {
+		if s[i].Name != name {
+			t.Errorf("suite[%d] = %s, want %s", i, s[i].Name, name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("swim")
+	if err != nil || p.Name != "swim" {
+		t.Fatalf("ByName(swim) = %v, %v", p.Name, err)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestAllProfilesBuild(t *testing.T) {
+	for _, p := range Suite() {
+		prog, err := p.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("%s: invalid program: %v", p.Name, err)
+		}
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	p, _ := ByName("gcc")
+	w1, w2 := p.NewWalker(), p.NewWalker()
+	var a, b trace.Inst
+	for i := 0; i < 20000; i++ {
+		w1.Next(&a)
+		w2.Next(&b)
+		if a != b {
+			t.Fatalf("gcc walkers diverged at %d", i)
+		}
+	}
+}
+
+func TestInstructionMixes(t *testing.T) {
+	// Dynamic mixes should be in sane ranges: loads 15-40%, stores 5-20%,
+	// branches present, and FP benchmarks actually issue FP ops.
+	for _, p := range Suite() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			w := p.NewWalker()
+			var in trace.Inst
+			counts := map[isa.Kind]int{}
+			const n = 300000
+			for i := 0; i < n; i++ {
+				w.Next(&in)
+				counts[in.Kind]++
+			}
+			loads := float64(counts[isa.KindLoad]) / n
+			stores := float64(counts[isa.KindStore]) / n
+			branches := float64(counts[isa.KindBranch]+counts[isa.KindJump]+
+				counts[isa.KindCall]+counts[isa.KindReturn]) / n
+			fp := float64(counts[isa.KindFPALU]+counts[isa.KindFPMul]+counts[isa.KindFPDiv]) / n
+
+			if loads < 0.12 || loads > 0.45 {
+				t.Errorf("load fraction %.2f out of range", loads)
+			}
+			if stores < 0.03 || stores > 0.25 {
+				t.Errorf("store fraction %.2f out of range", stores)
+			}
+			if branches < 0.005 || branches > 0.35 {
+				t.Errorf("control fraction %.2f out of range", branches)
+			}
+			isFP := p.FPFrac > 0.3
+			if isFP && fp < 0.15 {
+				t.Errorf("FP benchmark has only %.2f FP ops", fp)
+			}
+			if !isFP && fp > 0.1 {
+				t.Errorf("integer benchmark has %.2f FP ops", fp)
+			}
+		})
+	}
+}
+
+func TestCodeFootprints(t *testing.T) {
+	// fpppp must have the largest footprint, well beyond the 16 KB i-cache;
+	// FP loop kernels must be comparatively small.
+	sizes := map[string]uint64{}
+	for _, p := range Suite() {
+		sizes[p.Name] = p.MustBuild().CodeBytes()
+	}
+	if sizes["fpppp"] < 32<<10 {
+		t.Errorf("fpppp code %d bytes; need >32K to thrash a 16K i-cache", sizes["fpppp"])
+	}
+	for _, small := range []string{"mgrid", "swim", "li"} {
+		if sizes[small] >= sizes["fpppp"] {
+			t.Errorf("%s (%d) should be smaller than fpppp (%d)", small, sizes[small], sizes["fpppp"])
+		}
+	}
+}
+
+func TestBasicBlockLengths(t *testing.T) {
+	// FP codes have long basic blocks (the paper's premise for SAWP use);
+	// integer codes short ones. Measure dynamic run length between control
+	// instructions.
+	runLen := func(name string) float64 {
+		p, _ := ByName(name)
+		w := p.NewWalker()
+		var in trace.Inst
+		runs, cur, total := 0, 0, 0
+		for i := 0; i < 200000; i++ {
+			w.Next(&in)
+			cur++
+			if in.Kind.IsControl() {
+				runs++
+				total += cur
+				cur = 0
+			}
+		}
+		if runs == 0 {
+			return 0
+		}
+		return float64(total) / float64(runs)
+	}
+	fp := runLen("fpppp")
+	gcc := runLen("gcc")
+	if fp < 2*gcc {
+		t.Errorf("fpppp dynamic block length %.1f not ≫ gcc %.1f", fp, gcc)
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	bad := Profile{Name: "", Funcs: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	p, _ := ByName("gcc")
+	p.StreamWeights = p.StreamWeights[:2]
+	if err := p.Validate(); err == nil {
+		t.Error("weight/stream mismatch accepted")
+	}
+	p2, _ := ByName("gcc")
+	p2.LoadFrac, p2.StoreFrac = 0.6, 0.5
+	if err := p2.Validate(); err == nil {
+		t.Error("overfull memory mix accepted")
+	}
+}
+
+func TestMemoryPayloads(t *testing.T) {
+	// Every memory instruction must satisfy Addr = BaseValue + Offset and
+	// have 8-aligned addresses (scalar ISA convention).
+	p, _ := ByName("vortex")
+	w := p.NewWalker()
+	var in trace.Inst
+	seen := 0
+	for i := 0; i < 100000; i++ {
+		w.Next(&in)
+		if !in.Kind.IsMem() {
+			continue
+		}
+		seen++
+		if in.Addr != in.BaseValue+uint64(int64(in.Offset)) {
+			t.Fatalf("payload inconsistency: %+v", in)
+		}
+		if in.Addr%8 != 0 {
+			t.Fatalf("unaligned access %#x", in.Addr)
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no memory instructions seen")
+	}
+}
