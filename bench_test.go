@@ -10,10 +10,14 @@
 package waycache_test
 
 import (
+	"context"
 	"os"
+	"runtime"
 	"testing"
 
+	"waycache/internal/access"
 	"waycache/internal/experiments"
+	"waycache/internal/sweep"
 )
 
 // benchOpts keeps benchmark runs substantial but bounded: the full suite
@@ -128,3 +132,43 @@ func BenchmarkAblationVictimList(b *testing.B) {
 func BenchmarkRelatedWork(b *testing.B) {
 	runExperiment(b, "related", []string{"selWaysED", "mruED", "sdmED"})
 }
+
+// sweepBenchGrid is the small design-space grid the sweep throughput
+// benchmarks run: 3 benchmarks x 3 d-policies x 2 associativities.
+func sweepBenchGrid() sweep.Grid {
+	return sweep.Grid{
+		Benchmarks: []string{"gcc", "swim", "fpppp"},
+		DPolicies: []access.DPolicy{
+			access.DParallel, access.DWayPredPC, access.DSelDMWayPred,
+		},
+		DWays: []int{2, 4},
+		Insts: 60_000,
+	}
+}
+
+// runSweepBench sweeps the grid with the given worker count on a fresh
+// engine per iteration (no carried-over memoization), reporting sweep
+// throughput in configs/sec so the perf trajectory can track serial vs
+// parallel engine speed.
+func runSweepBench(b *testing.B, workers int) {
+	b.Helper()
+	g := sweepBenchGrid()
+	total := g.Size()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sweep.New(sweep.Options{Workers: workers})
+		if _, err := eng.Run(context.Background(), g); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(total*b.N)/s, "configs/s")
+	}
+}
+
+// BenchmarkSweepSerial sweeps the grid with a single worker.
+func BenchmarkSweepSerial(b *testing.B) { runSweepBench(b, 1) }
+
+// BenchmarkSweepParallel sweeps the same grid with one worker per core;
+// the configs/s ratio against BenchmarkSweepSerial is the engine speedup.
+func BenchmarkSweepParallel(b *testing.B) { runSweepBench(b, runtime.NumCPU()) }

@@ -4,26 +4,36 @@
 //
 //	experiments -run all
 //	experiments -run table4,fig6,fig11 -insts 1000000
-//	experiments -run fig8 -benchmarks gcc,swim
+//	experiments -run fig8 -benchmarks gcc,swim -workers 4
+//	experiments -run table5 -json > table5.json
 //
 // Each experiment prints the same rows/series the paper reports, produced
-// by full simulations of the synthetic benchmark suite.
+// by full simulations of the synthetic benchmark suite. Simulations run
+// through the sweep engine (internal/sweep): -workers bounds the parallel
+// simulations, and one memoized result store is shared across all selected
+// experiments so common baselines are simulated once. -json replaces the
+// text tables with a JSON array of {name, summary} objects.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"waycache/internal/experiments"
+	"waycache/internal/sweep"
 )
 
 func main() {
 	run := flag.String("run", "all", "comma-separated experiment names (table3..table5, fig4..fig11) or 'all'")
 	insts := flag.Int64("insts", 400_000, "instructions per benchmark per configuration")
 	benches := flag.String("benchmarks", "", "comma-separated benchmark subset (default: full suite)")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulations")
+	jsonOut := flag.Bool("json", false, "emit a JSON array of {name, summary} instead of text tables")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Parse()
 
@@ -34,7 +44,10 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Insts: *insts}
+	// One engine for the whole invocation: experiments share its store, so
+	// e.g. fig4..fig6 and table5 simulate their common baselines once.
+	eng := sweep.New(sweep.Options{Workers: *workers})
+	opts := experiments.Options{Insts: *insts, Workers: *workers, Engine: eng}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -48,6 +61,12 @@ func main() {
 		names = strings.Split(*run, ",")
 	}
 
+	type jsonReport struct {
+		Name    string             `json:"name"`
+		Summary map[string]float64 `json:"summary"`
+	}
+	var reports []jsonReport
+
 	for _, name := range names {
 		fn, err := experiments.ByName(strings.TrimSpace(name))
 		if err != nil {
@@ -56,10 +75,26 @@ func main() {
 		}
 		start := time.Now()
 		rep := fn(opts)
+		if *jsonOut {
+			reports = append(reports, jsonReport{Name: rep.Name, Summary: rep.Summary})
+			fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+			continue
+		}
 		if _, err := rep.WriteTo(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[sweep store: %d simulations, %d memo hits]\n",
+		eng.Store().Misses(), eng.Store().Hits())
 }

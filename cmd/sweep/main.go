@@ -1,0 +1,200 @@
+// Command sweep runs arbitrary design-space sweeps over the simulator —
+// grids far beyond the fixed ones the paper plots — on a parallel worker
+// pool with memoized, deterministically ordered results.
+//
+// Usage:
+//
+//	sweep -dways 1,2,4,8,16 -dpolicies all -benchmarks all -workers 8 -out results.json
+//	sweep -benchmarks gcc,swim -dpolicies parallel,seldm+waypred -dlatencies 1,2 -format csv
+//	sweep -dsizes 8k,16k,32k,64k -dpolicies seldm+waypred -insts 1000000
+//	sweep -benchmarks all -dways 1,4 -shard 0/4   # first quarter of the grid
+//
+// The grid is the cartesian product of every dimension flag; omitted
+// dimensions stay at the paper's Table 1 defaults. Output (JSON or CSV)
+// is ordered by grid position, so it is byte-identical for any -workers
+// value. Shards 0/n..n-1/n keep that order: their CSV bodies (headers
+// stripped) concatenate to the exact full-grid body, and their JSON
+// arrays merge element-wise into the full-grid array. Interrupting
+// (ctrl-C) cancels the sweep promptly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"waycache/internal/sweep"
+	"waycache/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	benches := flag.String("benchmarks", "all", "comma-separated benchmarks, or 'all'")
+	dpols := flag.String("dpolicies", "parallel", "d-cache policies (paper names, e.g. parallel,waypred-pc,seldm+waypred) or 'all'")
+	ipols := flag.String("ipolicies", "parallel", "i-cache policies (parallel, waypred) or 'all'")
+	dsizes := flag.String("dsizes", "", "d-cache sizes in bytes (k/m suffixes ok), e.g. 8k,16k,32k")
+	dways := flag.String("dways", "", "d-cache associativities, e.g. 1,2,4,8,16")
+	dblocks := flag.String("dblocks", "", "d-cache block sizes in bytes")
+	isizes := flag.String("isizes", "", "i-cache sizes in bytes (k/m suffixes ok)")
+	iways := flag.String("iways", "", "i-cache associativities")
+	iblocks := flag.String("iblocks", "", "i-cache block sizes in bytes")
+	dlats := flag.String("dlatencies", "", "base d-cache hit latencies in cycles, e.g. 1,2")
+	tsizes := flag.String("tablesizes", "", "prediction-table sizes, e.g. 512,1024,2048")
+	vsizes := flag.String("victimsizes", "", "victim-list sizes, e.g. 4,16,64")
+	insts := flag.Int64("insts", 400_000, "instructions per configuration")
+	paperCosts := flag.Bool("papercosts", false, "use the paper's Table 3 energy constants instead of mini-CACTI")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulations")
+	shard := flag.String("shard", "", "run only shard i of n contiguous grid shards, as 'i/n'")
+	format := flag.String("format", "json", "output format: json or csv")
+	out := flag.String("out", "-", "output file ('-' for stdout)")
+	progress := flag.Bool("progress", true, "report live progress on stderr")
+	flag.Parse()
+
+	g := sweep.Grid{Insts: *insts, UsePaperCosts: *paperCosts}
+	var err error
+	if g.Benchmarks, err = parseBenchmarks(*benches); err != nil {
+		return err
+	}
+	if g.DPolicies, err = sweep.ParseDPolicies(*dpols); err != nil {
+		return err
+	}
+	if g.IPolicies, err = sweep.ParseIPolicies(*ipols); err != nil {
+		return err
+	}
+	for _, dim := range []struct {
+		flag string
+		dst  *[]int
+	}{
+		{*dsizes, &g.DSizes}, {*dways, &g.DWays}, {*dblocks, &g.DBlocks},
+		{*isizes, &g.ISizes}, {*iways, &g.IWays}, {*iblocks, &g.IBlocks},
+		{*dlats, &g.DLatencies}, {*tsizes, &g.TableSizes}, {*vsizes, &g.VictimSizes},
+	} {
+		if *dim.dst, err = parseInts(dim.flag); err != nil {
+			return err
+		}
+	}
+
+	cfgs := g.Configs()
+	if *shard != "" {
+		i, n, err := parseShard(*shard)
+		if err != nil {
+			return err
+		}
+		cfgs = sweep.Shard(cfgs, i, n)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := sweep.Options{Workers: *workers}
+	store := sweep.NewStore()
+	opts.Store = store
+	if *progress {
+		opts.Progress = sweep.TextProgress(os.Stderr, store)
+	}
+	eng := sweep.New(opts)
+
+	fmt.Fprintf(os.Stderr, "sweep: %d configs, %d workers\n", len(cfgs), *workers)
+	results, err := eng.RunConfigs(ctx, cfgs)
+	if err != nil {
+		return err
+	}
+	sw := sweep.NewSweep(results)
+
+	var w io.Writer = os.Stdout
+	var f *os.File
+	if *out != "-" {
+		if f, err = os.Create(*out); err != nil {
+			return err
+		}
+		w = f
+	}
+	switch *format {
+	case "json":
+		err = sw.WriteJSON(w)
+	case "csv":
+		err = sw.WriteCSV(w)
+	default:
+		err = fmt.Errorf("unknown format %q (want json or csv)", *format)
+	}
+	if f != nil {
+		// Surface close/flush errors: a truncated -out file must not
+		// exit 0 with a success message.
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep: done — %d records, %d simulated, %d memo hits\n",
+		len(sw.Records), store.Misses(), store.Hits())
+	return nil
+}
+
+// parseBenchmarks resolves "all" or a comma list against the suite.
+func parseBenchmarks(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "all" {
+		return workload.Names(), nil
+	}
+	var names []string
+	for _, n := range strings.Split(s, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if _, err := workload.ByName(n); err != nil {
+			return nil, err
+		}
+		names = append(names, n)
+	}
+	return names, nil
+}
+
+// parseInts parses a comma-separated int list; values may carry k/m
+// (binary) suffixes, so "16k" is 16384.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		mult := 1
+		switch {
+		case strings.HasSuffix(strings.ToLower(f), "k"):
+			mult, f = 1<<10, f[:len(f)-1]
+		case strings.HasSuffix(strings.ToLower(f), "m"):
+			mult, f = 1<<20, f[:len(f)-1]
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad dimension value %q", f)
+		}
+		out = append(out, v*mult)
+	}
+	return out, nil
+}
+
+// parseShard parses "i/n".
+func parseShard(s string) (i, n int, err error) {
+	if _, err := fmt.Sscanf(s, "%d/%d", &i, &n); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/n, e.g. 0/4)", s)
+	}
+	if n <= 0 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("bad -shard %q: need 0 <= i < n", s)
+	}
+	return i, n, nil
+}

@@ -4,10 +4,20 @@
 //
 // The library lives under internal/: core (simulator API), access (the
 // paper's cache access policies), cache, predict, branch, energy, wattch,
-// pipeline, program, workload, experiments. The experiment harness in
-// internal/experiments regenerates every table and figure of the paper's
-// evaluation; cmd/experiments exposes it on the command line, and the
-// benchmarks in bench_test.go wrap each experiment as a testing.B target.
+// pipeline, program, workload, sweep, experiments. The experiment harness
+// in internal/experiments regenerates every table and figure of the
+// paper's evaluation; cmd/experiments exposes it on the command line, and
+// the benchmarks in bench_test.go wrap each experiment as a testing.B
+// target.
+//
+// internal/sweep is the design-space sweep engine: it expands declarative
+// parameter grids (benchmarks x policies x geometries x latencies) into
+// jobs, executes them on a bounded context-cancellable worker pool, and
+// memoizes results by canonical configuration so shared baselines are
+// simulated once across experiments. Sweep output (JSON or CSV) is ordered
+// by grid position and byte-identical for any worker count. All
+// experiments submit their simulations through the engine; cmd/sweep runs
+// arbitrary grids far beyond the paper's figures.
 //
 // See README.md for a tour and DESIGN.md for the system inventory and the
 // substitutions made for the paper's proprietary dependencies.

@@ -1,0 +1,3 @@
+module waycache
+
+go 1.24

@@ -19,6 +19,7 @@ import (
 	"waycache/internal/cache"
 	"waycache/internal/energy"
 	"waycache/internal/pipeline"
+	"waycache/internal/predict"
 	"waycache/internal/trace"
 	"waycache/internal/workload"
 )
@@ -92,11 +93,42 @@ func (c Config) withDefaults() Config {
 	if c.DLatency == 0 {
 		c.DLatency = 1
 	}
+	// Materialize the prediction-structure defaults too, so Key() treats
+	// an explicit 1024-entry table / 16-entry victim list and the zero
+	// value as the identical simulation they are (branch.NewFrontEnd and
+	// access both default to these same sizes).
+	if c.TableSize == 0 {
+		c.TableSize = predict.DefaultWayEntries
+	}
+	if c.VictimSize == 0 {
+		c.VictimSize = cache.DefaultVictimEntries
+	}
 	if c.Core.ROBSize == 0 {
 		c.Core = pipeline.DefaultConfig(c.Insts)
 	}
 	c.Core.MaxInsts = c.Insts
 	return c
+}
+
+// Canonical returns the config with every default applied — the form under
+// which results are memoized, compared and reported. Two configs with equal
+// canonical forms describe the same simulation.
+func (c Config) Canonical() Config { return c.withDefaults() }
+
+// Key returns a canonical memoization key: configs with equal keys simulate
+// identically, so their results are interchangeable. ok is false when the
+// config drives a custom trace Source, whose behaviour a key cannot
+// capture; such runs must not be memoized.
+func (c Config) Key() (key string, ok bool) {
+	if c.Source != nil {
+		return "", false
+	}
+	c = c.withDefaults()
+	return fmt.Sprintf("%s|n%d|d%d.%d.%d.L%d.%v|i%d.%d.%d.%v|t%d|v%d|sw%d|pc%v|core%+v",
+		c.Benchmark, c.Insts,
+		c.DSize, c.DWays, c.DBlock, c.DLatency, c.DPolicy,
+		c.ISize, c.IWays, c.IBlock, c.IPolicy,
+		c.TableSize, c.VictimSize, c.SelectiveWays, c.UsePaperCosts, c.Core), true
 }
 
 // costsFor derives the energy cost model for one cache geometry.

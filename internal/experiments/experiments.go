@@ -9,12 +9,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 
 	"waycache/internal/core"
 	"waycache/internal/stats"
+	"waycache/internal/sweep"
 	"waycache/internal/workload"
 )
 
@@ -24,6 +27,13 @@ type Options struct {
 	Insts int64
 	// Benchmarks to include (default: the full Table 2 suite).
 	Benchmarks []string
+	// Workers bounds concurrent simulations (default: runtime.NumCPU()).
+	Workers int
+	// Engine optionally shares a sweep engine — and with it a memoized
+	// result store — across experiments, so baselines common to several
+	// tables/figures are simulated exactly once. Nil means a private
+	// engine with Workers workers.
+	Engine *sweep.Engine
 }
 
 func (o Options) withDefaults() Options {
@@ -32,6 +42,12 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.Benchmarks) == 0 {
 		o.Benchmarks = workload.Names()
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.Engine == nil {
+		o.Engine = sweep.New(sweep.Options{Workers: o.Workers})
 	}
 	return o
 }
@@ -103,29 +119,55 @@ func ByName(name string) (Func, error) {
 	return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, known)
 }
 
-// runner memoizes simulation results within one experiment invocation so
-// shared baselines are simulated once.
+// runner submits an experiment's simulations through the sweep engine.
+// run is memoized by canonical config (cross-experiment when
+// Options.Engine is shared); prefetch fans a whole grid out over the
+// engine's worker pool so the serial table-building loops that follow hit
+// the memo instead of simulating one config at a time.
 type runner struct {
 	opts Options
-	memo map[string]*core.Result
+	eng  *sweep.Engine
 }
 
 func newRunner(o Options) *runner {
-	return &runner{opts: o.withDefaults(), memo: make(map[string]*core.Result)}
+	o = o.withDefaults()
+	return &runner{opts: o, eng: o.Engine}
 }
 
-func (r *runner) run(cfg core.Config) *core.Result {
-	cfg.Insts = r.opts.Insts
-	key := fmt.Sprintf("%s|%d|%d|%d%d%d|%d%d%d|%d|%v|%d|%d|%d",
-		cfg.Benchmark, cfg.Insts, cfg.DPolicy,
-		cfg.DSize, cfg.DWays, cfg.DBlock,
-		cfg.ISize, cfg.IWays, cfg.IBlock,
-		cfg.DLatency, cfg.IPolicy, cfg.TableSize, cfg.VictimSize,
-		cfg.SelectiveWays)
-	if res, ok := r.memo[key]; ok {
-		return res
+// cfg pins the run's instruction budget onto an experiment config.
+func (r *runner) cfg(c core.Config) core.Config {
+	c.Insts = r.opts.Insts
+	return c
+}
+
+func (r *runner) run(c core.Config) *core.Result {
+	res, err := r.eng.Result(r.cfg(c))
+	if err != nil {
+		// Experiment configs are static data, exactly as with core.MustRun
+		// before the sweep engine existed.
+		panic(err)
 	}
-	res := core.MustRun(cfg)
-	r.memo[key] = res
 	return res
+}
+
+// prefetch simulates configs in parallel ahead of the serial reporting
+// loops. Grids passed here may include cells an experiment only sometimes
+// reads; the memo makes the extra cost at most one simulation per cell.
+func (r *runner) prefetch(cfgs ...core.Config) {
+	for i := range cfgs {
+		cfgs[i] = r.cfg(cfgs[i])
+	}
+	if _, err := r.eng.RunConfigs(context.Background(), cfgs); err != nil {
+		panic(err)
+	}
+}
+
+// prefetchGrid expands grids and prefetches all their cells at once.
+func (r *runner) prefetchGrid(grids ...sweep.Grid) {
+	var cfgs []core.Config
+	for _, g := range grids {
+		g.Benchmarks = r.opts.Benchmarks
+		cfgs = append(cfgs, g.Configs()...)
+	}
+	r.prefetch(cfgs...)
 }

@@ -4,6 +4,7 @@ import (
 	"waycache/internal/access"
 	"waycache/internal/core"
 	"waycache/internal/stats"
+	"waycache/internal/sweep"
 )
 
 // Figure4 reproduces "Sequential-access cache energy-delay": relative
@@ -11,6 +12,7 @@ import (
 // 1-cycle parallel-access baseline.
 func Figure4(o Options) *Report {
 	r := newRunner(o)
+	r.prefetchGrid(sweep.Grid{DPolicies: []access.DPolicy{access.DParallel, access.DSequential}})
 	t := stats.NewTable("Figure 4: sequential-access cache, relative to 1-cycle parallel",
 		"benchmark", "relative E-D", "perf degradation")
 	var eds, perfs []float64
@@ -39,6 +41,8 @@ func Figure4(o Options) *Report {
 // handles.
 func Figure5(o Options) *Report {
 	r := newRunner(o)
+	r.prefetchGrid(sweep.Grid{DPolicies: []access.DPolicy{
+		access.DParallel, access.DWayPredPC, access.DWayPredXOR}})
 	t := stats.NewTable("Figure 5: PC- vs XOR-based way-prediction",
 		"benchmark", "PC rel E-D", "PC perf", "PC accuracy",
 		"XOR rel E-D", "XOR perf", "XOR accuracy")
@@ -103,6 +107,7 @@ func Figure6(o Options) *Report {
 		access.DSelDMParallel, access.DSelDMWayPred, access.DSelDMSequential,
 		access.DWayPredPC, access.DSequential,
 	}
+	r.prefetchGrid(sweep.Grid{DPolicies: append([]access.DPolicy{access.DParallel}, pols...)})
 	sums := make(map[access.DPolicy][]float64)
 	perfs := make(map[access.DPolicy][]float64)
 	var dmFracs []float64
@@ -148,6 +153,10 @@ func Figure6(o Options) *Report {
 // of the same size.
 func Figure7(o Options) *Report {
 	r := newRunner(o)
+	r.prefetchGrid(sweep.Grid{
+		DSizes:    []int{16 << 10, 32 << 10},
+		DPolicies: []access.DPolicy{access.DParallel, access.DSelDMWayPred},
+	})
 	t := stats.NewTable("Figure 7: selective-DM+waypred, 16K vs 32K (relative E-D | perf)",
 		"benchmark", "16K", "32K")
 	sum := map[string]float64{}
@@ -178,6 +187,10 @@ func Figure7(o Options) *Report {
 // of the same associativity, with the access breakdown.
 func Figure8(o Options) *Report {
 	r := newRunner(o)
+	r.prefetchGrid(sweep.Grid{
+		DWays:     []int{2, 4, 8},
+		DPolicies: []access.DPolicy{access.DParallel, access.DSelDMWayPred},
+	})
 	t := stats.NewTable("Figure 8: selective-DM+waypred by associativity (relative E-D | perf)",
 		"benchmark", "2-way", "4-way", "8-way")
 	bd := stats.NewTable("Figure 8 (bottom): 8-way access breakdown",
@@ -214,6 +227,10 @@ func Figure9(o Options) *Report {
 	t := stats.NewTable("Figure 9: 2-cycle d-cache (relative E-D | perf degradation)",
 		"benchmark", "SelDM+waypred", "SelDM+sequential", "sequential")
 	pols := []access.DPolicy{access.DSelDMWayPred, access.DSelDMSequential, access.DSequential}
+	r.prefetchGrid(sweep.Grid{
+		DLatencies: []int{2},
+		DPolicies:  append([]access.DPolicy{access.DParallel}, pols...),
+	})
 	eds := map[access.DPolicy][]float64{}
 	perfs := map[access.DPolicy][]float64{}
 	for _, bench := range r.opts.Benchmarks {

@@ -4,6 +4,7 @@ import (
 	"waycache/internal/access"
 	"waycache/internal/core"
 	"waycache/internal/stats"
+	"waycache/internal/sweep"
 )
 
 // Figure10 reproduces "Way-prediction for i-caches": 2-, 4- and 8-way
@@ -11,6 +12,10 @@ import (
 // i-cache of the same associativity, plus the access-source breakdown.
 func Figure10(o Options) *Report {
 	r := newRunner(o)
+	r.prefetchGrid(sweep.Grid{
+		IWays:     []int{2, 4, 8},
+		IPolicies: []access.IPolicy{access.IParallel, access.IWayPred},
+	})
 	t := stats.NewTable("Figure 10: i-cache way-prediction by associativity (relative E-D | perf)",
 		"benchmark", "2-way", "4-way", "8-way")
 	bd := stats.NewTable("Figure 10 (bottom): 4-way access breakdown",
@@ -57,6 +62,12 @@ func Figure10(o Options) *Report {
 // baseline, with the perfect-way-prediction bound.
 func Figure11(o Options) *Report {
 	r := newRunner(o)
+	r.prefetchGrid(
+		sweep.Grid{},
+		sweep.Grid{
+			DPolicies: []access.DPolicy{access.DSelDMWayPred},
+			IPolicies: []access.IPolicy{access.IWayPred},
+		})
 	t := stats.NewTable("Figure 11: overall processor energy (d: SelDM+waypred, i: waypred)",
 		"benchmark", "rel energy", "rel E-D", "perf degradation", "perfect-waypred E-D", "L1 share (base)")
 	var relE, relED, perfs, perfED, shares []float64

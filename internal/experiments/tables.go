@@ -7,6 +7,7 @@ import (
 	"waycache/internal/energy"
 	"waycache/internal/isa"
 	"waycache/internal/stats"
+	"waycache/internal/sweep"
 	"waycache/internal/trace"
 	"waycache/internal/workload"
 )
@@ -93,6 +94,11 @@ func Table5(o Options) *Report {
 		{"SelDM + way-prediction", access.DSelDMWayPred},
 		{"SelDM + sequential access", access.DSelDMSequential},
 	}
+	pols := []access.DPolicy{access.DParallel}
+	for _, tc := range techs {
+		pols = append(pols, tc.pol)
+	}
+	r.prefetchGrid(sweep.Grid{DPolicies: pols})
 	t := stats.NewTable("Table 5: d-cache summary (averages over the suite)",
 		"technique", "avg E-D savings", "avg perf loss", "max perf loss")
 	sum := map[string]float64{}

@@ -1,0 +1,145 @@
+// Package sweep is the design-space sweep engine: it expands declarative
+// parameter grids (benchmarks x policies x geometries x latencies) into
+// simulation jobs, executes them on a bounded worker pool, and merges the
+// results in deterministic job order regardless of worker count.
+//
+// The engine memoizes results by canonical configuration (core.Config.Key)
+// in a Store that can be shared across sweeps and experiments, so common
+// baselines are simulated exactly once even when several experiments need
+// them concurrently. Results flatten into Records with JSON and CSV
+// emitters whose bytes depend only on the grid — a sweep run with one
+// worker and with eight produces identical output.
+//
+//	eng := sweep.New(sweep.Options{Workers: 8})
+//	sw, err := eng.Run(ctx, sweep.Grid{
+//	    Benchmarks: workload.Names(),
+//	    DPolicies:  sweep.AllDPolicies(),
+//	    DWays:      []int{1, 2, 4, 8, 16},
+//	})
+//	sw.WriteJSON(os.Stdout)
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"waycache/internal/core"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds concurrent simulations (default: runtime.NumCPU()).
+	Workers int
+	// Store shares memoized results across engines; nil means a private
+	// fresh store.
+	Store *Store
+	// Progress, when non-nil, receives a completion event per finished
+	// job. Calls are serialized by the engine.
+	Progress Progress
+}
+
+// Engine executes sweeps on a bounded worker pool.
+type Engine struct {
+	workers  int
+	store    *Store
+	progress Progress
+	progMu   sync.Mutex
+}
+
+// New creates an engine.
+func New(o Options) *Engine {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.Store == nil {
+		o.Store = NewStore()
+	}
+	return &Engine{workers: o.Workers, store: o.Store, progress: o.Progress}
+}
+
+// Store returns the engine's result store (for memo-hit accounting and
+// sharing with other engines).
+func (e *Engine) Store() *Store { return e.store }
+
+// Result simulates (or recalls) a single configuration through the store.
+func (e *Engine) Result(cfg core.Config) (*core.Result, error) {
+	return e.store.Result(cfg)
+}
+
+// RunConfigs simulates every config on the worker pool and returns results
+// in input order — position i holds cfgs[i]'s result — regardless of how
+// many workers ran them. Cancelling ctx stops dispatching promptly; the
+// first simulation error cancels the remaining work. On error the returned
+// slice holds the results completed so far (nil elsewhere).
+func (e *Engine) RunConfigs(ctx context.Context, cfgs []core.Config) ([]*core.Result, error) {
+	results := make([]*core.Result, len(cfgs))
+	if len(cfgs) == 0 {
+		return results, ctx.Err()
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := e.workers
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+
+	jobs := make(chan int)
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		runErr  error
+		done    int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if runCtx.Err() != nil {
+					continue // drain remaining jobs without running them
+				}
+				res, err := e.store.Result(cfgs[i])
+				if err != nil {
+					errOnce.Do(func() { runErr = err; cancel() })
+					continue
+				}
+				results[i] = res
+				if e.progress != nil {
+					e.progMu.Lock()
+					done++
+					e.progress(done, len(cfgs))
+					e.progMu.Unlock()
+				}
+			}
+		}()
+	}
+
+feed:
+	for i := range cfgs {
+		select {
+		case jobs <- i:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if runErr != nil {
+		return results, runErr
+	}
+	return results, ctx.Err()
+}
+
+// Run expands the grid, simulates every cell, and returns the flattened
+// records in grid order.
+func (e *Engine) Run(ctx context.Context, g Grid) (*Sweep, error) {
+	results, err := e.RunConfigs(ctx, g.Configs())
+	if err != nil {
+		return nil, err
+	}
+	return NewSweep(results), nil
+}

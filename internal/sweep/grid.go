@@ -1,0 +1,219 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"waycache/internal/access"
+	"waycache/internal/core"
+)
+
+// Grid declares a rectangular design-space sweep: the cartesian product of
+// every listed dimension. An empty dimension contributes a single zero
+// value, which core.Config resolves to the paper's Table 1 default, so the
+// zero Grid expands to exactly one all-defaults configuration.
+type Grid struct {
+	Benchmarks []string
+
+	DPolicies []access.DPolicy
+	IPolicies []access.IPolicy
+
+	DSizes, DWays, DBlocks []int
+	ISizes, IWays, IBlocks []int
+
+	// DLatencies sweeps the base d-cache hit latency (1 or 2 in the paper).
+	DLatencies []int
+
+	TableSizes  []int
+	VictimSizes []int
+
+	// Insts applies to every cell (0 means the core default of 1,000,000).
+	Insts int64
+
+	// UsePaperCosts switches every cell to the paper's Table 3 energy
+	// constants instead of the mini-CACTI model.
+	UsePaperCosts bool
+}
+
+// orStrings returns dim, or the single zero value when the dim is empty.
+func orStrings(dim []string) []string {
+	if len(dim) == 0 {
+		return []string{""}
+	}
+	return dim
+}
+
+func orInts(dim []int) []int {
+	if len(dim) == 0 {
+		return []int{0}
+	}
+	return dim
+}
+
+func orDPolicies(dim []access.DPolicy) []access.DPolicy {
+	if len(dim) == 0 {
+		return []access.DPolicy{access.DParallel}
+	}
+	return dim
+}
+
+func orIPolicies(dim []access.IPolicy) []access.IPolicy {
+	if len(dim) == 0 {
+		return []access.IPolicy{access.IParallel}
+	}
+	return dim
+}
+
+// Size returns the number of configurations Configs will produce.
+func (g Grid) Size() int {
+	n := len(orStrings(g.Benchmarks)) * len(orDPolicies(g.DPolicies)) * len(orIPolicies(g.IPolicies))
+	for _, dim := range [][]int{
+		g.DSizes, g.DWays, g.DBlocks, g.ISizes, g.IWays, g.IBlocks,
+		g.DLatencies, g.TableSizes, g.VictimSizes,
+	} {
+		n *= len(orInts(dim))
+	}
+	return n
+}
+
+// Configs expands the grid into the full cartesian product in a fixed
+// row-major order (benchmark slowest, victim-list size fastest). The order
+// depends only on the grid, never on who executes the jobs, so merged
+// sweep output is deterministic regardless of worker count.
+func (g Grid) Configs() []core.Config {
+	cfgs := make([]core.Config, 0, g.Size())
+	for _, bench := range orStrings(g.Benchmarks) {
+		for _, dpol := range orDPolicies(g.DPolicies) {
+			for _, ipol := range orIPolicies(g.IPolicies) {
+				for _, dsize := range orInts(g.DSizes) {
+					for _, dways := range orInts(g.DWays) {
+						for _, dblock := range orInts(g.DBlocks) {
+							for _, isize := range orInts(g.ISizes) {
+								for _, iways := range orInts(g.IWays) {
+									for _, iblock := range orInts(g.IBlocks) {
+										for _, dlat := range orInts(g.DLatencies) {
+											for _, tsize := range orInts(g.TableSizes) {
+												for _, vsize := range orInts(g.VictimSizes) {
+													cfgs = append(cfgs, core.Config{
+														Benchmark: bench,
+														DPolicy:   dpol, IPolicy: ipol,
+														DSize: dsize, DWays: dways, DBlock: dblock,
+														ISize: isize, IWays: iways, IBlock: iblock,
+														DLatency:  dlat,
+														TableSize: tsize, VictimSize: vsize,
+														Insts:         g.Insts,
+														UsePaperCosts: g.UsePaperCosts,
+													})
+												}
+											}
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cfgs
+}
+
+// Shard returns the i-th of n contiguous, near-equal slices of cfgs
+// (extra configs go to the leading shards). Concatenating the shards in
+// order reproduces cfgs exactly, so distributed runs can merge their
+// outputs deterministically. Shards beyond the config count are empty.
+func Shard(cfgs []core.Config, i, n int) []core.Config {
+	if n <= 0 || i < 0 || i >= n {
+		return nil
+	}
+	size, rem := len(cfgs)/n, len(cfgs)%n
+	lo := i*size + min(i, rem)
+	hi := lo + size
+	if i < rem {
+		hi++
+	}
+	return cfgs[lo:hi]
+}
+
+// AllDPolicies lists every d-cache policy the simulator implements, in
+// enum order.
+func AllDPolicies() []access.DPolicy {
+	return []access.DPolicy{
+		access.DParallel, access.DSequential,
+		access.DWayPredPC, access.DWayPredXOR,
+		access.DSelDMParallel, access.DSelDMWayPred, access.DSelDMSequential,
+		access.DWayPredMRU,
+	}
+}
+
+// AllIPolicies lists every i-cache policy.
+func AllIPolicies() []access.IPolicy {
+	return []access.IPolicy{access.IParallel, access.IWayPred}
+}
+
+// ParseDPolicies parses a comma-separated list of d-cache policy names
+// (the names the paper's figures use, e.g. "parallel,seldm+waypred"), or
+// "all" for every policy.
+func ParseDPolicies(s string) ([]access.DPolicy, error) {
+	if strings.TrimSpace(s) == "all" {
+		return AllDPolicies(), nil
+	}
+	var pols []access.DPolicy
+	for _, name := range splitList(s) {
+		found := false
+		for _, p := range AllDPolicies() {
+			if p.String() == name {
+				pols = append(pols, p)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("sweep: unknown d-cache policy %q (have %s or all)", name, policyNames())
+		}
+	}
+	return pols, nil
+}
+
+// ParseIPolicies parses a comma-separated list of i-cache policy names
+// ("parallel", "waypred"), or "all".
+func ParseIPolicies(s string) ([]access.IPolicy, error) {
+	if strings.TrimSpace(s) == "all" {
+		return AllIPolicies(), nil
+	}
+	var pols []access.IPolicy
+	for _, name := range splitList(s) {
+		found := false
+		for _, p := range AllIPolicies() {
+			if p.String() == name {
+				pols = append(pols, p)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("sweep: unknown i-cache policy %q (have parallel, waypred or all)", name)
+		}
+	}
+	return pols, nil
+}
+
+func policyNames() string {
+	var names []string
+	for _, p := range AllDPolicies() {
+		names = append(names, p.String())
+	}
+	return strings.Join(names, ", ")
+}
+
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

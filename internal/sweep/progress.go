@@ -1,0 +1,42 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Progress receives one event per completed sweep job: done jobs out of
+// total. The engine serializes calls, so implementations need no locking.
+type Progress func(done, total int)
+
+// TextProgress returns a Progress that renders a live single-line counter
+// to w (intended for stderr), with throughput and, when store is non-nil,
+// memoization accounting. Wall-clock appears only here, never in records,
+// so progress output cannot perturb result determinism.
+func TextProgress(w io.Writer, store *Store) Progress {
+	var start, last time.Time
+	return func(done, total int) {
+		now := time.Now()
+		if start.IsZero() {
+			start = now
+		}
+		// Throttle redraws; always draw the final state.
+		if done < total && now.Sub(last) < 100*time.Millisecond {
+			return
+		}
+		last = now
+		rate := 0.0
+		if el := now.Sub(start).Seconds(); el > 0 {
+			rate = float64(done) / el
+		}
+		line := fmt.Sprintf("\rsweep: %d/%d configs, %.1f configs/s", done, total, rate)
+		if store != nil {
+			line += fmt.Sprintf(" (%d simulated, %d memo hits)", store.Misses(), store.Hits())
+		}
+		fmt.Fprint(w, line)
+		if done == total {
+			fmt.Fprintln(w)
+		}
+	}
+}

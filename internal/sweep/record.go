@@ -1,0 +1,141 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"waycache/internal/core"
+)
+
+// Record is one simulated configuration flattened for machine consumption:
+// the canonical configuration alongside its timing, cache and energy
+// results. Every field is derived from the simulation alone (no wall-clock
+// or host state), so serialized records are byte-identical across runs and
+// worker counts.
+type Record struct {
+	Benchmark string `json:"benchmark"`
+	DPolicy   string `json:"dPolicy"`
+	IPolicy   string `json:"iPolicy"`
+
+	DSize  int `json:"dSize"`
+	DWays  int `json:"dWays"`
+	DBlock int `json:"dBlock"`
+	ISize  int `json:"iSize"`
+	IWays  int `json:"iWays"`
+	IBlock int `json:"iBlock"`
+
+	DLatency   int   `json:"dLatency"`
+	TableSize  int   `json:"tableSize"`
+	VictimSize int   `json:"victimSize"`
+	Insts      int64 `json:"insts"`
+
+	Cycles int64   `json:"cycles"`
+	IPC    float64 `json:"ipc"`
+
+	DMissRate       float64 `json:"dMissRate"`
+	IMissRate       float64 `json:"iMissRate"`
+	WayPredAccuracy float64 `json:"wayPredAccuracy"`
+	IWayAccuracy    float64 `json:"iWayAccuracy"`
+
+	DCacheEnergy float64 `json:"dCacheEnergy"`
+	ICacheEnergy float64 `json:"iCacheEnergy"`
+	ProcEnergy   float64 `json:"procEnergy"`
+	// DCacheED and ProcED are energy x cycles, the quantity the paper's
+	// relative figures are ratios of.
+	DCacheED float64 `json:"dCacheED"`
+	ProcED   float64 `json:"procED"`
+}
+
+// NewRecord flattens one simulation result.
+func NewRecord(r *core.Result) Record {
+	cfg := r.Config.Canonical()
+	rec := Record{
+		Benchmark: r.Benchmark,
+		DPolicy:   cfg.DPolicy.String(),
+		IPolicy:   cfg.IPolicy.String(),
+		DSize:     cfg.DSize, DWays: cfg.DWays, DBlock: cfg.DBlock,
+		ISize: cfg.ISize, IWays: cfg.IWays, IBlock: cfg.IBlock,
+		DLatency:   cfg.DLatency,
+		TableSize:  cfg.TableSize,
+		VictimSize: cfg.VictimSize,
+		Insts:      cfg.Insts,
+
+		Cycles:          r.Cycles(),
+		DMissRate:       r.DMissRate(),
+		IMissRate:       r.IL1.MissRate(),
+		WayPredAccuracy: r.WayPredAccuracy(),
+		IWayAccuracy:    r.IWayAccuracy(),
+
+		DCacheEnergy: r.DCacheEnergy(),
+		ICacheEnergy: r.ICacheEnergy(),
+		ProcEnergy:   r.ProcessorEnergy(),
+	}
+	if rec.Cycles > 0 {
+		rec.IPC = float64(r.Pipeline.Committed) / float64(rec.Cycles)
+	}
+	rec.DCacheED = rec.DCacheEnergy * float64(rec.Cycles)
+	rec.ProcED = rec.ProcEnergy * float64(rec.Cycles)
+	return rec
+}
+
+// Sweep is the merged output of one grid run, records in grid order.
+type Sweep struct {
+	Records []Record `json:"records"`
+}
+
+// NewSweep flattens simulation results (in their existing order) into a
+// Sweep, one record per result.
+func NewSweep(results []*core.Result) *Sweep {
+	sw := &Sweep{Records: make([]Record, len(results))}
+	for i, r := range results {
+		sw.Records[i] = NewRecord(r)
+	}
+	return sw
+}
+
+// WriteJSON emits the records as an indented JSON array. Output bytes
+// depend only on the records, making worker-count-independence testable
+// with a byte compare.
+func (s *Sweep) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Records)
+}
+
+// csvHeader lists the CSV columns, in Record field order.
+var csvHeader = []string{
+	"benchmark", "dPolicy", "iPolicy",
+	"dSize", "dWays", "dBlock", "iSize", "iWays", "iBlock",
+	"dLatency", "tableSize", "victimSize", "insts",
+	"cycles", "ipc",
+	"dMissRate", "iMissRate", "wayPredAccuracy", "iWayAccuracy",
+	"dCacheEnergy", "iCacheEnergy", "procEnergy", "dCacheED", "procED",
+}
+
+// WriteCSV emits the records as CSV with a header row.
+func (s *Sweep) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	d := strconv.Itoa
+	for _, r := range s.Records {
+		row := []string{
+			r.Benchmark, r.DPolicy, r.IPolicy,
+			d(r.DSize), d(r.DWays), d(r.DBlock), d(r.ISize), d(r.IWays), d(r.IBlock),
+			d(r.DLatency), d(r.TableSize), d(r.VictimSize),
+			strconv.FormatInt(r.Insts, 10),
+			strconv.FormatInt(r.Cycles, 10), f(r.IPC),
+			f(r.DMissRate), f(r.IMissRate), f(r.WayPredAccuracy), f(r.IWayAccuracy),
+			f(r.DCacheEnergy), f(r.ICacheEnergy), f(r.ProcEnergy), f(r.DCacheED), f(r.ProcED),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

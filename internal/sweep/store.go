@@ -1,0 +1,79 @@
+package sweep
+
+import (
+	"sync"
+
+	"waycache/internal/core"
+)
+
+// Store memoizes simulation results by canonical config key. It is safe
+// for concurrent use and deduplicates in-flight work: when several workers
+// ask for the same configuration at once, exactly one simulates it and the
+// rest block on its completion (errors are memoized alongside results, so
+// a bad configuration fails every caller identically). One Store shared
+// across experiments gives cross-experiment memoization of common
+// baselines.
+type Store struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	hits    int64
+	misses  int64
+}
+
+type entry struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+// NewStore returns an empty result store.
+func NewStore() *Store {
+	return &Store{entries: make(map[string]*entry)}
+}
+
+// Result returns the memoized result for cfg, simulating it at most once
+// across all concurrent callers. Configs driving a custom trace Source
+// have no canonical key and bypass the store entirely.
+func (s *Store) Result(cfg core.Config) (*core.Result, error) {
+	key, ok := cfg.Key()
+	if !ok {
+		return core.Run(cfg)
+	}
+	s.mu.Lock()
+	if e, found := s.entries[key]; found {
+		s.hits++
+		s.mu.Unlock()
+		<-e.done
+		return e.res, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	s.entries[key] = e
+	s.misses++
+	s.mu.Unlock()
+
+	e.res, e.err = core.Run(cfg)
+	close(e.done)
+	return e.res, e.err
+}
+
+// Hits returns how many lookups were served from memo (including lookups
+// that joined an in-flight simulation).
+func (s *Store) Hits() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
+}
+
+// Misses returns how many lookups started a fresh simulation.
+func (s *Store) Misses() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.misses
+}
+
+// Len returns the number of memoized configurations.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
