@@ -6,6 +6,12 @@
 //	cachesim -bench gcc -dpolicy seldm+waypred -ipolicy waypred -insts 1000000
 //	cachesim -bench swim -dpolicy sequential -dlatency 2
 //	cachesim -bench fpppp -dways 8
+//	cachesim -trace traces/gcc.wct -dpolicy seldm+waypred
+//
+// With -trace the simulator replays a captured trace file (written by
+// tracegen -capture) instead of walking the named benchmark's generator;
+// the benchmark name is taken from the trace header unless -bench is given
+// explicitly, in which case the two must agree.
 package main
 
 import (
@@ -35,6 +41,7 @@ var iPolicies = map[string]access.IPolicy{
 
 func main() {
 	bench := flag.String("bench", "gcc", "benchmark name (see workload suite)")
+	tracePath := flag.String("trace", "", "replay a captured trace file instead of walking -bench's generator")
 	dpol := flag.String("dpolicy", "parallel", "d-cache policy: parallel|sequential|waypred-pc|waypred-xor|seldm+parallel|seldm+waypred|seldm+sequential")
 	ipol := flag.String("ipolicy", "parallel", "i-cache policy: parallel|waypred")
 	insts := flag.Int64("insts", 1_000_000, "instructions to simulate")
@@ -57,9 +64,22 @@ func main() {
 	}
 
 	cfg := core.Config{
-		Benchmark: *bench, Insts: *insts,
+		Benchmark: *bench, Trace: *tracePath, Insts: *insts,
 		DPolicy: dp, IPolicy: ip,
 		DSize: *dsize, DWays: *dways, IWays: *iways, DLatency: *dlat,
+	}
+	if *tracePath != "" {
+		// With -trace, the benchmark name comes from the trace header;
+		// only an explicit -bench pins (and cross-checks) it.
+		benchSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "bench" {
+				benchSet = true
+			}
+		})
+		if !benchSet {
+			cfg.Benchmark = ""
+		}
 	}
 	res, err := core.Run(cfg)
 	if err != nil {

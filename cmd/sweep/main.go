@@ -8,6 +8,13 @@
 //	sweep -benchmarks gcc,swim -dpolicies parallel,seldm+waypred -dlatencies 1,2 -format csv
 //	sweep -dsizes 8k,16k,32k,64k -dpolicies seldm+waypred -insts 1000000
 //	sweep -benchmarks all -dways 1,4 -shard 0/4   # first quarter of the grid
+//	sweep -benchmarks all -dpolicies all -trace traces   # replay captures
+//
+// With -trace naming a directory of captured trace files (written by
+// tracegen -capture, one <benchmark>.wct per benchmark), cells whose
+// benchmark has a valid capture covering -insts replay it instead of
+// re-walking the generator — identical records, no generation cost;
+// benchmarks without a usable capture fall back to the walker.
 //
 // The grid is the cartesian product of every dimension flag; omitted
 // dimensions stay at the paper's Table 1 defaults. Output (JSON or CSV)
@@ -54,6 +61,7 @@ func run() error {
 	tsizes := flag.String("tablesizes", "", "prediction-table sizes, e.g. 512,1024,2048")
 	vsizes := flag.String("victimsizes", "", "victim-list sizes, e.g. 4,16,64")
 	insts := flag.Int64("insts", 400_000, "instructions per configuration")
+	traceDir := flag.String("trace", "", "directory of captured traces (<benchmark>.wct); matching benchmarks replay instead of re-walking")
 	paperCosts := flag.Bool("papercosts", false, "use the paper's Table 3 energy constants instead of mini-CACTI")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulations")
 	shard := flag.String("shard", "", "run only shard i of n contiguous grid shards, as 'i/n'")
@@ -98,7 +106,7 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := sweep.Options{Workers: *workers}
+	opts := sweep.Options{Workers: *workers, TraceDir: *traceDir}
 	store := sweep.NewStore()
 	opts.Store = store
 	if *progress {

@@ -1,17 +1,28 @@
-// Command tracegen inspects the synthetic workload generators: it prints a
-// benchmark's static shape, its dynamic instruction mix, and optionally a
-// disassembly-style listing of the first instructions.
+// Command tracegen inspects the synthetic workload generators and captures
+// their dynamic instruction streams to trace files.
+//
+// By default it prints a benchmark's static shape and dynamic instruction
+// mix, or (with -dump) a disassembly-style listing of the first
+// instructions. With -capture it instead records the first -n instructions
+// to a trace file (versioned varint-delta binary; byte-level spec in
+// docs/TRACE_FORMAT.md) that cachesim -trace, sweep -trace and
+// core.Config.Trace replay in place of the live generator — the replayed
+// stream is identical to the walker's, so results match byte for byte
+// while skipping all generation cost.
 //
 // Usage:
 //
-//	tracegen -bench swim -n 500000
-//	tracegen -bench li -dump 40
+//	tracegen -bench swim -n 500000                      # dynamic mix
+//	tracegen -bench li -dump 40                         # listing
+//	tracegen -bench gcc -n 1000000 -capture -o traces/gcc.wct
+//	tracegen -capture -all -n 1000000 -o traces         # whole suite
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"waycache/internal/isa"
 	"waycache/internal/trace"
@@ -20,9 +31,20 @@ import (
 
 func main() {
 	bench := flag.String("bench", "gcc", "benchmark name")
-	n := flag.Int64("n", 500_000, "instructions to sample for the mix")
+	n := flag.Int64("n", 500_000, "instructions to sample for the mix, or to capture")
 	dump := flag.Int("dump", 0, "print the first N instructions")
+	capture := flag.Bool("capture", false, "capture the first -n instructions to a trace file")
+	all := flag.Bool("all", false, "with -capture: capture every suite benchmark (-o names a directory)")
+	out := flag.String("o", "", "capture output path (default <bench>.wct, or a directory with -all)")
 	flag.Parse()
+
+	if *capture {
+		if err := captureTraces(*bench, *all, *out, *n); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	p, err := workload.ByName(*bench)
 	if err != nil {
@@ -69,4 +91,46 @@ func main() {
 		}
 		fmt.Printf("  %-6s %6.2f%%\n", k, 100*float64(counts[k])/float64(total))
 	}
+}
+
+// captureTraces records n instructions of one benchmark (or, with all set,
+// of every suite benchmark) into replayable trace files.
+func captureTraces(bench string, all bool, out string, n int64) error {
+	if n <= 0 {
+		return fmt.Errorf("tracegen: -capture needs a positive -n, got %d", n)
+	}
+	var profiles []workload.Profile
+	if all {
+		profiles = workload.Suite()
+		if out == "" {
+			out = "."
+		}
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+	} else {
+		p, err := workload.ByName(bench)
+		if err != nil {
+			return err
+		}
+		profiles = []workload.Profile{p}
+	}
+	for _, p := range profiles {
+		path := out
+		if all {
+			path = filepath.Join(out, p.Name+trace.FileExt)
+		} else if path == "" {
+			path = p.Name + trace.FileExt
+		}
+		if err := p.CaptureFile(path, n); err != nil {
+			return err
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("captured %-8s %d instructions -> %s (%d bytes, %.2f B/inst)\n",
+			p.Name, n, path, fi.Size(), float64(fi.Size())/float64(n))
+	}
+	return nil
 }

@@ -19,6 +19,14 @@
 // experiments submit their simulations through the engine; cmd/sweep runs
 // arbitrary grids far beyond the paper's figures.
 //
-// See README.md for a tour and DESIGN.md for the system inventory and the
-// substitutions made for the paper's proprietary dependencies.
+// internal/trace additionally defines the capture/replay substrate: a
+// versioned, varint-delta-compressed on-disk format for dynamic
+// instruction streams (trace.Writer/trace.Reader) behind the same
+// trace.Source interface the live workload walkers implement, so
+// cachesim, sweeps and experiments run identically — byte for byte —
+// from a recorded file or a live generator. cmd/tracegen -capture records
+// traces; cachesim -trace and sweep -trace replay them.
+//
+// See docs/ARCHITECTURE.md for the package map and data-flow diagram, and
+// docs/TRACE_FORMAT.md for the byte-level trace file specification.
 package waycache

@@ -29,9 +29,18 @@ import (
 // 1024-entry prediction tables, 16-entry victim list.
 type Config struct {
 	// Benchmark names a workload.Suite profile. Leave empty and set Source
-	// to drive the simulator from a custom trace.
+	// or Trace to drive the simulator from a custom stream.
 	Benchmark string
-	Source    trace.Source // optional custom source (overrides Benchmark)
+	Source    trace.Source // optional custom source (overrides Benchmark and Trace)
+
+	// Trace is the path of a captured trace file (trace.Writer format; see
+	// docs/TRACE_FORMAT.md). When set, the simulation replays the file
+	// instead of walking Benchmark's generator — the pipeline consumes the
+	// identical instruction stream either way, so results match a live run
+	// of the captured workload byte for byte. The file must hold at least
+	// Insts instructions; when Benchmark is also set, the file's header
+	// must name the same benchmark.
+	Trace string
 
 	// Insts is the number of instructions to simulate (default 1,000,000).
 	Insts int64
@@ -124,11 +133,18 @@ func (c Config) Key() (key string, ok bool) {
 		return "", false
 	}
 	c = c.withDefaults()
-	return fmt.Sprintf("%s|n%d|d%d.%d.%d.L%d.%v|i%d.%d.%d.%v|t%d|v%d|sw%d|pc%v|core%+v",
+	key = fmt.Sprintf("%s|n%d|d%d.%d.%d.L%d.%v|i%d.%d.%d.%v|t%d|v%d|sw%d|pc%v|core%+v",
 		c.Benchmark, c.Insts,
 		c.DSize, c.DWays, c.DBlock, c.DLatency, c.DPolicy,
 		c.ISize, c.IWays, c.IBlock, c.IPolicy,
-		c.TableSize, c.VictimSize, c.SelectiveWays, c.UsePaperCosts, c.Core), true
+		c.TableSize, c.VictimSize, c.SelectiveWays, c.UsePaperCosts, c.Core)
+	// A replayed trace is keyed separately from the walker run it mirrors:
+	// the two are byte-identical for a faithful capture, but the file's
+	// contents are not provable from the config alone.
+	if c.Trace != "" {
+		key += "|tr:" + c.Trace
+	}
+	return key, true
 }
 
 // costsFor derives the energy cost model for one cache geometry.
@@ -141,23 +157,67 @@ func (c Config) costsFor(size, ways, block int) (energy.Costs, error) {
 	})
 }
 
-// source builds the trace source.
-func (c Config) source() (trace.Source, string, error) {
+// source builds the trace source. The returned finish func (nil for
+// in-memory sources) releases the source and surfaces any streaming error
+// once the run has drained it.
+func (c Config) source() (src trace.Source, name string, finish func() error, err error) {
 	if c.Source != nil {
 		name := c.Benchmark
 		if name == "" {
 			name = "custom"
 		}
-		return trace.NewLimit(c.Source, c.Insts), name, nil
+		return trace.NewLimit(c.Source, c.Insts), name, nil, nil
+	}
+	if c.Trace != "" {
+		return c.traceSource()
 	}
 	if c.Benchmark == "" {
-		return nil, "", fmt.Errorf("core: config needs Benchmark or Source")
+		return nil, "", nil, fmt.Errorf("core: config needs Benchmark, Trace or Source")
 	}
 	p, err := workload.ByName(c.Benchmark)
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
-	return trace.NewLimit(p.NewWalker(), c.Insts), p.Name, nil
+	return trace.NewLimit(p.NewWalker(), c.Insts), p.Name, nil, nil
+}
+
+// traceSource opens the captured trace named by c.Trace and validates it
+// against the run: it must carry enough instructions and, when Benchmark
+// is set too, come from that benchmark.
+func (c Config) traceSource() (trace.Source, string, func() error, error) {
+	f, err := trace.Open(c.Trace)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	h := f.Header()
+	if h.Insts > 0 && h.Insts < c.Insts {
+		f.Close()
+		return nil, "", nil, fmt.Errorf("core: trace %s holds %d instructions, run needs %d",
+			c.Trace, h.Insts, c.Insts)
+	}
+	name := h.Benchmark
+	if c.Benchmark != "" {
+		if h.Benchmark != "" && h.Benchmark != c.Benchmark {
+			f.Close()
+			return nil, "", nil, fmt.Errorf("core: trace %s was captured from %q, not %q",
+				c.Trace, h.Benchmark, c.Benchmark)
+		}
+		name = c.Benchmark
+	}
+	if name == "" {
+		name = "trace"
+	}
+	finish := func() error {
+		err := f.Err()
+		if err == nil && f.Count() < c.Insts {
+			err = fmt.Errorf("trace ended after %d of %d instructions", f.Count(), c.Insts)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	return trace.NewLimit(f, c.Insts), name, finish, nil
 }
 
 // dcacheConfig assembles the d-cache controller configuration.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"waycache/internal/access"
 	"waycache/internal/branch"
 	"waycache/internal/cache"
@@ -68,7 +70,7 @@ func (r *Result) IWayAccuracy() float64 {
 // Run executes one configuration and returns its results.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	src, name, err := cfg.source()
+	src, name, finish, err := cfg.source()
 	if err != nil {
 		return nil, err
 	}
@@ -97,6 +99,14 @@ func Run(cfg Config) (*Result, error) {
 
 	pipe := pipeline.New(cfg.Core, src, dc, ic, fe)
 	ps := pipe.Run()
+	if finish != nil {
+		// A replayed file that ended early or decoded dirty must fail the
+		// run: silently simulating a truncated stream would skew every
+		// statistic while claiming the configured instruction count.
+		if err := finish(); err != nil {
+			return nil, fmt.Errorf("core: replaying %s: %w", cfg.Trace, err)
+		}
+	}
 
 	res := &Result{
 		Benchmark: name,

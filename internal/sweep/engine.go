@@ -37,6 +37,13 @@ type Options struct {
 	// Progress, when non-nil, receives a completion event per finished
 	// job. Calls are serialized by the engine.
 	Progress Progress
+	// TraceDir, when non-empty, resolves benchmark names to captured
+	// trace files (<dir>/<benchmark>.wct, written by tracegen -capture):
+	// jobs whose benchmark has a valid capture covering the run replay it
+	// instead of re-walking the generator, which skips all generation
+	// cost while producing identical results. Benchmarks without a usable
+	// capture fall back to the walker.
+	TraceDir string
 }
 
 // Engine executes sweeps on a bounded worker pool.
@@ -45,6 +52,7 @@ type Engine struct {
 	store    *Store
 	progress Progress
 	progMu   sync.Mutex
+	traces   *traceResolver
 }
 
 // New creates an engine.
@@ -55,16 +63,20 @@ func New(o Options) *Engine {
 	if o.Store == nil {
 		o.Store = NewStore()
 	}
-	return &Engine{workers: o.Workers, store: o.Store, progress: o.Progress}
+	return &Engine{
+		workers: o.Workers, store: o.Store, progress: o.Progress,
+		traces: newTraceResolver(o.TraceDir),
+	}
 }
 
 // Store returns the engine's result store (for memo-hit accounting and
 // sharing with other engines).
 func (e *Engine) Store() *Store { return e.store }
 
-// Result simulates (or recalls) a single configuration through the store.
+// Result simulates (or recalls) a single configuration through the store,
+// replaying a captured trace when the engine's trace directory has one.
 func (e *Engine) Result(cfg core.Config) (*core.Result, error) {
-	return e.store.Result(cfg)
+	return e.store.Result(e.traces.resolve(cfg))
 }
 
 // RunConfigs simulates every config on the worker pool and returns results
@@ -101,7 +113,7 @@ func (e *Engine) RunConfigs(ctx context.Context, cfgs []core.Config) ([]*core.Re
 				if runCtx.Err() != nil {
 					continue // drain remaining jobs without running them
 				}
-				res, err := e.store.Result(cfgs[i])
+				res, err := e.store.Result(e.traces.resolve(cfgs[i]))
 				if err != nil {
 					errOnce.Do(func() { runErr = err; cancel() })
 					continue

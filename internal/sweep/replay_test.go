@@ -1,0 +1,164 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"waycache/internal/access"
+	"waycache/internal/core"
+	"waycache/internal/trace"
+	"waycache/internal/workload"
+)
+
+func captureBench(t *testing.T, dir, bench string, n int64) string {
+	t.Helper()
+	p, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, bench+trace.FileExt)
+	if err := p.CaptureFile(path, n); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTraceDirSweepByteIdentical is the acceptance property: a sweep run
+// from captured traces emits byte-identical JSON and CSV to the same sweep
+// run from the live walkers.
+func TestTraceDirSweepByteIdentical(t *testing.T) {
+	const insts = 20_000
+	dir := t.TempDir()
+	captureBench(t, dir, "gcc", insts)
+	captureBench(t, dir, "swim", insts)
+
+	g := Grid{
+		Benchmarks: []string{"gcc", "swim"},
+		DPolicies:  []access.DPolicy{access.DParallel, access.DSelDMWayPred},
+		Insts:      insts,
+	}
+	ctx := context.Background()
+
+	walkEng := New(Options{Workers: 4})
+	walkSweep, err := walkEng.Run(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traceEng := New(Options{Workers: 4, TraceDir: dir})
+	results, err := traceEng.RunConfigs(ctx, g.Configs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Config.Trace == "" {
+			t.Fatalf("config %d did not resolve to a captured trace", i)
+		}
+	}
+	traceSweep := NewSweep(results)
+
+	var wantJSON, gotJSON, wantCSV, gotCSV bytes.Buffer
+	if err := walkSweep.WriteJSON(&wantJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := traceSweep.WriteJSON(&gotJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON.Bytes(), gotJSON.Bytes()) {
+		t.Fatal("trace-replayed sweep JSON differs from walker sweep JSON")
+	}
+	if err := walkSweep.WriteCSV(&wantCSV); err != nil {
+		t.Fatal(err)
+	}
+	if err := traceSweep.WriteCSV(&gotCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantCSV.Bytes(), gotCSV.Bytes()) {
+		t.Fatal("trace-replayed sweep CSV differs from walker sweep CSV")
+	}
+}
+
+// TestTraceDirFallsBackToWalker: benchmarks without a usable capture must
+// silently simulate from the generator.
+func TestTraceDirFallsBackToWalker(t *testing.T) {
+	const insts = 5_000
+	dir := t.TempDir()
+	captureBench(t, dir, "gcc", insts)
+
+	eng := New(Options{Workers: 2, TraceDir: dir})
+	ctx := context.Background()
+	cfgs := []core.Config{
+		{Benchmark: "gcc", Insts: insts},  // has a capture
+		{Benchmark: "swim", Insts: insts}, // no capture on disk
+	}
+	results, err := eng.RunConfigs(ctx, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Config.Trace == "" {
+		t.Fatal("gcc did not replay its capture")
+	}
+	if results[1].Config.Trace != "" {
+		t.Fatal("swim resolved a trace that does not exist")
+	}
+	if results[1].Benchmark != "swim" || results[1].Cycles() == 0 {
+		t.Fatal("walker fallback did not simulate")
+	}
+}
+
+func TestTraceDirRejectsShortCapture(t *testing.T) {
+	dir := t.TempDir()
+	captureBench(t, dir, "gcc", 1_000)
+	eng := New(Options{TraceDir: dir})
+	res, err := eng.Result(core.Config{Benchmark: "gcc", Insts: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.Trace != "" {
+		t.Fatal("a 1k-instruction capture was used for a 50k-instruction run")
+	}
+}
+
+func TestTraceDirRejectsStaleSeed(t *testing.T) {
+	const insts = int64(2_000)
+	dir := t.TempDir()
+	p, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A capture whose header seed no longer matches the profile models a
+	// stale file from before a generator change: it must be ignored.
+	path := filepath.Join(dir, "gcc"+trace.FileExt)
+	h := trace.Header{Benchmark: "gcc", Seed: p.Seed + 1, Insts: insts}
+	if err := trace.CaptureFile(path, h, p.NewWalker()); err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Options{TraceDir: dir})
+	res, err := eng.Result(core.Config{Benchmark: "gcc", Insts: insts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.Trace != "" {
+		t.Fatal("stale-seed capture was replayed")
+	}
+}
+
+func TestTraceDirIgnoresCorruptFile(t *testing.T) {
+	const insts = int64(2_000)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gcc"+trace.FileExt)
+	if err := os.WriteFile(path, []byte("not a trace file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Options{TraceDir: dir})
+	res, err := eng.Result(core.Config{Benchmark: "gcc", Insts: insts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.Trace != "" {
+		t.Fatal("corrupt file was treated as a trace")
+	}
+}

@@ -1,0 +1,77 @@
+package sweep
+
+import (
+	"path/filepath"
+	"sync"
+
+	"waycache/internal/core"
+	"waycache/internal/trace"
+	"waycache/internal/workload"
+)
+
+// traceResolver maps benchmark names to captured trace files under a
+// directory, so the engine can replay recorded streams instead of
+// re-walking the synthetic generators on every sweep. Resolution is
+// conservative: a trace is used only when its header proves it mirrors the
+// requested run (right benchmark, the workload's current seed, enough
+// instructions); anything else silently falls back to the walker, which is
+// always correct, just slower.
+type traceResolver struct {
+	dir string
+
+	mu     sync.Mutex
+	probes map[string]traceProbe // benchmark -> probe result, cached per engine
+}
+
+type traceProbe struct {
+	path string
+	h    trace.Header
+	ok   bool // file exists, parses, and matches the benchmark's generator
+}
+
+func newTraceResolver(dir string) *traceResolver {
+	if dir == "" {
+		return nil
+	}
+	return &traceResolver{dir: dir, probes: make(map[string]traceProbe)}
+}
+
+// resolve returns cfg pointed at a captured trace when one covers the run,
+// or cfg unchanged. A nil resolver resolves nothing.
+func (r *traceResolver) resolve(cfg core.Config) core.Config {
+	if r == nil || cfg.Source != nil || cfg.Trace != "" || cfg.Benchmark == "" {
+		return cfg
+	}
+	p := r.probe(cfg.Benchmark)
+	// Insts == 0 headers are rejected here even though core could replay
+	// them: without a declared count we cannot know up front that the file
+	// covers the run, and a mid-sweep fallback would not be possible.
+	if !p.ok || p.h.Insts <= 0 || p.h.Insts < cfg.Canonical().Insts {
+		return cfg
+	}
+	cfg.Trace = p.path
+	return cfg
+}
+
+// probe inspects <dir>/<benchmark>.wct once per engine and caches the
+// verdict; concurrent workers share the cached header.
+func (r *traceResolver) probe(bench string) traceProbe {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.probes[bench]; ok {
+		return p
+	}
+	p := traceProbe{path: filepath.Join(r.dir, bench+trace.FileExt)}
+	if f, err := trace.Open(p.path); err == nil {
+		p.h = f.Header()
+		f.Close()
+		if prof, err := workload.ByName(bench); err == nil {
+			// The seed check catches stale captures: a trace recorded
+			// before a profile's seed (and thus its stream) changed no
+			// longer mirrors the walker and must not stand in for it.
+			p.ok = p.h.Benchmark == bench && p.h.Seed == prof.Seed
+		}
+	}
+	r.probes[bench] = p
+	return p
+}

@@ -1,0 +1,466 @@
+package trace
+
+// Trace files: a versioned, varint-delta-compressed binary encoding of
+// Inst streams, so sweeps and experiments can replay captured workloads
+// instead of re-walking the synthetic generators (and so external tools
+// can feed the simulator recorded streams of their own). The byte-level
+// format is specified in docs/TRACE_FORMAT.md; Writer and Reader are the
+// canonical implementations of that spec.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"waycache/internal/isa"
+)
+
+// Magic identifies a waycache trace file. It is followed by a one-byte
+// format version.
+const Magic = "WCTR"
+
+// FormatVersion is the record-encoding version this package writes.
+// Readers accept exactly this version: the version byte governs the
+// record encoding, while header fields are tagged and length-prefixed so
+// adding header fields does not require a version bump (old readers skip
+// tags they do not know).
+const FormatVersion = 1
+
+// FileExt is the conventional extension for captured trace files. The
+// sweep engine resolves benchmark names against <dir>/<benchmark>.wct.
+const FileExt = ".wct"
+
+// Header describes a captured trace. It is written after the magic and
+// version and returned by Reader.Header.
+type Header struct {
+	// Benchmark names the workload the trace was captured from (empty or
+	// "custom" for non-suite sources).
+	Benchmark string
+	// Seed is the workload seed the capture ran with. Replay consumers
+	// compare it against the generator's current seed to verify a trace
+	// still mirrors the workload it claims to.
+	Seed uint64
+	// Insts is the number of records in the file; 0 means unknown (the
+	// reader then consumes records until EOF).
+	Insts int64
+}
+
+// Header field tags. Each field is a uvarint tag, a uvarint payload
+// length, and the payload, so readers skip tags they do not understand.
+const (
+	tagBenchmark = 1 // payload: UTF-8 name
+	tagSeed      = 2 // payload: uvarint
+	tagInsts     = 3 // payload: uvarint
+)
+
+// Record opcode layout (one byte): the low nibble is the isa.Kind, the
+// high bits flag optional fields. Flag bits that are meaningless for a
+// record's kind must be zero; readers reject records that set them, which
+// turns most corruption into a clean error instead of a silently skewed
+// simulation.
+const (
+	opKindMask  = 0x0f
+	opPCDelta   = 0x10 // PC differs from the previous record's fall-through
+	opTaken     = 0x20 // control transfer taken (control kinds only)
+	opRegs      = 0x40 // Dst/Src1/Src2 bytes follow
+	opBaseValue = 0x80 // explicit BaseValue delta follows (memory kinds only)
+)
+
+// headerFieldCap bounds header field payloads (and the field count) so a
+// corrupt length prefix cannot drive a huge allocation.
+const headerFieldCap = 1 << 20
+
+func zigzagEncode(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+func zigzagDecode(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Writer streams Inst records into the trace file format. Records are
+// delta-compressed against decoder-reconstructible state (previous PC
+// fall-through, previous memory address), so a well-formed stream costs a
+// few bytes per instruction.
+type Writer struct {
+	w        *bufio.Writer
+	h        Header
+	written  int64
+	nextPC   uint64 // expected PC of the next record
+	prevAddr uint64
+	buf      []byte // per-record scratch, reused across Write calls
+	err      error
+	closed   bool
+}
+
+// NewWriter writes the magic, version and header for h to w and returns a
+// Writer appending records to it. If h.Insts is positive, Close verifies
+// exactly that many records were written.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	if h.Insts < 0 {
+		return nil, fmt.Errorf("trace: negative instruction count %d", h.Insts)
+	}
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, h); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, h: h}, nil
+}
+
+func writeHeader(bw *bufio.Writer, h Header) error {
+	fields := []struct {
+		tag     uint64
+		payload []byte
+	}{
+		{tagBenchmark, []byte(h.Benchmark)},
+		{tagSeed, binary.AppendUvarint(nil, h.Seed)},
+		{tagInsts, binary.AppendUvarint(nil, uint64(h.Insts))},
+	}
+	buf := make([]byte, 0, 64)
+	buf = append(buf, Magic...)
+	buf = append(buf, FormatVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(fields)))
+	for _, f := range fields {
+		buf = binary.AppendUvarint(buf, f.tag)
+		buf = binary.AppendUvarint(buf, uint64(len(f.payload)))
+		buf = append(buf, f.payload...)
+	}
+	_, err := bw.Write(buf)
+	return err
+}
+
+// Write appends one instruction record.
+func (w *Writer) Write(in *Inst) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return fmt.Errorf("trace: write after Close")
+	}
+	if int(in.Kind) >= isa.NumKinds {
+		w.err = fmt.Errorf("trace: invalid instruction kind %d", in.Kind)
+		return w.err
+	}
+	// The format only persists the payload fields meaningful for the
+	// record's kind; reject records carrying anything it would drop, so a
+	// successful capture is guaranteed to round-trip losslessly.
+	switch {
+	case in.Kind.IsMem():
+		if in.Taken || in.Target != 0 {
+			w.err = fmt.Errorf("trace: memory record %d (%s) carries control payload", w.written, in.Kind)
+			return w.err
+		}
+	case in.Kind.IsControl():
+		if in.Addr != 0 || in.BaseValue != 0 || in.Offset != 0 {
+			w.err = fmt.Errorf("trace: control record %d (%s) carries memory payload", w.written, in.Kind)
+			return w.err
+		}
+	default:
+		if in.Taken || in.Target != 0 || in.Addr != 0 || in.BaseValue != 0 || in.Offset != 0 {
+			w.err = fmt.Errorf("trace: compute record %d (%s) carries memory or control payload", w.written, in.Kind)
+			return w.err
+		}
+	}
+	op := byte(in.Kind)
+	b := append(w.buf[:0], 0) // opcode placeholder
+	if in.PC != w.nextPC {
+		op |= opPCDelta
+		b = binary.AppendUvarint(b, zigzagEncode(int64(in.PC-w.nextPC)))
+	}
+	if in.Dst != isa.RegZero || in.Src1 != isa.RegZero || in.Src2 != isa.RegZero {
+		op |= opRegs
+		b = append(b, byte(in.Dst), byte(in.Src1), byte(in.Src2))
+	}
+	switch {
+	case in.Kind.IsMem():
+		b = binary.AppendUvarint(b, zigzagEncode(int64(in.Addr-w.prevAddr)))
+		b = binary.AppendUvarint(b, zigzagEncode(int64(in.Offset)))
+		// BaseValue normally satisfies Addr == BaseValue + offset and
+		// costs nothing; streams that break the invariant store it
+		// explicitly so the round trip stays lossless.
+		if in.Addr-uint64(int64(in.Offset)) != in.BaseValue {
+			op |= opBaseValue
+			b = binary.AppendUvarint(b, zigzagEncode(int64(in.BaseValue-in.Addr)))
+		}
+		w.prevAddr = in.Addr
+	case in.Kind.IsControl():
+		if in.Taken {
+			op |= opTaken
+		}
+		b = binary.AppendUvarint(b, zigzagEncode(int64(in.Target-in.PC)))
+	}
+	b[0] = op
+	w.buf = b
+	if _, err := w.w.Write(b); err != nil {
+		w.err = err
+		return err
+	}
+	w.nextPC = in.PC + isa.InstBytes
+	w.written++
+	return nil
+}
+
+// Written returns the number of records written so far.
+func (w *Writer) Written() int64 { return w.written }
+
+// Close flushes buffered records and verifies the declared instruction
+// count. It does not close the underlying writer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return w.err
+	}
+	w.closed = true
+	if ferr := w.w.Flush(); w.err == nil {
+		w.err = ferr
+	}
+	if w.err == nil && w.h.Insts > 0 && w.written != w.h.Insts {
+		w.err = fmt.Errorf("trace: header declares %d instructions, wrote %d", w.h.Insts, w.written)
+	}
+	return w.err
+}
+
+// Reader decodes a trace file and implements Source. After Next returns
+// false, Err distinguishes clean end-of-trace (nil) from corruption or a
+// truncated file.
+type Reader struct {
+	r        *bufio.Reader
+	h        Header
+	read     int64
+	nextPC   uint64
+	prevAddr uint64
+	err      error
+}
+
+// NewReader validates the magic and version and decodes the header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	h, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{r: br, h: h}, nil
+}
+
+func readHeader(br *bufio.Reader) (Header, error) {
+	var h Header
+	prefix := make([]byte, len(Magic)+1)
+	if _, err := io.ReadFull(br, prefix); err != nil {
+		return h, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(prefix[:len(Magic)]) != Magic {
+		return h, fmt.Errorf("trace: bad magic %q (not a trace file)", prefix[:len(Magic)])
+	}
+	if v := prefix[len(Magic)]; v != FormatVersion {
+		return h, fmt.Errorf("trace: unsupported format version %d (reader speaks %d)", v, FormatVersion)
+	}
+	nfields, err := binary.ReadUvarint(br)
+	if err != nil || nfields > headerFieldCap {
+		return h, fmt.Errorf("trace: corrupt header field count")
+	}
+	for i := uint64(0); i < nfields; i++ {
+		tag, err := binary.ReadUvarint(br)
+		if err != nil {
+			return h, fmt.Errorf("trace: corrupt header field tag: %w", err)
+		}
+		plen, err := binary.ReadUvarint(br)
+		if err != nil || plen > headerFieldCap {
+			return h, fmt.Errorf("trace: corrupt header field length")
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return h, fmt.Errorf("trace: truncated header field: %w", err)
+		}
+		switch tag {
+		case tagBenchmark:
+			h.Benchmark = string(payload)
+		case tagSeed:
+			v, n := binary.Uvarint(payload)
+			if n <= 0 {
+				return h, fmt.Errorf("trace: corrupt seed field")
+			}
+			h.Seed = v
+		case tagInsts:
+			v, n := binary.Uvarint(payload)
+			if n <= 0 || v > math.MaxInt64 {
+				return h, fmt.Errorf("trace: corrupt instruction-count field")
+			}
+			h.Insts = int64(v)
+		default:
+			// Unknown field from a newer writer: skipped by construction.
+		}
+	}
+	return h, nil
+}
+
+// Header returns the decoded file header.
+func (r *Reader) Header() Header { return r.h }
+
+// Count returns the number of records decoded so far.
+func (r *Reader) Count() int64 { return r.read }
+
+// Err returns the first decode error, or nil if the trace ended cleanly.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fail(format string, args ...any) bool {
+	r.err = fmt.Errorf("trace: record %d: %s", r.read, fmt.Sprintf(format, args...))
+	return false
+}
+
+func (r *Reader) varint() (int64, error) {
+	u, err := binary.ReadUvarint(r.r)
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return zigzagDecode(u), err
+}
+
+// Next implements Source: it decodes the next record into *out, returning
+// false at end of trace or on error (see Err).
+func (r *Reader) Next(out *Inst) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.h.Insts > 0 && r.read >= r.h.Insts {
+		return false
+	}
+	op, err := r.r.ReadByte()
+	if err == io.EOF {
+		if r.h.Insts > 0 {
+			return r.fail("file ends after %d of %d declared records", r.read, r.h.Insts)
+		}
+		return false
+	}
+	if err != nil {
+		r.err = err
+		return false
+	}
+	kind := isa.Kind(op & opKindMask)
+	if int(kind) >= isa.NumKinds {
+		return r.fail("invalid kind %d", kind)
+	}
+	*out = Inst{Kind: kind}
+	pc := r.nextPC
+	if op&opPCDelta != 0 {
+		d, err := r.varint()
+		if err != nil {
+			return r.fail("pc delta: %v", err)
+		}
+		pc += uint64(d)
+	}
+	out.PC = pc
+	if op&opRegs != 0 {
+		var regs [3]byte
+		if _, err := io.ReadFull(r.r, regs[:]); err != nil {
+			return r.fail("registers: %v", err)
+		}
+		out.Dst, out.Src1, out.Src2 = isa.Reg(regs[0]), isa.Reg(regs[1]), isa.Reg(regs[2])
+	}
+	switch {
+	case kind.IsMem():
+		if op&opTaken != 0 {
+			return r.fail("taken flag on memory kind %s", kind)
+		}
+		ad, err := r.varint()
+		if err != nil {
+			return r.fail("address delta: %v", err)
+		}
+		off, err := r.varint()
+		if err != nil {
+			return r.fail("offset: %v", err)
+		}
+		if off < math.MinInt32 || off > math.MaxInt32 {
+			return r.fail("offset %d outside int32", off)
+		}
+		addr := r.prevAddr + uint64(ad)
+		out.Addr = addr
+		out.Offset = int32(off)
+		out.BaseValue = addr - uint64(off)
+		if op&opBaseValue != 0 {
+			bd, err := r.varint()
+			if err != nil {
+				return r.fail("base value delta: %v", err)
+			}
+			out.BaseValue = addr + uint64(bd)
+		}
+		r.prevAddr = addr
+	case kind.IsControl():
+		if op&opBaseValue != 0 {
+			return r.fail("base-value flag on control kind %s", kind)
+		}
+		td, err := r.varint()
+		if err != nil {
+			return r.fail("target delta: %v", err)
+		}
+		out.Target = pc + uint64(td)
+		out.Taken = op&opTaken != 0
+	default:
+		if op&(opTaken|opBaseValue) != 0 {
+			return r.fail("payload flags %#x on compute kind %s", op&(opTaken|opBaseValue), kind)
+		}
+	}
+	r.nextPC = pc + isa.InstBytes
+	r.read++
+	return true
+}
+
+// File is an open trace file: a Reader over the file plus its handle.
+type File struct {
+	Reader
+	f *os.File
+}
+
+// Open opens a captured trace file for replay.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &File{Reader: *r, f: f}, nil
+}
+
+// Close closes the underlying file.
+func (f *File) Close() error { return f.f.Close() }
+
+// Capture streams instructions from src into the trace format on w: h.Insts
+// of them when positive (erroring if src runs dry first, via the Writer's
+// declared-count check), or all of src when h.Insts is 0. It returns the
+// number of records written. Sources like the workload walkers are
+// infinite, so captures from them must declare a count.
+func Capture(w io.Writer, h Header, src Source) (int64, error) {
+	tw, err := NewWriter(w, h)
+	if err != nil {
+		return 0, err
+	}
+	var in Inst
+	for h.Insts == 0 || tw.Written() < h.Insts {
+		if !src.Next(&in) {
+			break
+		}
+		if err := tw.Write(&in); err != nil {
+			return tw.Written(), err
+		}
+	}
+	return tw.Written(), tw.Close()
+}
+
+// CaptureFile captures to a file at path, creating or truncating it. On
+// error the partial file is removed.
+func CaptureFile(path string, h Header, src Source) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := Capture(f, h, src); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return err
+	}
+	return nil
+}

@@ -4,6 +4,13 @@
 // A trace is the moral equivalent of a SimpleScalar sim-outorder dynamic
 // stream: each record carries the architectural information timing and
 // energy models need, and nothing else.
+//
+// Streams flow through the Source interface, which live workload walkers,
+// in-memory test sources, and replayed capture files all implement. The
+// on-disk capture format (file.go: Writer, Reader, Capture, Open; spec in
+// docs/TRACE_FORMAT.md) is versioned and varint-delta-compressed, so
+// sweeps replay recorded workloads byte-identically without re-walking
+// the generators.
 package trace
 
 import "waycache/internal/isa"

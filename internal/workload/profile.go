@@ -15,6 +15,7 @@ import (
 	"waycache/internal/isa"
 	"waycache/internal/prng"
 	"waycache/internal/program"
+	"waycache/internal/trace"
 )
 
 // Memory-layout bases for generated data regions.
@@ -115,6 +116,15 @@ func (p Profile) MustBuild() *program.Program {
 // independently of program construction.
 func (p Profile) NewWalker() *program.Walker {
 	return program.NewWalker(p.MustBuild(), p.Seed^0x9e3779b9)
+}
+
+// CaptureFile records the first n instructions of the benchmark's dynamic
+// stream to a trace file at path (see docs/TRACE_FORMAT.md). The header
+// carries the profile's name and seed, which replay consumers verify
+// before substituting the file for the live walker.
+func (p Profile) CaptureFile(path string, n int64) error {
+	h := trace.Header{Benchmark: p.Name, Seed: p.Seed, Insts: n}
+	return trace.CaptureFile(path, h, p.NewWalker())
 }
 
 type generator struct {
