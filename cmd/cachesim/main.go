@@ -7,6 +7,13 @@
 //	cachesim -bench swim -dpolicy sequential -dlatency 2
 //	cachesim -bench fpppp -dways 8
 //	cachesim -trace traces/gcc.wct -dpolicy seldm+waypred
+//	cachesim -bench gcc -dpolicy seldm+waypred -store results/
+//
+// With -store naming a directory, the run is memoized in the on-disk
+// result store shared with sweep/experiments/waycached: a configuration
+// simulated by any of them (including a previous cachesim call) is
+// recalled from disk instead of re-simulated, and fresh runs extend the
+// store.
 //
 // With -trace the simulator replays a captured trace file (written by
 // tracegen -capture) instead of walking the named benchmark's generator;
@@ -21,6 +28,7 @@ import (
 
 	"waycache/internal/access"
 	"waycache/internal/core"
+	"waycache/internal/sweep"
 )
 
 var dPolicies = map[string]access.DPolicy{
@@ -50,6 +58,7 @@ func main() {
 	iways := flag.Int("iways", 4, "i-cache associativity")
 	dlat := flag.Int("dlatency", 1, "base d-cache hit latency (cycles)")
 	baseline := flag.Bool("baseline", false, "also run the parallel baseline and print relative metrics")
+	storeDir := flag.String("store", "", "directory of the on-disk result store; known configurations are recalled, fresh ones stored")
 	flag.Parse()
 
 	dp, ok := dPolicies[*dpol]
@@ -81,7 +90,31 @@ func main() {
 			cfg.Benchmark = ""
 		}
 	}
-	res, err := core.Run(cfg)
+	// run simulates through the store when -store is set (recalling known
+	// configurations from disk), or directly otherwise.
+	run := core.Run
+	if *storeDir != "" {
+		store, db, err := sweep.OpenDiskStore(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			if cerr := db.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "cachesim: closing store:", cerr)
+			}
+			if berr := store.BackendErr(); berr != nil {
+				fmt.Fprintln(os.Stderr, "cachesim: warning: result store degraded:", berr)
+			}
+		}()
+		run = store.Result
+		defer func() {
+			fmt.Fprintf(os.Stderr, "[store: %d simulated, %d recalled, %d results in store]\n",
+				store.Misses(), store.Hits(), store.Len())
+		}()
+	}
+
+	res, err := run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -106,7 +139,7 @@ func main() {
 	if *baseline {
 		bcfg := cfg
 		bcfg.DPolicy, bcfg.IPolicy = access.DParallel, access.IParallel
-		base, err := core.Run(bcfg)
+		base, err := run(bcfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -6,6 +6,12 @@
 //	experiments -run table4,fig6,fig11 -insts 1000000
 //	experiments -run fig8 -benchmarks gcc,swim -workers 4
 //	experiments -run table5 -json > table5.json
+//	experiments -run all -store results/   # recall cells simulated before
+//
+// With -store naming a directory, simulations are memoized in the on-disk
+// result store (internal/resultdb) shared with cmd/sweep and waycached, so
+// re-running experiments — or running them after a sweep over the same
+// configurations — recalls results instead of re-simulating them.
 //
 // Each experiment prints the same rows/series the paper reports, produced
 // by full simulations of the synthetic benchmark suite. Simulations run
@@ -25,6 +31,7 @@ import (
 	"time"
 
 	"waycache/internal/experiments"
+	"waycache/internal/resultdb"
 	"waycache/internal/sweep"
 )
 
@@ -33,6 +40,7 @@ func main() {
 	insts := flag.Int64("insts", 400_000, "instructions per benchmark per configuration")
 	benches := flag.String("benchmarks", "", "comma-separated benchmark subset (default: full suite)")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulations")
+	storeDir := flag.String("store", "", "directory of the on-disk result store; repeated runs recall results instead of re-simulating")
 	jsonOut := flag.Bool("json", false, "emit a JSON array of {name, summary} instead of text tables")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Parse()
@@ -46,7 +54,22 @@ func main() {
 
 	// One engine for the whole invocation: experiments share its store, so
 	// e.g. fig4..fig6 and table5 simulate their common baselines once.
-	eng := sweep.New(sweep.Options{Workers: *workers})
+	// With -store that memoization extends across invocations via disk.
+	store := sweep.NewStore()
+	if *storeDir != "" {
+		var db *resultdb.DB
+		var err error
+		if store, db, err = sweep.OpenDiskStore(*storeDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			if cerr := db.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "experiments: closing store:", cerr)
+			}
+		}()
+	}
+	eng := sweep.New(sweep.Options{Workers: *workers, Store: store})
 	opts := experiments.Options{Insts: *insts, Workers: *workers, Engine: eng}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
@@ -95,6 +118,9 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "[sweep store: %d simulations, %d memo hits]\n",
-		eng.Store().Misses(), eng.Store().Hits())
+	fmt.Fprintf(os.Stderr, "[sweep store: %d simulations, %d memo hits, %d results in store]\n",
+		eng.Store().Misses(), eng.Store().Hits(), eng.Store().Len())
+	if berr := eng.Store().BackendErr(); berr != nil {
+		fmt.Fprintln(os.Stderr, "experiments: warning: result store degraded:", berr)
+	}
 }

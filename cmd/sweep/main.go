@@ -9,6 +9,13 @@
 //	sweep -dsizes 8k,16k,32k,64k -dpolicies seldm+waypred -insts 1000000
 //	sweep -benchmarks all -dways 1,4 -shard 0/4   # first quarter of the grid
 //	sweep -benchmarks all -dpolicies all -trace traces   # replay captures
+//	sweep -benchmarks all -dpolicies all -store results/   # incremental runs
+//
+// With -store naming a directory, results are memoized in the crash-safe
+// on-disk store (internal/resultdb) that waycached serves: a re-run of an
+// identical grid simulates nothing — every cell is recalled from disk with
+// byte-identical output — and an overlapping grid simulates only its new
+// cells.
 //
 // With -trace naming a directory of captured trace files (written by
 // tracegen -capture, one <benchmark>.wct per benchmark), cells whose
@@ -33,11 +40,9 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
-	"strconv"
-	"strings"
 
+	"waycache/internal/resultdb"
 	"waycache/internal/sweep"
-	"waycache/internal/workload"
 )
 
 func main() {
@@ -61,6 +66,7 @@ func run() error {
 	tsizes := flag.String("tablesizes", "", "prediction-table sizes, e.g. 512,1024,2048")
 	vsizes := flag.String("victimsizes", "", "victim-list sizes, e.g. 4,16,64")
 	insts := flag.Int64("insts", 400_000, "instructions per configuration")
+	storeDir := flag.String("store", "", "directory of the on-disk result store; repeated runs recall results instead of re-simulating")
 	traceDir := flag.String("trace", "", "directory of captured traces (<benchmark>.wct); matching benchmarks replay instead of re-walking")
 	paperCosts := flag.Bool("papercosts", false, "use the paper's Table 3 energy constants instead of mini-CACTI")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulations")
@@ -72,7 +78,7 @@ func run() error {
 
 	g := sweep.Grid{Insts: *insts, UsePaperCosts: *paperCosts}
 	var err error
-	if g.Benchmarks, err = parseBenchmarks(*benches); err != nil {
+	if g.Benchmarks, err = sweep.ParseBenchmarks(*benches); err != nil {
 		return err
 	}
 	if g.DPolicies, err = sweep.ParseDPolicies(*dpols); err != nil {
@@ -89,7 +95,7 @@ func run() error {
 		{*isizes, &g.ISizes}, {*iways, &g.IWays}, {*iblocks, &g.IBlocks},
 		{*dlats, &g.DLatencies}, {*tsizes, &g.TableSizes}, {*vsizes, &g.VictimSizes},
 	} {
-		if *dim.dst, err = parseInts(dim.flag); err != nil {
+		if *dim.dst, err = sweep.ParseIntList(dim.flag); err != nil {
 			return err
 		}
 	}
@@ -108,6 +114,19 @@ func run() error {
 
 	opts := sweep.Options{Workers: *workers, TraceDir: *traceDir}
 	store := sweep.NewStore()
+	if *storeDir != "" {
+		var db *resultdb.DB
+		if store, db, err = sweep.OpenDiskStore(*storeDir); err != nil {
+			return err
+		}
+		// Close writes the index snapshot; results are already durable in
+		// the log, so a close failure is worth a warning, not a bad exit.
+		defer func() {
+			if cerr := db.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "sweep: closing store:", cerr)
+			}
+		}()
+	}
 	opts.Store = store
 	if *progress {
 		opts.Progress = sweep.TextProgress(os.Stderr, store)
@@ -147,53 +166,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "sweep: done — %d records, %d simulated, %d memo hits\n",
-		len(sw.Records), store.Misses(), store.Hits())
+	fmt.Fprintf(os.Stderr, "sweep: done — %d records, %d simulated, %d memo hits, %d results in store\n",
+		len(sw.Records), store.Misses(), store.Hits(), store.Len())
+	if berr := store.BackendErr(); berr != nil {
+		fmt.Fprintln(os.Stderr, "sweep: warning: result store degraded:", berr)
+	}
 	return nil
-}
-
-// parseBenchmarks resolves "all" or a comma list against the suite.
-func parseBenchmarks(s string) ([]string, error) {
-	if strings.TrimSpace(s) == "all" {
-		return workload.Names(), nil
-	}
-	var names []string
-	for _, n := range strings.Split(s, ",") {
-		n = strings.TrimSpace(n)
-		if n == "" {
-			continue
-		}
-		if _, err := workload.ByName(n); err != nil {
-			return nil, err
-		}
-		names = append(names, n)
-	}
-	return names, nil
-}
-
-// parseInts parses a comma-separated int list; values may carry k/m
-// (binary) suffixes, so "16k" is 16384.
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, f := range strings.Split(s, ",") {
-		f = strings.TrimSpace(f)
-		if f == "" {
-			continue
-		}
-		mult := 1
-		switch {
-		case strings.HasSuffix(strings.ToLower(f), "k"):
-			mult, f = 1<<10, f[:len(f)-1]
-		case strings.HasSuffix(strings.ToLower(f), "m"):
-			mult, f = 1<<20, f[:len(f)-1]
-		}
-		v, err := strconv.Atoi(f)
-		if err != nil {
-			return nil, fmt.Errorf("bad dimension value %q", f)
-		}
-		out = append(out, v*mult)
-	}
-	return out, nil
 }
 
 // parseShard parses "i/n".

@@ -1,0 +1,96 @@
+// Command waycached is the long-lived HTTP sweep service: submit design
+// space grids, poll their progress, and query or aggregate the accumulated
+// result corpus — without re-simulating anything a previous job or process
+// already ran.
+//
+// Usage:
+//
+//	waycached -addr :8080 -store results/
+//	waycached -addr 127.0.0.1:9090 -workers 8 -trace traces/
+//
+// With -store the service fronts the crash-safe on-disk result database in
+// that directory (internal/resultdb): results survive restarts, and the
+// corpus written by offline `sweep -store` runs is immediately servable.
+// Without it, results live only in process memory.
+//
+// Endpoints (full reference with examples in docs/HTTP_API.md):
+//
+//	POST /api/v1/jobs                 submit a sweep.Grid JSON body
+//	GET  /api/v1/jobs                 list jobs
+//	GET  /api/v1/jobs/{id}            poll one job's progress
+//	GET  /api/v1/jobs/{id}/results    finished records (json or csv),
+//	                                  byte-identical to cmd/sweep output
+//	GET  /api/v1/results              filter the whole corpus by
+//	                                  benchmark/policy/geometry
+//	GET  /api/v1/aggregate            group-by summaries over the corpus
+//	GET  /api/v1/stats                store and job counters
+//	GET  /healthz                     liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"time"
+
+	"waycache/internal/server"
+	"waycache/internal/sweep"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "waycached:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	storeDir := flag.String("store", "", "directory of the on-disk result store (empty: memory only)")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulations per job")
+	traceDir := flag.String("trace", "", "directory of captured traces (<benchmark>.wct) to replay")
+	flag.Parse()
+
+	opts := server.Options{Workers: *workers, TraceDir: *traceDir}
+	if *storeDir != "" {
+		store, db, err := sweep.OpenDiskStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		opts.Store = store
+		fmt.Fprintf(os.Stderr, "waycached: store %s holds %d results\n", *storeDir, store.Len())
+	} else {
+		opts.Store = sweep.NewStore()
+	}
+
+	srv := server.New(opts)
+	defer srv.Close()
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "waycached: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop accepting, let in-flight responses finish, then
+	// cancel the running job and flush the store index via the defers.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "waycached: shut down")
+	return nil
+}

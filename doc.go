@@ -19,6 +19,16 @@
 // experiments submit their simulations through the engine; cmd/sweep runs
 // arbitrary grids far beyond the paper's figures.
 //
+// The memoization behind the engine is pluggable (sweep.Backend): the
+// in-memory tier optionally fronts internal/resultdb, a crash-safe
+// append-only on-disk store of canonically-encoded results
+// (core.EncodeResult) keyed by core.Config.Key, so repeated runs across
+// processes recall finished configurations instead of re-simulating them
+// (the -store flag of cachesim, sweep and experiments). internal/server
+// and cmd/waycached expose the same engine and store as a long-lived HTTP
+// service — submit grids, poll job progress, query and aggregate the
+// accumulated corpus — documented in docs/HTTP_API.md.
+//
 // internal/trace additionally defines the capture/replay substrate: a
 // versioned, varint-delta-compressed on-disk format for dynamic
 // instruction streams (trace.Writer/trace.Reader) behind the same

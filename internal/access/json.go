@@ -1,0 +1,65 @@
+package access
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON encoding for the policy enums: policies marshal as the paper's
+// figure names ("parallel", "seldm+waypred", ...) so serialized configs —
+// persisted results, HTTP grid submissions — are self-describing, and
+// unmarshal from either a name or the legacy integer enum value.
+
+// MarshalJSON implements json.Marshaler.
+func (p DPolicy) MarshalJSON() ([]byte, error) { return json.Marshal(p.String()) }
+
+// UnmarshalJSON implements json.Unmarshaler, accepting a policy name or an
+// integer enum value.
+func (p *DPolicy) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		for cand := DParallel; cand <= DWayPredMRU; cand++ {
+			if cand.String() == s {
+				*p = cand
+				return nil
+			}
+		}
+		return fmt.Errorf("access: unknown d-cache policy %q", s)
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("access: d-cache policy must be a name or integer, got %s", data)
+	}
+	if n < int(DParallel) || n > int(DWayPredMRU) {
+		return fmt.Errorf("access: d-cache policy %d out of range", n)
+	}
+	*p = DPolicy(n)
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p IPolicy) MarshalJSON() ([]byte, error) { return json.Marshal(p.String()) }
+
+// UnmarshalJSON implements json.Unmarshaler, accepting a policy name or an
+// integer enum value.
+func (p *IPolicy) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		for _, cand := range []IPolicy{IParallel, IWayPred} {
+			if cand.String() == s {
+				*p = cand
+				return nil
+			}
+		}
+		return fmt.Errorf("access: unknown i-cache policy %q", s)
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("access: i-cache policy must be a name or integer, got %s", data)
+	}
+	if n < int(IParallel) || n > int(IWayPred) {
+		return fmt.Errorf("access: i-cache policy %d out of range", n)
+	}
+	*p = IPolicy(n)
+	return nil
+}

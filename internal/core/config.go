@@ -31,7 +31,10 @@ type Config struct {
 	// Benchmark names a workload.Suite profile. Leave empty and set Source
 	// or Trace to drive the simulator from a custom stream.
 	Benchmark string
-	Source    trace.Source // optional custom source (overrides Benchmark and Trace)
+	// Source is an optional custom source (overrides Benchmark and Trace).
+	// A config driving one has no canonical key or encoding, so such runs
+	// are never memoized or persisted (see Key and EncodeResult).
+	Source trace.Source `json:"-"`
 
 	// Trace is the path of a captured trace file (trace.Writer format; see
 	// docs/TRACE_FORMAT.md). When set, the simulation replays the file

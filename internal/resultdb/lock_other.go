@@ -1,0 +1,10 @@
+//go:build !unix
+
+package resultdb
+
+import "os"
+
+// lockLog is a no-op where flock is unavailable; non-unix platforms get
+// no concurrent-open protection and must serialize store access
+// themselves.
+func lockLog(*os.File) error { return nil }

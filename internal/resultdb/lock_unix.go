@@ -1,0 +1,23 @@
+//go:build unix
+
+package resultdb
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockLog takes an exclusive advisory flock on the open log file. The
+// store directory is single-writer by design (every process tracks its
+// own append offset), and the docs encourage sharing one directory across
+// sweep/experiments/cachesim/waycached — sequentially. The lock turns a
+// concurrent second open from silent log corruption into an immediate
+// error, and evaporates with the file descriptor on any exit, clean or
+// crashed, so there is no stale-lock recovery to get wrong.
+func lockLog(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return fmt.Errorf("resultdb: %s is locked by another process (close it first): %w", f.Name(), err)
+	}
+	return nil
+}

@@ -1,0 +1,381 @@
+package resultdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"waycache/internal/access"
+	"waycache/internal/core"
+)
+
+// testResults simulates a few tiny distinct runs once for the whole suite.
+var testResults []*core.Result
+
+func results(t *testing.T) []*core.Result {
+	t.Helper()
+	if testResults == nil {
+		for _, cfg := range []core.Config{
+			{Benchmark: "gcc", Insts: 5_000},
+			{Benchmark: "gcc", Insts: 5_000, DPolicy: access.DSelDMWayPred},
+			{Benchmark: "swim", Insts: 5_000, DPolicy: access.DSequential},
+		} {
+			r, err := core.Run(cfg)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			testResults = append(testResults, r)
+		}
+	}
+	return testResults
+}
+
+func keyOf(t *testing.T, r *core.Result) string {
+	t.Helper()
+	key, ok := r.Config.Key()
+	if !ok {
+		t.Fatalf("config has no key: %+v", r.Config)
+	}
+	return key
+}
+
+func fill(t *testing.T, db *DB) []string {
+	t.Helper()
+	var keys []string
+	for _, r := range results(t) {
+		key := keyOf(t, r)
+		if err := db.Put(key, r); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		keys = append(keys, key)
+	}
+	return keys
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	db, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer db.Close()
+
+	keys := fill(t, db)
+	if db.Len() != len(keys) {
+		t.Errorf("Len = %d, want %d", db.Len(), len(keys))
+	}
+	for i, r := range results(t) {
+		got, found, err := db.Get(keys[i])
+		if err != nil || !found {
+			t.Fatalf("Get(%q): found=%v err=%v", keys[i], found, err)
+		}
+		want := *r
+		want.Config = want.Config.Canonical()
+		if !reflect.DeepEqual(got, &want) {
+			t.Errorf("Get(%q) differs from stored result", keys[i])
+		}
+	}
+	if _, found, err := db.Get("no-such-key"); found || err != nil {
+		t.Errorf("Get(missing) = found=%v err=%v, want false,nil", found, err)
+	}
+}
+
+func TestReopenWithAndWithoutIndex(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	keys := fill(t, db)
+	if err := db.Close(); err != nil { // writes the index snapshot
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, IndexName)); err != nil {
+		t.Fatalf("Close left no index: %v", err)
+	}
+
+	check := func(label string) {
+		t.Helper()
+		db, err := Open(dir)
+		if err != nil {
+			t.Fatalf("%s: Open: %v", label, err)
+		}
+		defer db.Close()
+		if db.Len() != len(keys) {
+			t.Errorf("%s: Len = %d, want %d", label, db.Len(), len(keys))
+		}
+		if got := db.Keys(); !reflect.DeepEqual(got, keys) {
+			t.Errorf("%s: Keys = %v, want %v", label, got, keys)
+		}
+		for _, key := range keys {
+			if _, found, err := db.Get(key); !found || err != nil {
+				t.Errorf("%s: Get(%q): found=%v err=%v", label, key, found, err)
+			}
+		}
+	}
+
+	check("with index")
+
+	// The index is an optimization only: the store must reopen identically
+	// from the log alone (crash before Close never wrote one).
+	if err := os.Remove(filepath.Join(dir, IndexName)); err != nil {
+		t.Fatal(err)
+	}
+	check("without index")
+
+	// A corrupt index must be ignored, not trusted.
+	if err := os.WriteFile(filepath.Join(dir, IndexName), []byte("WCRIgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	check("corrupt index")
+}
+
+func TestStaleIndexCatchesUp(t *testing.T) {
+	// Crash pattern: index snapshot from an earlier Close, then more Puts,
+	// then no Close. Open must replay the snapshot and scan the rest.
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	first := results(t)[0]
+	if err := db.Put(keyOf(t, first), first); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err = Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	keys := fill(t, db) // first key deduplicates; two fresh records
+	// Simulate a crash: no Close, index still covers only the first record.
+	db.f.Close()
+
+	db, err = Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer db.Close()
+	if db.Len() != len(keys) {
+		t.Errorf("Len after stale-index reopen = %d, want %d", db.Len(), len(keys))
+	}
+	for _, key := range keys {
+		if _, found, err := db.Get(key); !found || err != nil {
+			t.Errorf("Get(%q) after stale-index reopen: found=%v err=%v", key, found, err)
+		}
+	}
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	keys := fill(t, db)
+	db.f.Close() // crash: no index snapshot
+
+	logPath := filepath.Join(dir, LogName)
+	intact, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		mut  func([]byte) []byte
+		want int // surviving records
+	}{
+		// A write torn mid-record loses only that record.
+		{"truncated tail", func(b []byte) []byte { return b[:len(b)-7] }, len(keys) - 1},
+		// A flipped byte in the last record fails its checksum.
+		{"corrupt tail", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-20] ^= 0xff
+			return c
+		}, len(keys) - 1},
+		// Garbage appended after valid records is dropped.
+		{"garbage tail", func(b []byte) []byte { return append(append([]byte(nil), b...), "partial"...) }, len(keys)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// A crash writes no index snapshot; drop any left by a previous
+			// subtest's clean Close so recovery exercises the log alone.
+			os.Remove(filepath.Join(dir, IndexName))
+			if err := os.WriteFile(logPath, tc.mut(append([]byte(nil), intact...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			db, err := Open(dir)
+			if err != nil {
+				t.Fatalf("Open after damage: %v", err)
+			}
+			if db.Len() != tc.want {
+				t.Fatalf("recovered %d records, want %d", db.Len(), tc.want)
+			}
+			for _, key := range keys[:tc.want] {
+				if _, found, err := db.Get(key); !found || err != nil {
+					t.Errorf("Get(%q): found=%v err=%v", key, found, err)
+				}
+			}
+			// The store must stay writable after recovery: re-put the lost
+			// record and read everything back.
+			for i, r := range results(t) {
+				if err := db.Put(keys[i], r); err != nil {
+					t.Fatalf("Put after recovery: %v", err)
+				}
+			}
+			if db.Len() != len(keys) {
+				t.Errorf("Len after refill = %d, want %d", db.Len(), len(keys))
+			}
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			db, err = Open(dir)
+			if err != nil {
+				t.Fatalf("final reopen: %v", err)
+			}
+			defer db.Close()
+			for _, key := range keys {
+				if _, found, err := db.Get(key); !found || err != nil {
+					t.Errorf("final Get(%q): found=%v err=%v", key, found, err)
+				}
+			}
+		})
+	}
+}
+
+func TestPutIsWriteOnce(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer db.Close()
+	r := results(t)[0]
+	key := keyOf(t, r)
+	if err := db.Put(key, r); err != nil {
+		t.Fatal(err)
+	}
+	size1 := db.size
+	if err := db.Put(key, r); err != nil {
+		t.Fatal(err)
+	}
+	if db.size != size1 {
+		t.Errorf("duplicate Put grew the log from %d to %d bytes", size1, db.size)
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len = %d, want 1", db.Len())
+	}
+	if err := db.Put("", r); err == nil {
+		t.Errorf("Put with empty key succeeded")
+	}
+}
+
+func TestScanOrder(t *testing.T) {
+	db, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer db.Close()
+	keys := fill(t, db)
+	var got []string
+	err = db.Scan(func(key string, res *core.Result) error {
+		if res == nil || res.Cycles() == 0 {
+			t.Errorf("Scan(%q) delivered an empty result", key)
+		}
+		got = append(got, key)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if !reflect.DeepEqual(got, keys) {
+		t.Errorf("Scan order = %v, want insertion order %v", got, keys)
+	}
+}
+
+// BenchmarkPut measures appending fresh records (distinct keys, one
+// shared payload — the write path is key-independent).
+func BenchmarkPut(b *testing.B) {
+	r, err := core.Run(core.Config{Benchmark: "gcc", Insts: 5_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put(fmt.Sprintf("bench-key-%d", i), r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGet measures reading + decoding one record from the log.
+func BenchmarkGet(b *testing.B) {
+	r, err := core.Run(core.Config{Benchmark: "gcc", Insts: 5_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Put("bench-key", r); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, found, err := db.Get("bench-key"); !found || err != nil {
+			b.Fatalf("found=%v err=%v", found, err)
+		}
+	}
+}
+
+func TestOpenIsExclusive(t *testing.T) {
+	// The store is single-writer: a second concurrent Open — even from
+	// the same process — must fail rather than corrupt the log.
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatalf("second concurrent Open succeeded")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Closing releases the lock; the next Open proceeds.
+	db, err = Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	db.Close()
+}
+
+func TestOpenRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, LogName), []byte("not a result log at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Errorf("Open accepted a non-log file")
+	}
+
+	dir2 := t.TempDir()
+	bad := append([]byte(Magic), 99) // future version
+	if err := os.WriteFile(filepath.Join(dir2, LogName), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir2); err == nil {
+		t.Errorf("Open accepted an unknown format version")
+	}
+}

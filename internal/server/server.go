@@ -1,0 +1,513 @@
+// Package server is the long-lived HTTP sweep service behind cmd/waycached:
+// clients submit design-space grids (the same sweep.Grid JSON the library
+// uses), the server runs them asynchronously on the sweep engine over a
+// shared — optionally disk-backed — result store, and poll/query/aggregate
+// endpoints serve the growing result corpus in the exact bytes the offline
+// cmd/sweep CLI emits. Endpoint reference and examples: docs/HTTP_API.md.
+//
+// Jobs execute one at a time in submission order on a single runner
+// goroutine; the engine's worker pool parallelizes within a job. Because
+// every simulation flows through one memoized Store, a job re-submitting
+// configurations an earlier job (or an earlier process, with a disk store)
+// already simulated costs memo lookups, not simulations.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"waycache/internal/core"
+	"waycache/internal/sweep"
+)
+
+// QueueCap bounds jobs waiting behind the running one; submissions beyond
+// it are refused with 503 rather than queued without bound.
+const QueueCap = 256
+
+// MaxGridSize bounds a single submission's expanded configuration count.
+const MaxGridSize = 1 << 20
+
+// maxBodyBytes bounds a grid submission body.
+const maxBodyBytes = 1 << 20
+
+// Options configures a Server.
+type Options struct {
+	// Store is the shared result store (nil means a fresh in-memory one).
+	// Open it over resultdb (sweep.OpenDiskStore) to serve — and extend —
+	// a persistent corpus.
+	Store *sweep.Store
+	// Workers bounds concurrent simulations within a job (default:
+	// runtime.NumCPU(), via the sweep engine).
+	Workers int
+	// TraceDir, when non-empty, lets jobs replay captured traces (see
+	// sweep.Options.TraceDir).
+	TraceDir string
+}
+
+// Server implements the HTTP API. Create with New, serve with net/http,
+// stop with Close.
+type Server struct {
+	opts  Options
+	store *sweep.Store
+	mux   *http.ServeMux
+
+	ctx    context.Context // cancels the running job on Close
+	cancel context.CancelFunc
+	queue  chan *job
+	stopWG sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	nextID int
+
+	// Decoded-corpus cache for the query endpoints. The store is
+	// append-only, so the cache is valid exactly while the entry count is
+	// unchanged; a grown store triggers one rescan on the next query.
+	corpusMu  sync.Mutex
+	corpus    []sweep.Record
+	corpusLen int
+}
+
+// New creates a server and starts its job runner.
+func New(opts Options) *Server {
+	if opts.Store == nil {
+		opts.Store = sweep.NewStore()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:   opts,
+		store:  opts.Store,
+		mux:    http.NewServeMux(),
+		ctx:    ctx,
+		cancel: cancel,
+		queue:  make(chan *job, QueueCap),
+		jobs:   make(map[string]*job),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/results", s.handleJobResults)
+	s.mux.HandleFunc("GET /api/v1/results", s.handleResults)
+	s.mux.HandleFunc("GET /api/v1/aggregate", s.handleAggregate)
+	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+
+	s.stopWG.Add(1)
+	go s.runner()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the runner, cancelling any running job (it finishes as
+// "failed" with a cancellation error) and leaving queued jobs queued
+// forever. In-store results are unaffected.
+func (s *Server) Close() {
+	s.cancel()
+	s.stopWG.Wait()
+}
+
+// runner executes queued jobs sequentially until Close.
+func (s *Server) runner() {
+	defer s.stopWG.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	j.setRunning()
+	// A fresh engine per job gives it a private progress feed; the shared
+	// store still deduplicates simulations across jobs and processes.
+	eng := sweep.New(sweep.Options{
+		Workers:  s.opts.Workers,
+		Store:    s.store,
+		TraceDir: s.opts.TraceDir,
+		Progress: j.setProgress,
+	})
+	sw, err := eng.Run(s.ctx, j.grid)
+	j.finish(sw, err)
+}
+
+// job is one submitted grid and its lifecycle.
+type job struct {
+	id    string
+	grid  sweep.Grid
+	total int
+
+	mu    sync.Mutex
+	state string // "queued" -> "running" -> "done" | "failed"
+	done  int
+	err   string
+	sweep *sweep.Sweep
+}
+
+// JobStatus is the wire form of a job's state, also returned by the
+// submission endpoint.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	Error string `json:"error,omitempty"`
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = "running"
+	j.mu.Unlock()
+}
+
+func (j *job) setProgress(done, total int) {
+	j.mu.Lock()
+	j.done = done
+	j.mu.Unlock()
+}
+
+func (j *job) finish(sw *sweep.Sweep, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.state, j.err = "failed", err.Error()
+	} else {
+		j.state, j.sweep = "done", sw
+	}
+	j.mu.Unlock()
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{ID: j.id, State: j.state, Done: j.done, Total: j.total, Error: j.err}
+}
+
+// results returns the finished sweep, or an explanation of why there is
+// none yet.
+func (j *job) results() (*sweep.Sweep, JobStatus, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{ID: j.id, State: j.state, Done: j.done, Total: j.total, Error: j.err}
+	return j.sweep, st, j.state == "done"
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var g sweep.Grid
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&g); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad grid: %w", err))
+		return
+	}
+	// Validate benchmarks at submission (an unknown name should 400 here,
+	// not fail the job minutes later); an omitted list means the full
+	// suite, mirroring the CLI's -benchmarks default.
+	benches, err := sweep.ParseBenchmarks(strings.Join(g.Benchmarks, ","))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	g.Benchmarks = benches
+	total := g.Size()
+	if total > MaxGridSize {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("grid expands to %d configurations (limit %d); shard it", total, MaxGridSize))
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	j := &job{id: fmt.Sprintf("job-%d", s.nextID), grid: g, total: total, state: "queued"}
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.mu.Unlock()
+	default:
+		s.nextID--
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("job queue full (%d queued); retry later", QueueCap))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	statuses := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		statuses = append(statuses, s.jobs[id].status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+	}
+	return j
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.job(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	sw, st, done := j.results()
+	if !done {
+		// Not an error JSON: the status body tells a poller exactly where
+		// the job stands (including a failure's message).
+		writeJSON(w, http.StatusConflict, st)
+		return
+	}
+	writeSweep(w, r, sw)
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	recs, err := s.queryRecords(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeSweep(w, r, &sweep.Sweep{Records: recs})
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	recs, err := s.queryRecords(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	q := r.URL.Query()
+	dim := q.Get("by")
+	if dim == "" {
+		dim = "benchmark"
+	}
+	metric := q.Get("metric")
+	if metric == "" {
+		metric = "procED"
+	}
+	stats, err := sweep.Aggregate(recs, dim, metric)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	switch format(r) {
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		if err := sweep.WriteGroupStatsCSV(w, dim, stats); err != nil {
+			return // headers sent; nothing safe to add
+		}
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		sweep.WriteGroupStatsJSON(w, stats)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want json or csv)", format(r)))
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	type jobCounts struct {
+		Queued  int `json:"queued"`
+		Running int `json:"running"`
+		Done    int `json:"done"`
+		Failed  int `json:"failed"`
+	}
+	var jc jobCounts
+	s.mu.Lock()
+	for _, id := range s.order {
+		switch s.jobs[id].status().State {
+		case "queued":
+			jc.Queued++
+		case "running":
+			jc.Running++
+		case "done":
+			jc.Done++
+		case "failed":
+			jc.Failed++
+		}
+	}
+	s.mu.Unlock()
+
+	resp := map[string]any{
+		"store": map[string]any{
+			"hits":    s.store.Hits(),
+			"misses":  s.store.Misses(),
+			"entries": s.store.Len(),
+		},
+		"jobs": jc,
+	}
+	if err := s.store.BackendErr(); err != nil {
+		resp["storeError"] = err.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryRecords returns the request's filtered view of the corpus, in
+// canonical order.
+func (s *Server) queryRecords(r *http.Request) ([]sweep.Record, error) {
+	f, err := parseFilter(r)
+	if err != nil {
+		return nil, err
+	}
+	corpus, err := s.corpusRecords()
+	if err != nil {
+		return nil, err
+	}
+	return f.Apply(corpus), nil
+}
+
+// corpusRecords returns every stored result flattened to a Record, sorted
+// canonically, decoded at most once per store growth: while the
+// append-only store's entry count is unchanged the cached slice is
+// reused, so steady-state queries cost a filter pass, not a disk scan.
+// Callers must not mutate the returned slice.
+func (s *Server) corpusRecords() ([]sweep.Record, error) {
+	s.corpusMu.Lock()
+	defer s.corpusMu.Unlock()
+	n := s.store.Len()
+	if s.corpus != nil && n == s.corpusLen {
+		return s.corpus, nil
+	}
+	var recs []sweep.Record
+	err := s.store.Scan(func(key string, res *core.Result) error {
+		recs = append(recs, sweep.NewRecord(res))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sweep.SortRecords(recs)
+	// A walker run and a trace replay of the same configuration memoize
+	// under distinct keys but flatten to the identical record; collapse
+	// exact duplicates so they cannot double-count in aggregates.
+	recs = dedupe(recs)
+	s.corpus, s.corpusLen = recs, n
+	return recs, nil
+}
+
+// dedupe removes exact-duplicate adjacent records (the slice is sorted,
+// so equal records are adjacent).
+func dedupe(recs []sweep.Record) []sweep.Record {
+	out := recs[:0]
+	for _, r := range recs {
+		if len(out) == 0 || r != out[len(out)-1] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// parseFilter builds a sweep.Filter from query parameters. Every dimension
+// takes a comma-separated list; integer dimensions accept k/m suffixes
+// like the CLI flags.
+func parseFilter(r *http.Request) (sweep.Filter, error) {
+	q := r.URL.Query()
+	var f sweep.Filter
+	f.Benchmarks = splitParam(q.Get("benchmark"))
+	f.DPolicies = splitParam(q.Get("dpolicy"))
+	f.IPolicies = splitParam(q.Get("ipolicy"))
+	for _, dim := range []struct {
+		name string
+		dst  *[]int
+	}{
+		{"dsize", &f.DSizes}, {"dways", &f.DWays}, {"dblock", &f.DBlocks},
+		{"isize", &f.ISizes}, {"iways", &f.IWays}, {"iblock", &f.IBlocks},
+		{"dlatency", &f.DLatencies}, {"tablesize", &f.TableSizes}, {"victimsize", &f.VictimSizes},
+		{"selectiveways", &f.SelectiveWays},
+	} {
+		v, err := sweep.ParseIntList(q.Get(dim.name))
+		if err != nil {
+			return f, fmt.Errorf("%s: %w", dim.name, err)
+		}
+		*dim.dst = v
+	}
+	if v := q.Get("papercosts"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return f, fmt.Errorf("papercosts: %w", err)
+		}
+		f.UsePaperCosts = &b
+	}
+	if v := q.Get("insts"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return f, fmt.Errorf("insts: %w", err)
+		}
+		f.Insts = n
+	}
+	return f, nil
+}
+
+// --- small helpers ---
+
+// writeSweep emits records in the exact bytes cmd/sweep writes for the
+// same records: the Sweep writers are the single source of output format.
+func writeSweep(w http.ResponseWriter, r *http.Request, sw *sweep.Sweep) {
+	switch format(r) {
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		sw.WriteCSV(w)
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		sw.WriteJSON(w)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want json or csv)", format(r)))
+	}
+}
+
+func format(r *http.Request) string {
+	if f := r.URL.Query().Get("format"); f != "" {
+		return f
+	}
+	return "json"
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func splitParam(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+package sweep
+
+import (
+	"waycache/internal/resultdb"
+)
+
+// OpenDiskStore opens (creating as needed) the on-disk result database in
+// dir and returns a Store whose in-memory tier fronts it: lookups hit
+// memory first, then the log; fresh simulations append to the log as they
+// finish. Close the returned DB when done — it writes the index snapshot
+// that makes the next open cheap (results are durable either way).
+func OpenDiskStore(dir string) (*Store, *resultdb.DB, error) {
+	db, err := resultdb.Open(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewStoreOn(Tiered{Front: NewMemory(), Back: db}), db, nil
+}
+
+// Backend conformance: the on-disk database plugs in wherever Memory does.
+var _ Backend = (*resultdb.DB)(nil)
+var _ Scanner = (*resultdb.DB)(nil)
+var _ interface {
+	Backend
+	Scanner
+} = Tiered{}
+var _ Scanner = (*Memory)(nil)

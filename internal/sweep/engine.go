@@ -81,9 +81,14 @@ func (e *Engine) Result(cfg core.Config) (*core.Result, error) {
 
 // RunConfigs simulates every config on the worker pool and returns results
 // in input order — position i holds cfgs[i]'s result — regardless of how
-// many workers ran them. Cancelling ctx stops dispatching promptly; the
+// many workers ran them. Cancelling ctx stops simulating promptly; the
 // first simulation error cancels the remaining work. On error the returned
 // slice holds the results completed so far (nil elsewhere).
+//
+// Progress accounting counts every job exactly once whatever its fate —
+// simulated, served from memo, failed, or skipped because the run was
+// already cancelled — so a Progress callback always observes a terminal
+// done == total event, for successful, failing and cancelled runs alike.
 func (e *Engine) RunConfigs(ctx context.Context, cfgs []core.Config) ([]*core.Result, error) {
 	results := make([]*core.Result, len(cfgs))
 	if len(cfgs) == 0 {
@@ -110,15 +115,16 @@ func (e *Engine) RunConfigs(ctx context.Context, cfgs []core.Config) ([]*core.Re
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if runCtx.Err() != nil {
-					continue // drain remaining jobs without running them
+				// After cancellation jobs drain without simulating, but
+				// still count toward the terminal progress event.
+				if runCtx.Err() == nil {
+					res, err := e.store.Result(e.traces.resolve(cfgs[i]))
+					if err != nil {
+						errOnce.Do(func() { runErr = err; cancel() })
+					} else {
+						results[i] = res
+					}
 				}
-				res, err := e.store.Result(e.traces.resolve(cfgs[i]))
-				if err != nil {
-					errOnce.Do(func() { runErr = err; cancel() })
-					continue
-				}
-				results[i] = res
 				if e.progress != nil {
 					e.progMu.Lock()
 					done++
@@ -129,13 +135,11 @@ func (e *Engine) RunConfigs(ctx context.Context, cfgs []core.Config) ([]*core.Re
 		}()
 	}
 
-feed:
+	// Every job is fed unconditionally: cancelled runs drain the queue at
+	// memo speed rather than abandoning it, which is what guarantees the
+	// final done == total progress event.
 	for i := range cfgs {
-		select {
-		case jobs <- i:
-		case <-runCtx.Done():
-			break feed
-		}
+		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()

@@ -2,10 +2,12 @@ package sweep
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"waycache/internal/access"
 	"waycache/internal/core"
+	"waycache/internal/workload"
 )
 
 // Grid declares a rectangular design-space sweep: the cartesian product of
@@ -64,14 +66,30 @@ func orIPolicies(dim []access.IPolicy) []access.IPolicy {
 	return dim
 }
 
-// Size returns the number of configurations Configs will produce.
+// SizeCap is the saturation bound of Size: grids whose cartesian product
+// reaches it report exactly SizeCap. Capping keeps the product arithmetic
+// overflow-free (no dimension can push a capped product past an int64), so
+// size limits checked against Size — like the HTTP service's per-job
+// bound — cannot be bypassed by a grid large enough to wrap.
+const SizeCap = 1 << 40
+
+// Size returns the number of configurations Configs will produce,
+// saturating at SizeCap.
 func (g Grid) Size() int {
-	n := len(orStrings(g.Benchmarks)) * len(orDPolicies(g.DPolicies)) * len(orIPolicies(g.IPolicies))
-	for _, dim := range [][]int{
-		g.DSizes, g.DWays, g.DBlocks, g.ISizes, g.IWays, g.IBlocks,
-		g.DLatencies, g.TableSizes, g.VictimSizes,
+	n := len(orStrings(g.Benchmarks))
+	for _, l := range []int{
+		len(orDPolicies(g.DPolicies)), len(orIPolicies(g.IPolicies)),
+		len(orInts(g.DSizes)), len(orInts(g.DWays)), len(orInts(g.DBlocks)),
+		len(orInts(g.ISizes)), len(orInts(g.IWays)), len(orInts(g.IBlocks)),
+		len(orInts(g.DLatencies)), len(orInts(g.TableSizes)), len(orInts(g.VictimSizes)),
 	} {
-		n *= len(orInts(dim))
+		if n >= SizeCap {
+			return SizeCap
+		}
+		n *= l
+	}
+	if n >= SizeCap {
+		return SizeCap
 	}
 	return n
 }
@@ -197,6 +215,45 @@ func ParseIPolicies(s string) ([]access.IPolicy, error) {
 		}
 	}
 	return pols, nil
+}
+
+// ParseBenchmarks resolves "all" (or "") to the full workload suite, or a
+// comma-separated list of names validated against it.
+func ParseBenchmarks(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "all" || s == "" {
+		return workload.Names(), nil
+	}
+	var names []string
+	for _, n := range splitList(s) {
+		if _, err := workload.ByName(n); err != nil {
+			return nil, err
+		}
+		names = append(names, n)
+	}
+	return names, nil
+}
+
+// ParseIntList parses a comma-separated int list; values may carry k/m
+// (binary) suffixes, so "16k" is 16384. The empty string parses to nil —
+// an unconstrained grid dimension.
+func ParseIntList(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		mult := 1
+		switch {
+		case strings.HasSuffix(strings.ToLower(f), "k"):
+			mult, f = 1<<10, f[:len(f)-1]
+		case strings.HasSuffix(strings.ToLower(f), "m"):
+			mult, f = 1<<20, f[:len(f)-1]
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad dimension value %q", f)
+		}
+		out = append(out, v*mult)
+	}
+	return out, nil
 }
 
 func policyNames() string {

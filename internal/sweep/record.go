@@ -26,10 +26,17 @@ type Record struct {
 	IWays  int `json:"iWays"`
 	IBlock int `json:"iBlock"`
 
-	DLatency   int   `json:"dLatency"`
-	TableSize  int   `json:"tableSize"`
-	VictimSize int   `json:"victimSize"`
-	Insts      int64 `json:"insts"`
+	DLatency   int `json:"dLatency"`
+	TableSize  int `json:"tableSize"`
+	VictimSize int `json:"victimSize"`
+	// SelectiveWays (the Albonesi related-work baseline) and
+	// UsePaperCosts (Table 3 constants instead of mini-CACTI) are part of
+	// the memo key, so they must be part of the record too: without them,
+	// a corpus holding those runs would show conflicting rows with
+	// identical columns.
+	SelectiveWays int   `json:"selectiveWays"`
+	UsePaperCosts bool  `json:"usePaperCosts"`
+	Insts         int64 `json:"insts"`
 
 	Cycles int64   `json:"cycles"`
 	IPC    float64 `json:"ipc"`
@@ -57,10 +64,12 @@ func NewRecord(r *core.Result) Record {
 		IPolicy:   cfg.IPolicy.String(),
 		DSize:     cfg.DSize, DWays: cfg.DWays, DBlock: cfg.DBlock,
 		ISize: cfg.ISize, IWays: cfg.IWays, IBlock: cfg.IBlock,
-		DLatency:   cfg.DLatency,
-		TableSize:  cfg.TableSize,
-		VictimSize: cfg.VictimSize,
-		Insts:      cfg.Insts,
+		DLatency:      cfg.DLatency,
+		TableSize:     cfg.TableSize,
+		VictimSize:    cfg.VictimSize,
+		SelectiveWays: cfg.SelectiveWays,
+		UsePaperCosts: cfg.UsePaperCosts,
+		Insts:         cfg.Insts,
 
 		Cycles:          r.Cycles(),
 		DMissRate:       r.DMissRate(),
@@ -108,7 +117,7 @@ func (s *Sweep) WriteJSON(w io.Writer) error {
 var csvHeader = []string{
 	"benchmark", "dPolicy", "iPolicy",
 	"dSize", "dWays", "dBlock", "iSize", "iWays", "iBlock",
-	"dLatency", "tableSize", "victimSize", "insts",
+	"dLatency", "tableSize", "victimSize", "selectiveWays", "usePaperCosts", "insts",
 	"cycles", "ipc",
 	"dMissRate", "iMissRate", "wayPredAccuracy", "iWayAccuracy",
 	"dCacheEnergy", "iCacheEnergy", "procEnergy", "dCacheED", "procED",
@@ -127,6 +136,7 @@ func (s *Sweep) WriteCSV(w io.Writer) error {
 			r.Benchmark, r.DPolicy, r.IPolicy,
 			d(r.DSize), d(r.DWays), d(r.DBlock), d(r.ISize), d(r.IWays), d(r.IBlock),
 			d(r.DLatency), d(r.TableSize), d(r.VictimSize),
+			d(r.SelectiveWays), strconv.FormatBool(r.UsePaperCosts),
 			strconv.FormatInt(r.Insts, 10),
 			strconv.FormatInt(r.Cycles, 10), f(r.IPC),
 			f(r.DMissRate), f(r.IMissRate), f(r.WayPredAccuracy), f(r.IWayAccuracy),

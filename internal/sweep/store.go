@@ -6,18 +6,26 @@ import (
 	"waycache/internal/core"
 )
 
-// Store memoizes simulation results by canonical config key. It is safe
-// for concurrent use and deduplicates in-flight work: when several workers
-// ask for the same configuration at once, exactly one simulates it and the
-// rest block on its completion (errors are memoized alongside results, so
-// a bad configuration fails every caller identically). One Store shared
-// across experiments gives cross-experiment memoization of common
-// baselines.
+// Store memoizes simulation results by canonical config key. Completed
+// results live in a pluggable Backend (in-memory by default, optionally
+// tiered over the on-disk resultdb); the Store itself contributes what no
+// backend can: in-flight deduplication — when several workers ask for the
+// same configuration at once, exactly one simulates it and the rest block
+// on its completion — and error memoization, so a bad configuration fails
+// every caller with the identical error after a single attempt. Errors are
+// memoized in memory only, never persisted: a config that failed this
+// process (bad trace file, impossible geometry) is retried by the next
+// one. One Store shared across experiments gives cross-experiment
+// memoization of common baselines.
 type Store struct {
-	mu      sync.Mutex
-	entries map[string]*entry
-	hits    int64
-	misses  int64
+	backend Backend
+
+	mu       sync.Mutex
+	inflight map[string]*entry
+	errs     map[string]error
+	hits     int64
+	misses   int64
+	bErr     error
 }
 
 type entry struct {
@@ -26,9 +34,17 @@ type entry struct {
 	err  error
 }
 
-// NewStore returns an empty result store.
-func NewStore() *Store {
-	return &Store{entries: make(map[string]*entry)}
+// NewStore returns a store memoizing into a fresh in-memory backend.
+func NewStore() *Store { return NewStoreOn(NewMemory()) }
+
+// NewStoreOn returns a store memoizing into b. Layer backends with Tiered
+// to front a durable tier with a fast one (see OpenDiskStore).
+func NewStoreOn(b Backend) *Store {
+	return &Store{
+		backend:  b,
+		inflight: make(map[string]*entry),
+		errs:     make(map[string]error),
+	}
 }
 
 // Result returns the memoized result for cfg, simulating it at most once
@@ -40,40 +56,99 @@ func (s *Store) Result(cfg core.Config) (*core.Result, error) {
 		return core.Run(cfg)
 	}
 	s.mu.Lock()
-	if e, found := s.entries[key]; found {
+	if err, found := s.errs[key]; found {
+		s.hits++
+		s.mu.Unlock()
+		return nil, err
+	}
+	if e, found := s.inflight[key]; found {
 		s.hits++
 		s.mu.Unlock()
 		<-e.done
 		return e.res, e.err
 	}
 	e := &entry{done: make(chan struct{})}
-	s.entries[key] = e
-	s.misses++
+	s.inflight[key] = e
 	s.mu.Unlock()
 
-	e.res, e.err = core.Run(cfg)
+	// The backend lookup happens inside the in-flight window, so a slow
+	// disk read is also deduplicated across racing callers.
+	res, found, berr := s.backend.Get(key)
+	if berr != nil {
+		s.noteBackendErr(berr)
+	}
+	if found {
+		e.res = res
+	} else {
+		e.res, e.err = core.Run(cfg)
+		if e.err == nil {
+			if perr := s.backend.Put(key, e.res); perr != nil {
+				// The simulation is good; losing the write costs future
+				// processes a re-simulation, not this caller its result.
+				s.noteBackendErr(perr)
+			}
+		}
+	}
 	close(e.done)
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	switch {
+	case e.err != nil:
+		s.errs[key] = e.err
+		s.misses++
+	case found:
+		s.hits++
+	default:
+		s.misses++
+	}
+	s.mu.Unlock()
 	return e.res, e.err
 }
 
-// Hits returns how many lookups were served from memo (including lookups
-// that joined an in-flight simulation).
+func (s *Store) noteBackendErr(err error) {
+	s.mu.Lock()
+	if s.bErr == nil {
+		s.bErr = err
+	}
+	s.mu.Unlock()
+}
+
+// Hits returns how many lookups were served from memo: backend hits plus
+// lookups that joined an in-flight simulation or a memoized error.
 func (s *Store) Hits() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.hits
 }
 
-// Misses returns how many lookups started a fresh simulation.
+// Misses returns how many lookups ran a fresh simulation (including ones
+// that failed).
 func (s *Store) Misses() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.misses
 }
 
-// Len returns the number of memoized configurations.
-func (s *Store) Len() int {
+// Len returns the number of memoized results in the backend.
+func (s *Store) Len() int { return s.backend.Len() }
+
+// BackendErr returns the first storage failure the store swallowed while
+// serving results (a failed disk read falls back to simulation; a failed
+// write loses only durability). CLIs surface it as a warning: results are
+// still correct, but the on-disk store may be lagging.
+func (s *Store) BackendErr() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.entries)
+	return s.bErr
+}
+
+// Scan enumerates the backend's completed results in its deterministic
+// order, when the backend supports enumeration (Memory, resultdb and
+// Tiered all do).
+func (s *Store) Scan(fn func(key string, res *core.Result) error) error {
+	if sc, ok := s.backend.(Scanner); ok {
+		return sc.Scan(fn)
+	}
+	return nil
 }

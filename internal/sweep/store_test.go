@@ -1,0 +1,237 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"waycache/internal/access"
+	"waycache/internal/core"
+)
+
+// failingConfig returns a config with a valid canonical key whose
+// simulation always fails: it replays a trace file that does not exist.
+func failingConfig() core.Config {
+	return core.Config{Trace: "testdata/no-such-trace.wct", Insts: 1000}
+}
+
+func TestStoreErrorMemoizedOnce(t *testing.T) {
+	// Satellite: many goroutines racing one failing config must all
+	// observe the identical error after exactly one simulation attempt.
+	store := NewStore()
+	cfg := failingConfig()
+
+	const racers = 32
+	var (
+		start sync.WaitGroup
+		done  sync.WaitGroup
+		gate  = make(chan struct{})
+		errs  [racers]error
+	)
+	start.Add(racers)
+	done.Add(racers)
+	for i := 0; i < racers; i++ {
+		go func(i int) {
+			defer done.Done()
+			start.Done()
+			<-gate // maximize overlap: everyone queries at once
+			res, err := store.Result(cfg)
+			if res != nil {
+				t.Errorf("racer %d got a result from a failing config", i)
+			}
+			errs[i] = err
+		}(i)
+	}
+	start.Wait()
+	close(gate)
+	done.Wait()
+
+	if errs[0] == nil {
+		t.Fatalf("failing config produced no error")
+	}
+	for i, err := range errs {
+		// Identical means the same error value, not merely the same text:
+		// every caller must share the single attempt's outcome.
+		if err != errs[0] {
+			t.Errorf("racer %d error %v is not the memoized error %v", i, err, errs[0])
+		}
+	}
+	if got := store.Misses(); got != 1 {
+		t.Errorf("Misses = %d, want exactly 1 simulation attempt", got)
+	}
+	if got := store.Hits(); got != racers-1 {
+		t.Errorf("Hits = %d, want %d (every other racer joins the memo)", got, racers-1)
+	}
+
+	// Sequential retries after the failure stay memoized too.
+	if _, err := store.Result(cfg); err != errs[0] {
+		t.Errorf("post-race lookup error %v is not the memoized error", err)
+	}
+	if got := store.Misses(); got != 1 {
+		t.Errorf("Misses after retry = %d, want 1", got)
+	}
+
+	// Failures must never reach the backend: only results persist.
+	if got := store.Len(); got != 0 {
+		t.Errorf("Len = %d after a failure, want 0 (errors are memory-only)", got)
+	}
+}
+
+func TestDiskStoreIncrementalRuns(t *testing.T) {
+	// Acceptance: a second identical run over a disk-backed store performs
+	// zero fresh simulations and emits byte-identical output.
+	dir := t.TempDir()
+	g := Grid{
+		Benchmarks: []string{"gcc", "swim"},
+		DPolicies:  []access.DPolicy{access.DParallel, access.DSelDMWayPred},
+		DWays:      []int{2, 4},
+		Insts:      5_000,
+	}
+
+	runOnce := func() (json, csv []byte, misses int64, hits int64) {
+		t.Helper()
+		store, db, err := OpenDiskStore(dir)
+		if err != nil {
+			t.Fatalf("OpenDiskStore: %v", err)
+		}
+		defer db.Close()
+		eng := New(Options{Workers: 4, Store: store})
+		sw, err := eng.Run(context.Background(), g)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		var jb, cb bytes.Buffer
+		if err := sw.WriteJSON(&jb); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.WriteCSV(&cb); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.BackendErr(); err != nil {
+			t.Fatalf("backend error: %v", err)
+		}
+		return jb.Bytes(), cb.Bytes(), store.Misses(), store.Hits()
+	}
+
+	json1, csv1, misses1, _ := runOnce()
+	if misses1 != int64(g.Size()) {
+		t.Errorf("first run simulated %d configs, want %d", misses1, g.Size())
+	}
+
+	json2, csv2, misses2, hits2 := runOnce()
+	if misses2 != 0 {
+		t.Errorf("second run simulated %d configs, want 0 (all disk hits)", misses2)
+	}
+	if hits2 != int64(g.Size()) {
+		t.Errorf("second run hits = %d, want %d", hits2, g.Size())
+	}
+	if !bytes.Equal(json1, json2) {
+		t.Errorf("JSON output differs between fresh and disk-replayed runs")
+	}
+	if !bytes.Equal(csv1, csv2) {
+		t.Errorf("CSV output differs between fresh and disk-replayed runs")
+	}
+}
+
+func TestTieredPromotesDiskHits(t *testing.T) {
+	front, back := NewMemory(), NewMemory()
+	tiered := Tiered{Front: front, Back: back}
+	res := &core.Result{Benchmark: "x"}
+	if err := back.Put("k", res); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := tiered.Get("k")
+	if err != nil || !found || got != res {
+		t.Fatalf("Get through tier: %v %v %v", got, found, err)
+	}
+	if _, found, _ := front.Get("k"); !found {
+		t.Errorf("back-tier hit was not promoted into the front")
+	}
+	if tiered.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tiered.Len())
+	}
+}
+
+// progressLog records every progress event for assertion.
+type progressLog struct {
+	mu     sync.Mutex
+	events [][2]int
+}
+
+func (p *progressLog) fn() Progress {
+	return func(done, total int) {
+		p.mu.Lock()
+		p.events = append(p.events, [2]int{done, total})
+		p.mu.Unlock()
+	}
+}
+
+// check asserts the canonical progress shape: exactly total events,
+// monotonically counting 1..total over a constant total.
+func (p *progressLog) check(t *testing.T, total int) {
+	t.Helper()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.events) != total {
+		t.Fatalf("got %d progress events, want %d: %v", len(p.events), total, p.events)
+	}
+	for i, ev := range p.events {
+		if ev[0] != i+1 || ev[1] != total {
+			t.Fatalf("event %d = %v, want [%d %d]", i, ev, i+1, total)
+		}
+	}
+}
+
+func TestProgressTerminalOnError(t *testing.T) {
+	// A failing cell cancels the sweep, but progress still counts every
+	// job to a final done == total event.
+	var pl progressLog
+	eng := New(Options{Workers: 2, Progress: pl.fn()})
+	cfgs := []core.Config{
+		{Benchmark: "gcc", Insts: 2_000},
+		failingConfig(),
+		{Benchmark: "swim", Insts: 2_000},
+		{Benchmark: "gcc", Insts: 2_000, DPolicy: access.DSequential},
+	}
+	if _, err := eng.RunConfigs(context.Background(), cfgs); err == nil {
+		t.Fatalf("RunConfigs with a failing cell returned nil error")
+	}
+	pl.check(t, len(cfgs))
+}
+
+func TestProgressTerminalOnCancel(t *testing.T) {
+	var pl progressLog
+	eng := New(Options{Workers: 2, Progress: pl.fn()})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the sweep even starts
+	cfgs := testGrid().Configs()
+	if _, err := eng.RunConfigs(ctx, cfgs); err == nil {
+		t.Fatalf("RunConfigs on a cancelled context returned nil error")
+	}
+	pl.check(t, len(cfgs))
+}
+
+func TestProgressCountsMemoHits(t *testing.T) {
+	// A fully memoized re-run reports the same terminal progress shape as
+	// the run that simulated.
+	store := NewStore()
+	cfgs := []core.Config{
+		{Benchmark: "gcc", Insts: 2_000},
+		{Benchmark: "swim", Insts: 2_000},
+	}
+	warm := New(Options{Workers: 2, Store: store})
+	if _, err := warm.RunConfigs(context.Background(), cfgs); err != nil {
+		t.Fatal(err)
+	}
+
+	var pl progressLog
+	eng := New(Options{Workers: 2, Store: store, Progress: pl.fn()})
+	if _, err := eng.RunConfigs(context.Background(), cfgs); err != nil {
+		t.Fatal(err)
+	}
+	pl.check(t, len(cfgs))
+	if store.Misses() != int64(len(cfgs)) {
+		t.Errorf("re-run simulated fresh configs: misses = %d", store.Misses())
+	}
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Smoke test for the waycached HTTP service: start a server over a fresh
+# on-disk store, submit a small grid, poll it to completion, and require
+# the served record bytes (JSON and CSV) to be identical to what the
+# offline cmd/sweep CLI emits for the same grid. Run from the repo root;
+# CI runs it on every push.
+set -euo pipefail
+
+ADDR=127.0.0.1:18080
+BASE="http://$ADDR"
+WORK=$(mktemp -d)
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/waycached" ./cmd/waycached
+go build -o "$WORK/sweep" ./cmd/sweep
+
+"$WORK/waycached" -addr "$ADDR" -store "$WORK/store" >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+for i in $(seq 1 50); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  if [ "$i" = 50 ]; then
+    echo "waycached never became healthy:" >&2
+    cat "$WORK/server.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+JOB=$(curl -sf -X POST "$BASE/api/v1/jobs" -d '{
+  "Benchmarks": ["gcc", "swim"],
+  "DPolicies": ["parallel", "seldm+waypred"],
+  "DWays": [2, 4],
+  "Insts": 20000
+}')
+ID=$(echo "$JOB" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$ID" ] || { echo "no job id in: $JOB" >&2; exit 1; }
+
+for i in $(seq 1 300); do
+  STATE=$(curl -sf "$BASE/api/v1/jobs/$ID" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+  case "$STATE" in
+    done) break ;;
+    failed) echo "job failed:" >&2; curl -s "$BASE/api/v1/jobs/$ID" >&2; exit 1 ;;
+  esac
+  if [ "$i" = 300 ]; then echo "job $ID stuck in state $STATE" >&2; exit 1; fi
+  sleep 1
+done
+
+curl -sf "$BASE/api/v1/jobs/$ID/results" >"$WORK/served.json"
+curl -sf "$BASE/api/v1/jobs/$ID/results?format=csv" >"$WORK/served.csv"
+
+# Offline reference over its own disk store, run twice: the first run
+# simulates and persists, the second must recall everything ("0
+# simulated") with byte-identical output — the incremental -store
+# acceptance property, exercised on the real CLI.
+"$WORK/sweep" -benchmarks gcc,swim -dpolicies parallel,seldm+waypred \
+  -dways 2,4 -insts 20000 -progress=false -store "$WORK/clistore" \
+  -out "$WORK/offline.json" 2>"$WORK/sweep1.log"
+"$WORK/sweep" -benchmarks gcc,swim -dpolicies parallel,seldm+waypred \
+  -dways 2,4 -insts 20000 -progress=false -store "$WORK/clistore" \
+  -out "$WORK/offline2.json" 2>"$WORK/sweep2.log"
+grep -q ' 0 simulated, 8 memo hits' "$WORK/sweep2.log" || {
+  echo "second -store run was not served from disk:" >&2
+  cat "$WORK/sweep2.log" >&2
+  exit 1
+}
+cmp "$WORK/offline.json" "$WORK/offline2.json" || { echo "-store replay changed sweep output" >&2; exit 1; }
+"$WORK/sweep" -benchmarks gcc,swim -dpolicies parallel,seldm+waypred \
+  -dways 2,4 -insts 20000 -progress=false -store "$WORK/clistore" \
+  -format csv -out "$WORK/offline.csv" 2>"$WORK/sweep3.log"
+grep -q ' 0 simulated,' "$WORK/sweep3.log" || { echo "CSV -store run re-simulated" >&2; exit 1; }
+
+cmp "$WORK/served.json" "$WORK/offline.json" || { echo "served JSON differs from cmd/sweep output" >&2; exit 1; }
+cmp "$WORK/served.csv" "$WORK/offline.csv" || { echo "served CSV differs from cmd/sweep output" >&2; exit 1; }
+
+# The corpus query over the disk store must serve the same records too.
+curl -sf "$BASE/api/v1/results" >"$WORK/corpus.json"
+cmp "$WORK/corpus.json" "$WORK/offline.json" || { echo "corpus query differs from cmd/sweep output" >&2; exit 1; }
+
+echo "waycached smoke test: OK (job $ID, served bytes identical to cmd/sweep)"
