@@ -1,0 +1,117 @@
+package access
+
+import (
+	"fmt"
+	"testing"
+
+	"waycache/internal/cache"
+	"waycache/internal/isa"
+	"waycache/internal/trace"
+)
+
+// allPolicies is every d-cache load policy, including the related-work
+// baselines: the zero-allocation guarantee covers the whole DPolicy space.
+var allPolicies = []DPolicy{
+	DParallel, DSequential, DWayPredPC, DWayPredXOR,
+	DSelDMParallel, DSelDMWayPred, DSelDMSequential, DWayPredMRU,
+}
+
+// allocInsts builds a deterministic mixed load pattern: enough distinct
+// blocks to force steady-state misses, evictions, writebacks and selective-DM
+// victim-list traffic, so the measurement covers every hot-path branch, not
+// just the hit fast path.
+func allocInsts(n int) []trace.Inst {
+	insts := make([]trace.Inst, n)
+	for i := range insts {
+		addr := uint64(0x1000 + (i*3072)%(1<<18))
+		insts[i] = trace.Inst{
+			PC:        uint64(0x400000 + (i%256)*4),
+			Kind:      isa.KindLoad,
+			Addr:      addr,
+			BaseValue: addr - 16,
+			Offset:    16,
+		}
+	}
+	return insts
+}
+
+// TestLoadStoreZeroAllocs pins the tentpole guarantee of the hot-path
+// overhaul: once warm, DCache.Load and DCache.Store perform zero heap
+// allocations per access under every policy. A regression here silently
+// multiplies sweep cost by GC pressure, so it fails the build, not a
+// benchmark eyeball.
+func TestLoadStoreZeroAllocs(t *testing.T) {
+	for _, pol := range allPolicies {
+		t.Run(pol.String(), func(t *testing.T) {
+			d := newD(pol)
+			insts := allocInsts(4096)
+			stores := make([]trace.Inst, len(insts))
+			for i, in := range insts {
+				stores[i] = in
+				stores[i].Kind = isa.KindStore
+			}
+			// Warm every structure past compulsory behaviour.
+			for i := range insts {
+				d.Load(&insts[i])
+				d.Store(&stores[i])
+			}
+			var pos int
+			if avg := testing.AllocsPerRun(2000, func() {
+				d.Load(&insts[pos])
+				pos = (pos + 1) % len(insts)
+			}); avg != 0 {
+				t.Errorf("%v: DCache.Load allocates %.2f/op, want 0", pol, avg)
+			}
+			pos = 0
+			if avg := testing.AllocsPerRun(2000, func() {
+				d.Store(&stores[pos])
+				pos = (pos + 1) % len(stores)
+			}); avg != 0 {
+				t.Errorf("%v: DCache.Store allocates %.2f/op, want 0", pol, avg)
+			}
+		})
+	}
+}
+
+// TestSelectiveWaysZeroAllocs extends the guarantee to the Albonesi
+// selective-cache-ways baseline controller.
+func TestSelectiveWaysZeroAllocs(t *testing.T) {
+	for _, active := range []int{1, 3, 4} {
+		t.Run(fmt.Sprintf("active=%d", active), func(t *testing.T) {
+			hier := cache.DefaultHierarchy(32)
+			s := NewSelectiveWays(DConfig{Policy: DParallel, Cache: l1(), BaseLatency: 1}, active, hier)
+			insts := allocInsts(4096)
+			for i := range insts {
+				s.Load(&insts[i])
+			}
+			var pos int
+			if avg := testing.AllocsPerRun(2000, func() {
+				s.Load(&insts[pos])
+				pos = (pos + 1) % len(insts)
+			}); avg != 0 {
+				t.Errorf("SelectiveWays.Load allocates %.2f/op, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestICacheFetchZeroAllocs covers the i-cache fetch path the pipeline
+// drives once per fetch group.
+func TestICacheFetchZeroAllocs(t *testing.T) {
+	hier := cache.DefaultHierarchy(32)
+	ic := NewICache(IConfig{Policy: IWayPred, Cache: l1(), BaseLatency: 1}, hier)
+	pcs := make([]uint64, 1024)
+	for i := range pcs {
+		pcs[i] = uint64(0x400000 + (i*4096)%(1<<17))
+	}
+	for _, pc := range pcs {
+		ic.Fetch(pc, 0, true, SrcSAWP)
+	}
+	var pos int
+	if avg := testing.AllocsPerRun(2000, func() {
+		ic.Fetch(pcs[pos], 1, true, SrcBTB)
+		pos = (pos + 1) % len(pcs)
+	}); avg != 0 {
+		t.Errorf("ICache.Fetch allocates %.2f/op, want 0", avg)
+	}
+}

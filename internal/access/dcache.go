@@ -134,6 +134,13 @@ type DStats struct {
 	MispredWay int64
 }
 
+// loadFunc services one load under a specific policy. NewDCache binds the
+// policy's implementation once, so the per-load hot path is a single
+// indirect call instead of an eight-way switch; the functions are method
+// expressions, so binding them allocates nothing and calls stay
+// closure-free.
+type loadFunc func(d *DCache, in *trace.Inst, way int, hit bool) (latency int, class LoadClass)
+
 // DCache is a d-cache access controller: the L1 array, the hierarchy below
 // it, the policy's prediction structures, and the energy account.
 type DCache struct {
@@ -152,6 +159,7 @@ type DCache struct {
 	SelDM   *predict.SelDM    // DSelDM*
 	Victims *cache.VictimList // DSelDM*
 
+	load  loadFunc
 	stats DStats
 }
 
@@ -184,16 +192,27 @@ func NewDCache(cfg DConfig, hier *cache.Hierarchy) *DCache {
 		BaseLatency: cfg.BaseLatency,
 	}
 	switch cfg.Policy {
+	case DParallel:
+		d.load = (*DCache).loadParallel
+	case DSequential:
+		d.load = (*DCache).loadSequential
 	case DWayPredPC:
 		d.WayTab = predict.NewWayTable(cfg.TableSize)
+		d.load = (*DCache).loadWayPredPC
 	case DWayPredXOR:
 		// XOR handles approximate block addresses: index at block
 		// granularity so one block's offsets share an entry.
 		shift := uint(bits.TrailingZeros(uint(cfg.Cache.BlockBytes)))
 		d.WayTab = predict.NewWayTableShift(cfg.TableSize, shift)
+		d.load = (*DCache).loadWayPredXOR
+	case DWayPredMRU:
+		d.load = (*DCache).loadMRU
 	case DSelDMParallel, DSelDMWayPred, DSelDMSequential:
 		d.SelDM = predict.NewSelDM(cfg.TableSize)
 		d.Victims = cache.NewVictimList(cfg.VictimSize, cache.DefaultConflictThreshold)
+		d.load = (*DCache).loadSelDM
+	default:
+		panic(fmt.Sprintf("access: unknown d-cache policy %v", cfg.Policy))
 	}
 	return d
 }
@@ -208,27 +227,12 @@ func (d *DCache) Account() *energy.Account { return d.Acct }
 func (d *DCache) CacheStats() cache.Stats { return d.L1.Stats() }
 
 // Load services a load and returns its total latency in cycles and its
-// breakdown class.
+// breakdown class. The policy implementation was bound at construction;
+// steady-state loads perform no heap allocation.
 func (d *DCache) Load(in *trace.Inst) (latency int, class LoadClass) {
 	d.stats.Loads++
-	addr := in.Addr
-	way, hit := d.L1.Probe(addr)
-
-	switch d.Policy {
-	case DParallel:
-		latency, class = d.loadParallel(addr, way, hit)
-	case DSequential:
-		latency, class = d.loadSequential(addr, way, hit)
-	case DWayPredPC:
-		latency, class = d.loadWayPred(in, in.PC, addr, way, hit)
-	case DWayPredXOR:
-		latency, class = d.loadWayPred(in, in.XORHandle(), addr, way, hit)
-	case DWayPredMRU:
-		latency, class = d.loadMRU(addr, way, hit)
-	default:
-		latency, class = d.loadSelDM(in, addr, way, hit)
-	}
-
+	way, hit := d.L1.Probe(in.Addr)
+	latency, class = d.load(d, in, way, hit)
 	d.stats.ByClass[class]++
 	if !hit {
 		d.stats.LoadMiss++
@@ -236,16 +240,19 @@ func (d *DCache) Load(in *trace.Inst) (latency int, class LoadClass) {
 	return latency, class
 }
 
-func (d *DCache) loadParallel(addr uint64, way int, hit bool) (int, LoadClass) {
+func (d *DCache) loadParallel(in *trace.Inst, way int, hit bool) (int, LoadClass) {
+	addr := in.Addr
 	d.Acct.AddParallelRead()
 	if hit {
 		d.L1.Touch(addr, way, false)
 		return d.BaseLatency, ClassParallel
 	}
-	return d.BaseLatency + d.fill(addr, false), ClassMiss
+	fillLat, _ := d.fill(addr, false)
+	return d.BaseLatency + fillLat, ClassMiss
 }
 
-func (d *DCache) loadSequential(addr uint64, way int, hit bool) (int, LoadClass) {
+func (d *DCache) loadSequential(in *trace.Inst, way int, hit bool) (int, LoadClass) {
+	addr := in.Addr
 	if hit {
 		// Tag first, then exactly the matching data way: +1 cycle.
 		d.Acct.AddOneWayRead()
@@ -254,19 +261,28 @@ func (d *DCache) loadSequential(addr uint64, way int, hit bool) (int, LoadClass)
 	}
 	// The tag lookup found no match; no data way is read.
 	d.Acct.AddTagOnly()
-	return d.BaseLatency + 1 + d.fill(addr, false), ClassMiss
+	fillLat, _ := d.fill(addr, false)
+	return d.BaseLatency + 1 + fillLat, ClassMiss
 }
 
-func (d *DCache) loadWayPred(in *trace.Inst, handle, addr uint64, way int, hit bool) (int, LoadClass) {
+func (d *DCache) loadWayPredPC(in *trace.Inst, way int, hit bool) (int, LoadClass) {
+	return d.loadWayPred(in, in.PC, way, hit)
+}
+
+func (d *DCache) loadWayPredXOR(in *trace.Inst, way int, hit bool) (int, LoadClass) {
+	return d.loadWayPred(in, in.XORHandle(), way, hit)
+}
+
+func (d *DCache) loadWayPred(in *trace.Inst, handle uint64, way int, hit bool) (int, LoadClass) {
+	addr := in.Addr
 	predWay, _ := d.WayTab.Lookup(handle) // cold entries predict way 0
 	d.Acct.AddTable(1)
 	if !hit {
 		// The predicted way was probed in vain alongside the tag array.
 		d.Acct.AddOneWayRead()
-		lat := d.BaseLatency + d.fill(addr, false)
-		fillWay, _ := d.L1.Probe(addr)
+		fillLat, fillWay := d.fill(addr, false)
 		d.train(handle, fillWay)
-		return lat, ClassMiss
+		return d.BaseLatency + fillLat, ClassMiss
 	}
 	d.L1.Touch(addr, way, false)
 	d.train(handle, way)
@@ -286,7 +302,8 @@ func (d *DCache) train(handle uint64, way int) {
 	d.Acct.AddTable(1)
 }
 
-func (d *DCache) loadSelDM(in *trace.Inst, addr uint64, way int, hit bool) (int, LoadClass) {
+func (d *DCache) loadSelDM(in *trace.Inst, way int, hit bool) (int, LoadClass) {
+	addr := in.Addr
 	mapping := d.SelDM.Predict(in.PC)
 	d.Acct.AddTable(1)
 	dmWay := d.L1.DMWay(addr)
@@ -301,42 +318,43 @@ func (d *DCache) loadSelDM(in *trace.Inst, addr uint64, way int, hit bool) (int,
 
 	d.L1.Touch(addr, way, false)
 	hitDM := way == dmWay
-	defer func() {
-		d.SelDM.Update(in.PC, hitDM, way)
-		d.Acct.AddTable(1)
-	}()
 
-	if mapping == predict.MapDirect {
-		if hitDM {
-			d.Acct.AddOneWayRead()
-			return d.BaseLatency, ClassDM
-		}
+	var lat int
+	var class LoadClass
+	switch {
+	case mapping == predict.MapDirect && hitDM:
+		d.Acct.AddOneWayRead()
+		lat, class = d.BaseLatency, ClassDM
+	case mapping == predict.MapDirect:
 		// Predicted non-conflicting but the block lives in an SA way.
 		d.Acct.AddOneWayRead()
 		d.Acct.AddSecondProbe()
 		d.stats.MispredDM++
-		return d.BaseLatency + 1, ClassMispred
-	}
-
-	// Flagged conflicting: handle per sub-policy.
-	switch d.Policy {
-	case DSelDMParallel:
+		lat, class = d.BaseLatency+1, ClassMispred
+	case d.Policy == DSelDMParallel:
 		d.Acct.AddParallelRead()
-		return d.BaseLatency, ClassParallel
-	case DSelDMSequential:
+		lat, class = d.BaseLatency, ClassParallel
+	case d.Policy == DSelDMSequential:
 		d.Acct.AddOneWayRead()
-		return d.BaseLatency + 1, ClassSeq
-	default: // DSelDMWayPred
+		lat, class = d.BaseLatency+1, ClassSeq
+	default: // DSelDMWayPred, flagged conflicting
 		predWay, _ := d.SelDM.PredictWay(in.PC)
 		if predWay == way {
 			d.Acct.AddOneWayRead()
-			return d.BaseLatency, ClassWayPred
+			lat, class = d.BaseLatency, ClassWayPred
+		} else {
+			d.Acct.AddOneWayRead()
+			d.Acct.AddSecondProbe()
+			d.stats.MispredWay++
+			lat, class = d.BaseLatency+1, ClassMispred
 		}
-		d.Acct.AddOneWayRead()
-		d.Acct.AddSecondProbe()
-		d.stats.MispredWay++
-		return d.BaseLatency + 1, ClassMispred
 	}
+
+	// Train the choice predictor after the sub-policy consulted it (the
+	// way-predicting variant reads the entry this update overwrites).
+	d.SelDM.Update(in.PC, hitDM, way)
+	d.Acct.AddTable(1)
+	return lat, class
 }
 
 // selDMMissProbe charges the probe energy wasted by a miss under the
@@ -374,19 +392,21 @@ func (d *DCache) Store(in *trace.Inst) (latency int) {
 	if d.Policy.UsesSelDM() {
 		fillLat, _ = d.fillSelDM(addr, true)
 	} else {
-		fillLat = d.fill(addr, true)
+		fillLat, _ = d.fill(addr, true)
 	}
 	return d.BaseLatency + fillLat
 }
 
-// fill performs a conventional LRU fill and returns the fill latency.
-func (d *DCache) fill(addr uint64, write bool) int {
-	ev, _ := d.L1.Fill(addr, false, write)
+// fill performs a conventional LRU fill and returns the fill latency and
+// the way filled, so callers that train predictors on the fill need no
+// second Probe.
+func (d *DCache) fill(addr uint64, write bool) (latency, way int) {
+	ev, way := d.L1.Fill(addr, false, write)
 	d.Acct.AddFill()
 	if ev.Valid && ev.Dirty {
 		d.Hier.Writeback(ev.Addr)
 	}
-	return d.Hier.FillLatency(d.L1.BlockAddr(addr))
+	return d.Hier.FillLatency(d.L1.BlockAddr(addr)), way
 }
 
 // fillSelDM performs a selective-DM placement fill: non-conflicting blocks

@@ -110,11 +110,13 @@ func (s *SelectiveWays) Store(in *trace.Inst) (latency int) {
 
 // loadMRU implements MRU way-prediction inside the standard DCache
 // controller: the predicted way is the set's most-recently-used way.
-func (d *DCache) loadMRU(addr uint64, way int, hit bool) (int, LoadClass) {
+func (d *DCache) loadMRU(in *trace.Inst, way int, hit bool) (int, LoadClass) {
+	addr := in.Addr
 	predWay := d.L1.MRUWay(addr)
 	if !hit {
 		d.Acct.AddOneWayRead()
-		return d.BaseLatency + d.fill(addr, false), ClassMiss
+		fillLat, _ := d.fill(addr, false)
+		return d.BaseLatency + fillLat, ClassMiss
 	}
 	d.L1.Touch(addr, way, false)
 	if predWay == way {

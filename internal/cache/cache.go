@@ -72,6 +72,11 @@ func (s Stats) MissRate() float64 {
 
 // Cache is a set-associative cache array with LRU replacement and optional
 // per-fill direct-mapped placement.
+//
+// The address-decomposition masks and shifts are precomputed at
+// construction: Probe, Index, Tag, BlockAddr and DMWay run on every
+// simulated memory access, so they must stay branch-light, division-free
+// and allocation-free.
 type Cache struct {
 	cfg        Config
 	sets       []line // numSets * ways, row-major
@@ -79,6 +84,10 @@ type Cache struct {
 	ways       int
 	blockShift uint
 	indexBits  uint
+	blockMask  uint64 // BlockBytes - 1
+	indexMask  uint64 // numSets - 1
+	tagShift   uint   // blockShift + indexBits
+	wayMask    int    // ways - 1 when ways is a power of two, else -1
 	clock      uint64
 	stats      Stats
 }
@@ -90,17 +99,29 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	sets := cfg.Sets()
+	blockShift := uint(bits.TrailingZeros(uint(cfg.BlockBytes)))
+	indexBits := uint(bits.TrailingZeros(uint(sets)))
+	wayMask := -1
+	if cfg.Ways&(cfg.Ways-1) == 0 {
+		wayMask = cfg.Ways - 1
+	}
 	return &Cache{
 		cfg:        cfg,
 		sets:       make([]line, sets*cfg.Ways),
 		numSets:    sets,
 		ways:       cfg.Ways,
-		blockShift: uint(bits.TrailingZeros(uint(cfg.BlockBytes))),
-		indexBits:  uint(bits.TrailingZeros(uint(sets))),
+		blockShift: blockShift,
+		indexBits:  indexBits,
+		blockMask:  uint64(cfg.BlockBytes) - 1,
+		indexMask:  uint64(sets) - 1,
+		tagShift:   blockShift + indexBits,
+		wayMask:    wayMask,
 	}
 }
 
-// Config returns the cache geometry.
+// Config returns the cache geometry. Hot paths should use the dedicated
+// accessors (BlockBytes, Ways, NumSets) instead of copying the struct per
+// access.
 func (c *Cache) Config() Config { return c.cfg }
 
 // Ways returns the associativity.
@@ -109,22 +130,25 @@ func (c *Cache) Ways() int { return c.ways }
 // NumSets returns the number of sets.
 func (c *Cache) NumSets() int { return c.numSets }
 
+// BlockBytes returns the line size.
+func (c *Cache) BlockBytes() int { return c.cfg.BlockBytes }
+
 // Stats returns a copy of the event counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
 // BlockAddr returns addr rounded down to its block boundary.
 func (c *Cache) BlockAddr(addr uint64) uint64 {
-	return addr &^ (uint64(c.cfg.BlockBytes) - 1)
+	return addr &^ c.blockMask
 }
 
 // Index returns the set index of addr.
 func (c *Cache) Index(addr uint64) int {
-	return int((addr >> c.blockShift) & uint64(c.numSets-1))
+	return int((addr >> c.blockShift) & c.indexMask)
 }
 
 // Tag returns the tag of addr.
 func (c *Cache) Tag(addr uint64) uint64 {
-	return addr >> (c.blockShift + c.indexBits)
+	return addr >> c.tagShift
 }
 
 // DMWay returns the direct-mapping way of addr: the low tag bits select
@@ -134,7 +158,10 @@ func (c *Cache) Tag(addr uint64) uint64 {
 // bit mask; the modulo form also supports the partial-ways configurations
 // of the selective-cache-ways baseline.
 func (c *Cache) DMWay(addr uint64) int {
-	return int(c.Tag(addr) % uint64(c.ways))
+	if c.wayMask >= 0 {
+		return int(addr>>c.tagShift) & c.wayMask
+	}
+	return int((addr >> c.tagShift) % uint64(c.ways))
 }
 
 // addrOf reconstructs a block address from a set index and tag.
@@ -151,10 +178,10 @@ func (c *Cache) set(i int) []line {
 // access policy begins with exactly one Probe and then decides which data
 // ways to read.
 func (c *Cache) Probe(addr uint64) (way int, hit bool) {
+	tag := addr >> c.tagShift
 	set := c.set(c.Index(addr))
-	tag := c.Tag(addr)
 	for w := range set {
-		if set[w].valid && set[w].tag == tag {
+		if set[w].tag == tag && set[w].valid {
 			return w, true
 		}
 	}
@@ -250,10 +277,12 @@ func (c *Cache) Fill(addr uint64, dmPlace, write bool) (Eviction, int) {
 	}
 
 	c.clock++
+	// When dmPlace is set the victim *is* the direct-mapping way, so the
+	// new line is DM-placed exactly when the caller asked for it.
 	set[victim] = line{
 		valid:    true,
 		dirty:    write,
-		dmPlaced: dmPlace && victim == c.DMWay(addr),
+		dmPlaced: dmPlace,
 		tag:      tag,
 		lru:      c.clock,
 	}

@@ -245,3 +245,45 @@ func TestMissRate(t *testing.T) {
 		t.Fatalf("MissRate = %v", s.MissRate())
 	}
 }
+
+func TestDMWayMaskMatchesModulo(t *testing.T) {
+	// DMWay has a mask fast path for power-of-two associativity and a
+	// modulo fallback for the partial-ways geometries of selective cache
+	// ways; both must implement "low tag bits select the way".
+	rng := prng.New(0xd31c7)
+	for _, ways := range []int{1, 2, 3, 4, 5, 8, 16} {
+		c := New(Config{
+			Name: "dm", SizeBytes: 128 * 32 * ways, Ways: ways, BlockBytes: 32,
+		})
+		for i := 0; i < 2000; i++ {
+			addr := rng.Uint64()
+			want := int(c.Tag(addr) % uint64(ways))
+			if got := c.DMWay(addr); got != want {
+				t.Fatalf("ways=%d DMWay(%#x) = %d, want %d", ways, addr, got, want)
+			}
+		}
+	}
+}
+
+func TestPrecomputedMasksMatchGeometry(t *testing.T) {
+	for _, cfg := range []Config{
+		{Name: "a", SizeBytes: 16 << 10, Ways: 4, BlockBytes: 32},
+		{Name: "b", SizeBytes: 8 << 10, Ways: 1, BlockBytes: 64},
+		{Name: "c", SizeBytes: 3 << 10, Ways: 3, BlockBytes: 16},
+	} {
+		c := New(cfg)
+		rng := prng.New(uint64(cfg.Ways))
+		for i := 0; i < 2000; i++ {
+			addr := rng.Uint64()
+			if got, want := c.BlockAddr(addr), addr/uint64(cfg.BlockBytes)*uint64(cfg.BlockBytes); got != want {
+				t.Fatalf("%s: BlockAddr(%#x) = %#x, want %#x", cfg.Name, addr, got, want)
+			}
+			if got, want := c.Index(addr), int(addr/uint64(cfg.BlockBytes))%c.NumSets(); got != want {
+				t.Fatalf("%s: Index(%#x) = %d, want %d", cfg.Name, addr, got, want)
+			}
+			if got, want := c.Tag(addr), addr/uint64(cfg.BlockBytes)/uint64(c.NumSets()); got != want {
+				t.Fatalf("%s: Tag(%#x) = %#x, want %#x", cfg.Name, addr, got, want)
+			}
+		}
+	}
+}

@@ -59,8 +59,7 @@ func (h *Hierarchy) FillLatency(addr uint64) int {
 	if ev.Valid && ev.Dirty {
 		h.stats.L2Writebacks++
 	}
-	blockBytes := h.L2.Config().BlockBytes
-	return h.L2HitLatency + h.MemBaseLatency + h.MemCyclesPer8B*blockBytes/8
+	return h.L2HitLatency + h.MemBaseLatency + h.MemCyclesPer8B*h.L2.BlockBytes()/8
 }
 
 // Writeback accepts a dirty L1 eviction. Writebacks are off the load

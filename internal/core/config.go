@@ -184,24 +184,26 @@ func (c Config) source() (src trace.Source, name string, finish func() error, er
 	return trace.NewLimit(p.NewWalker(), c.Insts), p.Name, nil, nil
 }
 
-// traceSource opens the captured trace named by c.Trace and validates it
-// against the run: it must carry enough instructions and, when Benchmark
-// is set too, come from that benchmark.
+// traceSource resolves the captured trace named by c.Trace through the
+// process-wide arena — each file is decoded once and every run replays the
+// shared in-memory instructions — and validates it against the run: it
+// must carry enough instructions and, when Benchmark is set too, come from
+// that benchmark. Replay is byte-identical to streaming the file: the same
+// records in the same order, with decode errors surfaced only if the run
+// actually consumes the corrupt range.
 func (c Config) traceSource() (trace.Source, string, func() error, error) {
-	f, err := trace.Open(c.Trace)
+	src, err := trace.SharedArena().Load(c.Trace)
 	if err != nil {
 		return nil, "", nil, err
 	}
-	h := f.Header()
+	h := src.Header()
 	if h.Insts > 0 && h.Insts < c.Insts {
-		f.Close()
 		return nil, "", nil, fmt.Errorf("core: trace %s holds %d instructions, run needs %d",
 			c.Trace, h.Insts, c.Insts)
 	}
 	name := h.Benchmark
 	if c.Benchmark != "" {
 		if h.Benchmark != "" && h.Benchmark != c.Benchmark {
-			f.Close()
 			return nil, "", nil, fmt.Errorf("core: trace %s was captured from %q, not %q",
 				c.Trace, h.Benchmark, c.Benchmark)
 		}
@@ -211,16 +213,18 @@ func (c Config) traceSource() (trace.Source, string, func() error, error) {
 		name = "trace"
 	}
 	finish := func() error {
-		err := f.Err()
-		if err == nil && f.Count() < c.Insts {
-			err = fmt.Errorf("trace ended after %d of %d instructions", f.Count(), c.Insts)
+		if src.Count() < c.Insts {
+			// The replay ran dry: corrupt suffix if the decoder stopped on
+			// an error, plain short trace otherwise — exactly the errors a
+			// streaming Reader would report at this consumption point.
+			if err := src.Err(); err != nil {
+				return err
+			}
+			return fmt.Errorf("trace ended after %d of %d instructions", src.Count(), c.Insts)
 		}
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		return err
+		return nil
 	}
-	return trace.NewLimit(f, c.Insts), name, finish, nil
+	return trace.NewLimit(src, c.Insts), name, finish, nil
 }
 
 // dcacheConfig assembles the d-cache controller configuration.

@@ -1,0 +1,77 @@
+package pipeline
+
+import (
+	"testing"
+
+	"waycache/internal/access"
+	"waycache/internal/isa"
+	"waycache/internal/trace"
+)
+
+// mixedBlock builds one i-cache block's worth of instructions mixing ALU
+// ops, dependent loads, stores and a backward branch, so a warm pipeline
+// cycle exercises fetch, dispatch, issue (with d-cache loads), store
+// commit and branch prediction.
+func mixedBlock() []trace.Inst {
+	base := uint64(0x400000)
+	mk := func(i int, kind isa.Kind) trace.Inst {
+		in := trace.Inst{PC: base + uint64(i)*4, Kind: kind}
+		switch {
+		case kind.IsMem():
+			addr := uint64(0x10000 + i*64)
+			in.Addr, in.BaseValue, in.Offset = addr, addr-8, 8
+			in.Dst, in.Src1 = isa.Int(i%8), isa.Int((i+1)%8)
+		case kind.IsControl():
+			in.Taken, in.Target = true, base
+		default:
+			in.Dst, in.Src1, in.Src2 = isa.Int(i%8), isa.Int((i+2)%8), isa.Int((i+4)%8)
+		}
+		return in
+	}
+	return []trace.Inst{
+		mk(0, isa.KindIntALU),
+		mk(1, isa.KindLoad),
+		mk(2, isa.KindIntALU),
+		mk(3, isa.KindStore),
+		mk(4, isa.KindFPALU),
+		mk(5, isa.KindLoad),
+		mk(6, isa.KindIntMul),
+		mk(7, isa.KindBranch),
+	}
+}
+
+// TestWarmCycleZeroAllocs pins the steady-state guarantee for the whole
+// timing model: once the pipeline is warm, a full commit/issue/fetch cycle
+// allocates nothing, for the plain baseline and for the heaviest
+// prediction-carrying configuration.
+func TestWarmCycleZeroAllocs(t *testing.T) {
+	cases := []struct {
+		name string
+		dpol access.DPolicy
+		ipol access.IPolicy
+	}{
+		{"parallel", access.DParallel, access.IParallel},
+		{"seldm+waypred", access.DSelDMWayPred, access.IWayPred},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := &trace.Repeat{Insts: mixedBlock()}
+			p := testRig(tc.dpol, tc.ipol, src, 1<<40)
+			// Warm caches, predictors and the ROB ring.
+			for i := 0; i < 20_000; i++ {
+				p.commit()
+				p.issue()
+				p.fetch()
+				p.cycle++
+			}
+			if avg := testing.AllocsPerRun(5000, func() {
+				p.commit()
+				p.issue()
+				p.fetch()
+				p.cycle++
+			}); avg != 0 {
+				t.Errorf("%s: warm pipeline cycle allocates %.2f/op, want 0", tc.name, avg)
+			}
+		})
+	}
+}

@@ -20,6 +20,7 @@ package pipeline
 
 import (
 	"fmt"
+	"math/bits"
 
 	"waycache/internal/access"
 	"waycache/internal/branch"
@@ -82,15 +83,19 @@ func (s Stats) IPC() float64 {
 	return float64(s.Committed) / float64(s.Cycles)
 }
 
+// robEntry keeps the fields the per-cycle issue scan reads (issued, done,
+// doneAt, producers) at the front of the struct, so scanning a stalled ROB
+// touches the leading cache line of each entry and not the instruction
+// payload behind it.
 type robEntry struct {
-	inst    trace.Inst
-	seq     int64
 	issued  bool
 	done    bool
+	mispred bool // control instruction that redirects fetch at resolution
 	doneAt  int64
 	prod1   int64 // producer sequence numbers, -1 when none
 	prod2   int64
-	mispred bool // control instruction that redirects fetch at resolution
+	seq     int64
+	inst    trace.Inst
 }
 
 // Pipeline wires a trace source to the cache controllers and front end.
@@ -104,11 +109,20 @@ type Pipeline struct {
 	stats Stats
 	cycle int64
 
-	// ROB as a ring: entries [seq % ROBSize] valid for head <= seq < tail.
-	rob  []robEntry
-	head int64
-	tail int64
-	lsq  int // mem ops currently in the ROB
+	// ROB as a ring of power-of-two length (>= ROBSize, so seq & robMask
+	// is injective over any window of ROBSize in-flight entries): entries
+	// [seq & robMask] valid for head <= seq < tail. Capacity checks still
+	// use the configured ROBSize.
+	rob     []robEntry
+	robMask int64
+	head    int64
+	tail    int64
+	// issueCursor trails the first non-issued entry: every entry below it
+	// has issued, so the per-cycle issue scan never revisits the completed
+	// prefix of a long-stalled ROB. It only ever advances (entries never
+	// un-issue; head only grows).
+	issueCursor int64
+	lsq         int // mem ops currently in the ROB
 
 	regProducer [isa.NumRegs]int64 // seq of last in-flight writer, -1 if none
 
@@ -116,8 +130,9 @@ type Pipeline struct {
 	pending     trace.Inst // lookahead instruction
 	pendingOK   bool
 	exhausted   bool
-	fetchableAt int64 // next cycle fetch may run
-	waitBranch  int64 // seq of unresolved mispredicted control, -1 if none
+	fetchableAt int64  // next cycle fetch may run
+	waitBranch  int64  // seq of unresolved mispredicted control, -1 if none
+	icBlockMask uint64 // ^(i-cache block bytes - 1), hoisted off the fetch path
 
 	// Way-prediction plumbing between consecutive fetch groups.
 	nextWay    int
@@ -141,10 +156,13 @@ func New(cfg Config, src trace.Source, dc access.DController, ic *access.ICache,
 		cfg.CommitWidth <= 0 || cfg.LSQSize <= 0 || cfg.DCachePorts <= 0 {
 		panic(fmt.Sprintf("pipeline: non-positive config %+v", cfg))
 	}
+	ringSize := 1 << bits.Len(uint(cfg.ROBSize-1)) // next power of two >= ROBSize
 	p := &Pipeline{
 		cfg: cfg, src: src, dc: dc, ic: ic, fe: fe,
-		rob:        make([]robEntry, cfg.ROBSize),
-		waitBranch: -1,
+		rob:         make([]robEntry, ringSize),
+		robMask:     int64(ringSize - 1),
+		waitBranch:  -1,
+		icBlockMask: ^uint64(ic.L1.BlockBytes() - 1),
 	}
 	for i := range p.regProducer {
 		p.regProducer[i] = -1
@@ -176,7 +194,7 @@ func (p *Pipeline) Run() Stats {
 }
 
 func (p *Pipeline) entry(seq int64) *robEntry {
-	return &p.rob[seq%int64(p.cfg.ROBSize)]
+	return &p.rob[seq&p.robMask]
 }
 
 func (p *Pipeline) commit() {
@@ -207,7 +225,7 @@ func (p *Pipeline) commit() {
 
 // ready reports whether the producer identified by seq has finished.
 func (p *Pipeline) producerDone(seq int64) bool {
-	if seq < 0 || seq < p.head {
+	if seq < p.head { // covers -1 (no producer): head is never negative
 		return true // retired: value lives in the register file
 	}
 	e := p.entry(seq)
@@ -217,7 +235,15 @@ func (p *Pipeline) producerDone(seq int64) bool {
 func (p *Pipeline) issue() {
 	issued := 0
 	ports := p.cfg.DCachePorts
-	for seq := p.head; seq < p.tail && issued < p.cfg.IssueWidth; seq++ {
+	// Advance the cursor over the contiguous issued prefix once, instead
+	// of rescanning it every cycle while the ROB drains a long stall.
+	if p.issueCursor < p.head {
+		p.issueCursor = p.head
+	}
+	for p.issueCursor < p.tail && p.entry(p.issueCursor).issued {
+		p.issueCursor++
+	}
+	for seq := p.issueCursor; seq < p.tail && issued < p.cfg.IssueWidth; seq++ {
 		e := p.entry(seq)
 		if e.issued {
 			continue
@@ -325,8 +351,7 @@ func (p *Pipeline) fetch() {
 		return
 	}
 
-	blockMask := ^uint64(int64(p.ic.L1.Config().BlockBytes - 1))
-	block := p.pending.PC & blockMask
+	block := p.pending.PC & p.icBlockMask
 
 	lat, _, trueWay := p.ic.Fetch(p.pending.PC, p.nextWay, p.nextWayOK, p.nextWaySrc)
 	p.stats.FetchGroups++
@@ -352,18 +377,20 @@ func (p *Pipeline) fetch() {
 		if !p.peek() {
 			break
 		}
-		if p.pending.PC&blockMask != block {
+		if p.pending.PC&p.icBlockMask != block {
 			break
 		}
-		in := p.pending
+		// Consume the lookahead in place: p.pending stays intact until the
+		// next peek, so dispatch/fetchControl can read it without a copy.
+		in := &p.pending
 		p.pendingOK = false
 
 		if !in.Kind.IsControl() {
-			p.dispatch(&in, false)
+			p.dispatch(in, false)
 			continue
 		}
 		endedByControl = true
-		stop := p.fetchControl(&in, block, trueWay)
+		stop := p.fetchControl(in, block, trueWay)
 		if stop {
 			break
 		}
@@ -444,7 +471,7 @@ func (p *Pipeline) fetchControl(in *trace.Inst, block uint64, blockWay int) bool
 			// Push the return address; its block is usually the current
 			// one, whose way we know right now.
 			ret := in.FallThrough()
-			sameBlock := ret&^uint64(p.ic.L1.Config().BlockBytes-1) == block
+			sameBlock := ret&p.icBlockMask == block
 			fe.RAS.Push(ret, blockWay, sameBlock)
 		}
 		p.dispatch(in, false)

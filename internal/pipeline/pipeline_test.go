@@ -214,3 +214,47 @@ func TestDeterministicCycles(t *testing.T) {
 		t.Fatalf("nondeterministic pipeline: %+v vs %+v", a, b)
 	}
 }
+
+func TestNonPowerOfTwoROBSize(t *testing.T) {
+	// The ROB ring is allocated at the next power of two; the configured
+	// size still bounds in-flight instructions. A 48-entry ROB must behave
+	// like a 48-entry ROB, not a 64-entry one: fewer entries than the
+	// 64-entry default means same-or-more cycles on a stalling workload.
+	n := 600
+	insts := make([]trace.Inst, n)
+	for i := range insts {
+		addr := uint64(0x100000 + i*4096) // L1-missing loads to fill the ROB
+		insts[i] = trace.Inst{
+			PC: 0x400000 + uint64(i)*4, Kind: isa.KindLoad,
+			Addr: addr, BaseValue: addr - 8, Offset: 8,
+			Dst: isa.Int(i % 30), Src1: isa.Int((i + 1) % 30),
+		}
+	}
+	run := func(robSize int) Stats {
+		cfg := DefaultConfig(int64(n))
+		cfg.ROBSize = robSize
+		src := &trace.SliceSource{Insts: insts}
+		hier := cache.DefaultHierarchy(32)
+		dc := access.NewDCache(access.DConfig{
+			Policy: access.DParallel,
+			Cache:  cache.Config{Name: "L1d", SizeBytes: 16 << 10, Ways: 4, BlockBytes: 32},
+			Costs:  energy.PaperCosts(),
+		}, hier)
+		ic := access.NewICache(access.IConfig{
+			Policy: access.IParallel,
+			Cache:  cache.Config{Name: "L1i", SizeBytes: 16 << 10, Ways: 4, BlockBytes: 32},
+		}, hier)
+		return New(cfg, src, dc, ic, branch.NewFrontEnd()).Run()
+	}
+	s48, s64 := run(48), run(64)
+	if s48.Committed != int64(n) || s64.Committed != int64(n) {
+		t.Fatalf("committed %d / %d, want %d", s48.Committed, s64.Committed, n)
+	}
+	if s48.Cycles < s64.Cycles {
+		t.Fatalf("48-entry ROB finished in %d cycles, faster than 64-entry's %d", s48.Cycles, s64.Cycles)
+	}
+	// Determinism across repeat runs, ring size notwithstanding.
+	if again := run(48); again != s48 {
+		t.Fatalf("non-power-of-two ROB nondeterministic: %+v vs %+v", again, s48)
+	}
+}

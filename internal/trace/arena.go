@@ -1,0 +1,230 @@
+package trace
+
+// The trace arena: a process-wide cache of fully decoded trace files.
+//
+// A design-space sweep replays the same few <benchmark>.wct captures for
+// every grid cell, and before the arena each cell paid the full streaming
+// decode (varint parsing, per-record validation) again. The arena decodes
+// each file once into a shared []Inst and hands every simulation an
+// index-replay MemSource over that slice, so an N-config grid decodes each
+// capture once instead of N/gridsize times — and replay becomes a pure
+// pointer walk with no per-instruction decode on the simulation hot path.
+//
+// Replay semantics are contractually identical to streaming the file with
+// Reader: the same instructions in the same order, and the same errors
+// surfaced at the same consumption points (a decode error beyond the range
+// a run consumes stays invisible to that run, exactly as it would be to a
+// Limit-bounded Reader). The determinism gate and the replay tests hold
+// the two paths byte-identical.
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+// DefaultArenaCap bounds the shared arena's resident instructions
+// (~64 bytes each, so the default keeps roughly 1 GB of decoded traces).
+// Long-lived processes (waycached) sweep many grids over the same handful
+// of captures; least-recently-used files are evicted past the cap.
+const DefaultArenaCap = 16 << 20
+
+// Arena caches decoded trace files by path. Entries are invalidated when
+// the file's size or modification time changes, so a re-captured trace is
+// re-decoded rather than served stale. The zero value is not usable; use
+// NewArena or the process-wide SharedArena.
+type Arena struct {
+	mu       sync.Mutex
+	entries  map[string]*arenaEntry
+	capAt    int64 // maximum resident instructions; <= 0 means unbounded
+	resident int64
+	tick     int64 // LRU clock
+}
+
+type arenaEntry struct {
+	once  sync.Once
+	size  int64
+	mtime time.Time
+
+	h         Header
+	insts     []Inst
+	openErr   error // open/header failure: the whole load failed
+	decodeErr error // record-stream failure after len(insts) good records
+	lastUse   int64
+}
+
+// NewArena returns an arena bounded to capInsts resident instructions
+// (<= 0 means unbounded).
+func NewArena(capInsts int64) *Arena {
+	return &Arena{entries: make(map[string]*arenaEntry), capAt: capInsts}
+}
+
+var shared = NewArena(DefaultArenaCap)
+
+// SharedArena returns the process-wide arena used by core.Config.Trace
+// replay.
+func SharedArena() *Arena { return shared }
+
+// Load returns a MemSource replaying the decoded contents of the trace
+// file at path, decoding it at most once per (path, size, mtime) across
+// all concurrent callers. Open and header errors are returned exactly as
+// Open would return them; mid-stream decode errors are deferred to the
+// MemSource so a run that never reaches the corrupt suffix never sees
+// them (matching the streaming Reader).
+func (a *Arena) Load(path string) (*MemSource, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+
+	a.mu.Lock()
+	e := a.entries[path]
+	if e == nil || e.size != fi.Size() || !e.mtime.Equal(fi.ModTime()) {
+		if e != nil && e.lastUse != 0 {
+			a.resident -= int64(len(e.insts)) // re-captured file: drop the stale decode
+		}
+		e = &arenaEntry{size: fi.Size(), mtime: fi.ModTime()}
+		a.entries[path] = e
+	}
+	a.mu.Unlock()
+
+	e.once.Do(func() { e.decode(path) })
+	if e.openErr != nil {
+		// Open/header failures are not cached: a transient error (fd
+		// exhaustion, momentary EACCES) must not poison the path for the
+		// life of the process — the streaming path retried Open per run.
+		a.mu.Lock()
+		if a.entries[path] == e {
+			delete(a.entries, path)
+		}
+		a.mu.Unlock()
+		return nil, e.openErr
+	}
+
+	a.mu.Lock()
+	a.tick++
+	// Account the footprint only while the entry is still the mapped one:
+	// a re-capture may have replaced it mid-decode, and charging a
+	// resident count evictLocked can no longer reach would inflate it
+	// forever.
+	if a.entries[path] == e {
+		if e.lastUse == 0 { // first successful use: account its footprint
+			a.resident += int64(len(e.insts))
+		}
+		e.lastUse = a.tick
+		a.evictLocked()
+	}
+	a.mu.Unlock()
+
+	return &MemSource{insts: e.insts, h: e.h, decodeErr: e.decodeErr}, nil
+}
+
+// decode slurps the whole file through the canonical Reader.
+func (e *arenaEntry) decode(path string) {
+	f, err := Open(path)
+	if err != nil {
+		e.openErr = err
+		return
+	}
+	defer f.Close()
+	e.h = f.Header()
+	// Preallocate from the declared count, but never trust it past what
+	// the file could physically hold (records are at least one byte): a
+	// corrupt header must not drive a huge allocation.
+	if n := e.h.Insts; n > 0 {
+		if n > e.size {
+			n = e.size
+		}
+		e.insts = make([]Inst, 0, n)
+	}
+	var in Inst
+	for f.Next(&in) {
+		e.insts = append(e.insts, in)
+	}
+	e.decodeErr = f.Err()
+}
+
+// evictLocked drops least-recently-used entries until the arena is within
+// its capacity. Outstanding MemSources keep their slices alive; eviction
+// only forgets the cache mapping.
+func (a *Arena) evictLocked() {
+	if a.capAt <= 0 {
+		return
+	}
+	for a.resident > a.capAt && len(a.entries) > 1 {
+		var oldPath string
+		var old *arenaEntry
+		for p, e := range a.entries {
+			if e.lastUse == 0 {
+				continue // still decoding or failed: no footprint yet
+			}
+			if old == nil || e.lastUse < old.lastUse {
+				oldPath, old = p, e
+			}
+		}
+		if old == nil || old.lastUse == a.tick {
+			return // nothing evictable but the entry just used
+		}
+		a.resident -= int64(len(old.insts))
+		delete(a.entries, oldPath)
+	}
+}
+
+// Len returns the number of cached files (testing/inspection).
+func (a *Arena) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.entries)
+}
+
+// Resident returns the number of resident decoded instructions.
+func (a *Arena) Resident() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.resident
+}
+
+// MemSource replays a decoded instruction slice by index: the Source the
+// arena hands each simulation. Next is a bounds check and a struct copy —
+// no I/O, no decoding, no allocation.
+type MemSource struct {
+	insts     []Inst
+	pos       int
+	h         Header
+	decodeErr error
+}
+
+// NewMemSource returns a MemSource over insts with header h (primarily for
+// tests; arena Load is the production constructor).
+func NewMemSource(insts []Inst, h Header) *MemSource {
+	return &MemSource{insts: insts, h: h}
+}
+
+// Next implements Source.
+func (m *MemSource) Next(out *Inst) bool {
+	if m.pos >= len(m.insts) {
+		return false
+	}
+	*out = m.insts[m.pos]
+	m.pos++
+	return true
+}
+
+// Header returns the file header of the backing trace.
+func (m *MemSource) Header() Header { return m.h }
+
+// Count returns the number of records replayed so far.
+func (m *MemSource) Count() int64 { return int64(m.pos) }
+
+// Remaining returns the number of records left to replay.
+func (m *MemSource) Remaining() int64 { return int64(len(m.insts) - m.pos) }
+
+// Err returns the decode error the backing file carries beyond the records
+// Next can reach, or nil for a clean trace. A consumer that drained fewer
+// records than it needed must consult Err to distinguish a short trace
+// from a corrupt one — the same contract as Reader.Err after Next returns
+// false.
+func (m *MemSource) Err() error { return m.decodeErr }
+
+// Reset rewinds the source to the beginning.
+func (m *MemSource) Reset() { m.pos = 0 }

@@ -10,7 +10,10 @@
 // on-disk capture format (file.go: Writer, Reader, Capture, Open; spec in
 // docs/TRACE_FORMAT.md) is versioned and varint-delta-compressed, so
 // sweeps replay recorded workloads byte-identically without re-walking
-// the generators.
+// the generators. Hot replay paths go through the process-wide Arena
+// (arena.go), which decodes each capture once into a shared []Inst and
+// replays it by index (MemSource), so an N-config sweep pays one decode
+// per file instead of one per simulation.
 package trace
 
 import "waycache/internal/isa"
