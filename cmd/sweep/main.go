@@ -20,23 +20,26 @@
 // With -trace naming a directory of captured trace files (written by
 // tracegen -capture, one <benchmark>.wct per benchmark), cells whose
 // benchmark has a valid capture covering -insts replay it instead of
-// re-walking the generator — identical records, no generation cost;
-// benchmarks without a usable capture fall back to the walker.
+// re-walking the generator — identical records, no generation cost.
+// Benchmarks without a usable capture fall back to the walker, and every
+// fallback is reported on stderr with its reason (missing file, stale
+// seed, too few instructions) so a -trace run that re-simulated is
+// visible, never silent.
 //
 // The grid is the cartesian product of every dimension flag; omitted
 // dimensions stay at the paper's Table 1 defaults. Output (JSON or CSV)
 // is ordered by grid position, so it is byte-identical for any -workers
 // value. Shards 0/n..n-1/n keep that order: their CSV bodies (headers
 // stripped) concatenate to the exact full-grid body, and their JSON
-// arrays merge element-wise into the full-grid array. Interrupting
-// (ctrl-C) cancels the sweep promptly.
+// arrays merge element-wise into the full-grid array — the property the
+// distributed coordinator (cmd/sweepctl, docs/DISTRIBUTED.md) is built
+// on. Interrupting (ctrl-C) cancels the sweep promptly.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -53,22 +56,9 @@ func main() {
 }
 
 func run() error {
-	benches := flag.String("benchmarks", "all", "comma-separated benchmarks, or 'all'")
-	dpols := flag.String("dpolicies", "parallel", "d-cache policies (paper names, e.g. parallel,waypred-pc,seldm+waypred) or 'all'")
-	ipols := flag.String("ipolicies", "parallel", "i-cache policies (parallel, waypred) or 'all'")
-	dsizes := flag.String("dsizes", "", "d-cache sizes in bytes (k/m suffixes ok), e.g. 8k,16k,32k")
-	dways := flag.String("dways", "", "d-cache associativities, e.g. 1,2,4,8,16")
-	dblocks := flag.String("dblocks", "", "d-cache block sizes in bytes")
-	isizes := flag.String("isizes", "", "i-cache sizes in bytes (k/m suffixes ok)")
-	iways := flag.String("iways", "", "i-cache associativities")
-	iblocks := flag.String("iblocks", "", "i-cache block sizes in bytes")
-	dlats := flag.String("dlatencies", "", "base d-cache hit latencies in cycles, e.g. 1,2")
-	tsizes := flag.String("tablesizes", "", "prediction-table sizes, e.g. 512,1024,2048")
-	vsizes := flag.String("victimsizes", "", "victim-list sizes, e.g. 4,16,64")
-	insts := flag.Int64("insts", 400_000, "instructions per configuration")
+	gridFlags := sweep.RegisterGridFlags(flag.CommandLine)
 	storeDir := flag.String("store", "", "directory of the on-disk result store; repeated runs recall results instead of re-simulating")
 	traceDir := flag.String("trace", "", "directory of captured traces (<benchmark>.wct); matching benchmarks replay instead of re-walking")
-	paperCosts := flag.Bool("papercosts", false, "use the paper's Table 3 energy constants instead of mini-CACTI")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulations")
 	shard := flag.String("shard", "", "run only shard i of n contiguous grid shards, as 'i/n'")
 	format := flag.String("format", "json", "output format: json or csv")
@@ -76,33 +66,14 @@ func run() error {
 	progress := flag.Bool("progress", true, "report live progress on stderr")
 	flag.Parse()
 
-	g := sweep.Grid{Insts: *insts, UsePaperCosts: *paperCosts}
-	var err error
-	if g.Benchmarks, err = sweep.ParseBenchmarks(*benches); err != nil {
+	g, err := gridFlags.Grid()
+	if err != nil {
 		return err
-	}
-	if g.DPolicies, err = sweep.ParseDPolicies(*dpols); err != nil {
-		return err
-	}
-	if g.IPolicies, err = sweep.ParseIPolicies(*ipols); err != nil {
-		return err
-	}
-	for _, dim := range []struct {
-		flag string
-		dst  *[]int
-	}{
-		{*dsizes, &g.DSizes}, {*dways, &g.DWays}, {*dblocks, &g.DBlocks},
-		{*isizes, &g.ISizes}, {*iways, &g.IWays}, {*iblocks, &g.IBlocks},
-		{*dlats, &g.DLatencies}, {*tsizes, &g.TableSizes}, {*vsizes, &g.VictimSizes},
-	} {
-		if *dim.dst, err = sweep.ParseIntList(dim.flag); err != nil {
-			return err
-		}
 	}
 
 	cfgs := g.Configs()
 	if *shard != "" {
-		i, n, err := parseShard(*shard)
+		i, n, err := sweep.ParseShard(*shard)
 		if err != nil {
 			return err
 		}
@@ -139,32 +110,14 @@ func run() error {
 		return err
 	}
 	sw := sweep.NewSweep(results)
-
-	var w io.Writer = os.Stdout
-	var f *os.File
-	if *out != "-" {
-		if f, err = os.Create(*out); err != nil {
-			return err
-		}
-		w = f
-	}
-	switch *format {
-	case "json":
-		err = sw.WriteJSON(w)
-	case "csv":
-		err = sw.WriteCSV(w)
-	default:
-		err = fmt.Errorf("unknown format %q (want json or csv)", *format)
-	}
-	if f != nil {
-		// Surface close/flush errors: a truncated -out file must not
-		// exit 0 with a success message.
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}
-	if err != nil {
+	if err := sw.WriteOutput(*out, *format); err != nil {
 		return err
+	}
+	// A -trace run that reverted to the walker anywhere must say so: the
+	// records are identical either way, but the run cost (and what the
+	// operator believes happened) is not.
+	for _, line := range sweep.FormatFallbacks(eng.TraceFallbacks()) {
+		fmt.Fprintf(os.Stderr, "sweep: warning: replayed from walker — %s\n", line)
 	}
 	fmt.Fprintf(os.Stderr, "sweep: done — %d records, %d simulated, %d memo hits, %d results in store\n",
 		len(sw.Records), store.Misses(), store.Hits(), store.Len())
@@ -172,15 +125,4 @@ func run() error {
 		fmt.Fprintln(os.Stderr, "sweep: warning: result store degraded:", berr)
 	}
 	return nil
-}
-
-// parseShard parses "i/n".
-func parseShard(s string) (i, n int, err error) {
-	if _, err := fmt.Sscanf(s, "%d/%d", &i, &n); err != nil {
-		return 0, 0, fmt.Errorf("bad -shard %q (want i/n, e.g. 0/4)", s)
-	}
-	if n <= 0 || i < 0 || i >= n {
-		return 0, 0, fmt.Errorf("bad -shard %q: need 0 <= i < n", s)
-	}
-	return i, n, nil
 }

@@ -1,0 +1,143 @@
+// Command sweepctl is the distributed sweep coordinator CLI: it fans one
+// design-space grid out across multiple waycached hosts and merges their
+// shard results into output byte-identical to a single-host `sweep` run
+// of the same grid.
+//
+// Usage:
+//
+//	sweepctl -hosts http://10.0.0.1:8080,http://10.0.0.2:8080 \
+//	    -benchmarks all -dpolicies all -dways 2,4 -insts 400000
+//	sweepctl -hosts http://a:8080,http://b:8080 -shards 8 -store results/ -format csv
+//
+// The grid flags are cmd/sweep's; the grid is split into -shards
+// deterministic contiguous shards (sweep.Shard; default one per host),
+// each submitted as a shard job to a host. A host that dies mid-run has
+// its shard reassigned to a survivor (up to -retries submissions per
+// shard). Shard results come back in canonical encoded form and, with
+// -store, are bulk-ingested into a local on-disk result store, building
+// one corpus from the whole fleet. Protocol and failure semantics:
+// docs/DISTRIBUTED.md.
+//
+// Benchmarks that a remote host re-simulated from the walker instead of
+// replaying a capture are reported per shard on stderr — a distributed
+// -trace run never falls back silently.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"waycache/internal/coord"
+	"waycache/internal/resultdb"
+	"waycache/internal/sweep"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	gridFlags := sweep.RegisterGridFlags(flag.CommandLine)
+	hosts := flag.String("hosts", "", "comma-separated waycached base URLs (required), e.g. http://10.0.0.1:8080,http://10.0.0.2:8080")
+	shards := flag.Int("shards", 0, "contiguous grid shards to distribute (default: one per host)")
+	retries := flag.Int("retries", 3, "max submissions per shard across host reassignments")
+	poll := flag.Duration("poll", 250*time.Millisecond, "per-shard status poll interval")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline for host control requests (a hanging host fails over like a dead one; exports get 10x)")
+	name := flag.String("name", "", "run identity for remote job names (default: derived from the grid)")
+	storeDir := flag.String("store", "", "directory of a local on-disk result store to bulk-ingest shard results into")
+	format := flag.String("format", "json", "output format: json or csv")
+	out := flag.String("out", "-", "output file ('-' for stdout)")
+	progress := flag.Bool("progress", true, "report live aggregate progress on stderr")
+	flag.Parse()
+
+	hostList := splitHosts(*hosts)
+	if len(hostList) == 0 {
+		return fmt.Errorf("need -hosts (comma-separated waycached base URLs)")
+	}
+	g, err := gridFlags.Grid()
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := coord.Options{
+		Hosts:          hostList,
+		Shards:         *shards,
+		MaxAttempts:    *retries,
+		PollInterval:   *poll,
+		RequestTimeout: *timeout,
+		Name:           *name,
+		Logf: func(f string, args ...any) {
+			fmt.Fprintf(os.Stderr, f+"\n", args...)
+		},
+	}
+	if *storeDir != "" {
+		db, err := resultdb.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		// Close writes the index snapshot; ingested results are already
+		// durable in the log, so a close failure warns rather than fails.
+		defer func() {
+			if cerr := db.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "sweepctl: closing store:", cerr)
+			}
+		}()
+		opts.Backend = db
+	}
+	if *progress {
+		opts.Progress = sweep.TextProgress(os.Stderr, nil)
+	}
+
+	nShards := *shards
+	if nShards <= 0 {
+		nShards = len(hostList)
+	}
+	fmt.Fprintf(os.Stderr, "sweepctl: %d configs in %d shards over %d hosts\n",
+		g.Size(), nShards, len(hostList))
+
+	res, err := coord.Run(ctx, g, opts)
+	if err != nil {
+		return err
+	}
+
+	if err := res.Sweep.WriteOutput(*out, *format); err != nil {
+		return err
+	}
+
+	for _, sh := range res.Shards {
+		fmt.Fprintf(os.Stderr, "sweepctl: shard %d: %d configs on %s (%s, %d attempt(s))\n",
+			sh.Index, sh.Configs, sh.Host, sh.JobID, sh.Attempts)
+		for _, line := range sweep.FormatFallbacks(sh.TraceFallbacks) {
+			fmt.Fprintf(os.Stderr, "sweepctl: warning: shard %d replayed from walker — %s\n", sh.Index, line)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sweepctl: done — %d records merged", len(res.Sweep.Records))
+	if opts.Backend != nil {
+		fmt.Fprintf(os.Stderr, ", %d ingested into %s", res.Ingested, *storeDir)
+	}
+	fmt.Fprintln(os.Stderr)
+	return nil
+}
+
+// splitHosts splits the -hosts flag, trimming blanks and trailing slashes
+// so URL joining stays predictable.
+func splitHosts(s string) []string {
+	var out []string
+	for _, h := range strings.Split(s, ",") {
+		if h = strings.TrimRight(strings.TrimSpace(h), "/"); h != "" {
+			out = append(out, h)
+		}
+	}
+	return out
+}

@@ -15,16 +15,28 @@
 //
 // Endpoints (full reference with examples in docs/HTTP_API.md):
 //
-//	POST /api/v1/jobs                 submit a sweep.Grid JSON body
-//	GET  /api/v1/jobs                 list jobs
-//	GET  /api/v1/jobs/{id}            poll one job's progress
-//	GET  /api/v1/jobs/{id}/results    finished records (json or csv),
-//	                                  byte-identical to cmd/sweep output
-//	GET  /api/v1/results              filter the whole corpus by
-//	                                  benchmark/policy/geometry
-//	GET  /api/v1/aggregate            group-by summaries over the corpus
-//	GET  /api/v1/stats                store and job counters
-//	GET  /healthz                     liveness
+//	POST   /api/v1/jobs                 submit a sweep.Grid JSON body,
+//	                                    optionally one shard ("shard":"i/n")
+//	                                    under a client-supplied "name"
+//	GET    /api/v1/jobs                 list jobs
+//	GET    /api/v1/jobs/{id}            poll one job's progress
+//	POST   /api/v1/jobs/{id}/cancel     cancel a queued or running job
+//	                                    (terminal "cancelled" state)
+//	DELETE /api/v1/jobs/{id}            evict a terminal job's bookkeeping
+//	GET    /api/v1/jobs/{id}/results    finished records (json or csv),
+//	                                    byte-identical to cmd/sweep output
+//	GET    /api/v1/jobs/{id}/export     canonical key+result stream for the
+//	                                    distributed coordinator (sweepctl)
+//	GET    /api/v1/results              filter the whole corpus by
+//	                                    benchmark/policy/geometry
+//	GET    /api/v1/aggregate            group-by summaries over the corpus
+//	GET    /api/v1/stats                store and job counters
+//	GET    /healthz                     liveness
+//
+// Several waycached instances form the worker fleet of a distributed
+// sweep: cmd/sweepctl splits a grid into deterministic shards, runs one
+// shard job per host, and merges the exports byte-identically (see
+// docs/DISTRIBUTED.md).
 package main
 
 import (

@@ -1,0 +1,608 @@
+// Package coord is the distributed sweep coordinator: it fans one
+// design-space grid out to multiple waycached hosts and merges their
+// results into output byte-identical to a single-host run.
+//
+// The grid is expanded exactly once, conceptually, by the deterministic
+// sweep.Grid order: the coordinator splits it into n contiguous
+// sweep.Shard slices by index arithmetic alone (no local expansion) and
+// submits each shard as a named shard job ({"shard": "i/n"}) to a remote
+// waycached instance. Hosts poll-complete independently; a shard whose
+// host dies — network error, 5xx, vanished process — is reassigned to a
+// surviving host, and a host that fails is retired for the rest of the
+// run. Finished shards are exported in canonical core.EncodeResult form
+// (GET /api/v1/jobs/{id}/export), optionally bulk-ingested into a local
+// result store, and concatenated in shard order, so the merged JSON/CSV
+// is byte-identical to what cmd/sweep emits for the whole grid on one
+// machine.
+//
+// Determinism contract: Grid.Configs order depends only on the grid;
+// Shard slices are contiguous and concatenate to the full expansion
+// (property-tested in internal/sweep); records are pure functions of
+// results. Therefore merge order — and the merged bytes — cannot depend
+// on which host ran what, how shards interleaved, or how many retries
+// happened. Protocol and failure semantics: docs/DISTRIBUTED.md.
+package coord
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"waycache/internal/core"
+	"waycache/internal/server"
+	"waycache/internal/sweep"
+)
+
+// Options configures a distributed run.
+type Options struct {
+	// Hosts lists waycached base URLs (e.g. "http://10.0.0.1:8080").
+	// Required, at least one.
+	Hosts []string
+	// Shards is how many contiguous grid shards to create (default:
+	// len(Hosts)). More shards than hosts gives finer-grained
+	// reassignment when a host dies mid-run.
+	Shards int
+	// Client issues every request (default: a plain http.Client; each
+	// request is additionally bounded by RequestTimeout).
+	Client *http.Client
+	// RequestTimeout bounds each control request — submit, poll, cancel,
+	// evict — so a host that hangs (accepts connections but never
+	// answers) is retired like one that errors, instead of blocking its
+	// shard forever. Export streams, which carry whole shards, get ten
+	// times this budget. Default 30s.
+	RequestTimeout time.Duration
+	// PollInterval is the per-shard status poll cadence (default 250ms).
+	PollInterval time.Duration
+	// MaxAttempts bounds submissions per shard across host reassignments
+	// (default 3). A shard failing on its last attempt fails the run.
+	MaxAttempts int
+	// Backend, when non-nil, receives every remotely-computed result in
+	// canonical encoded form (sweep.PutEncoded) as shards are merged —
+	// pass a resultdb.DB to build one local corpus from a distributed
+	// run.
+	Backend sweep.Backend
+	// Progress, when non-nil, receives aggregated done/total config
+	// counts across all shards. Calls are serialized.
+	Progress sweep.Progress
+	// Logf, when non-nil, receives coordinator events: shard
+	// assignments, host failures, reassignments.
+	Logf func(format string, args ...any)
+	// Name tags the run's jobs ("<name>-shard-<i>") so operators can read
+	// host job lists, and so resubmissions after a lost response are
+	// idempotent. Default: a hash of the grid and shard count.
+	Name string
+}
+
+// ShardReport is one shard's provenance in the merged output: which host
+// finally ran it, under which job, at which attempt. Reports let a caller
+// audit exactly where every contiguous record range came from.
+type ShardReport struct {
+	Index    int    // shard index, also the merge position
+	Host     string // host that completed the shard
+	JobID    string // job id on that host
+	Configs  int    // configurations in the shard
+	Attempts int    // submissions needed (1 = no reassignment)
+	// TraceFallbacks relays the remote engine's walker-fallback report
+	// (benchmark -> reason) so a distributed -trace run that re-simulated
+	// somewhere is visible at the coordinator.
+	TraceFallbacks map[string]string
+}
+
+// Result is a completed distributed run.
+type Result struct {
+	// Sweep holds the merged records in grid order — byte-identical to a
+	// single-host run of the same grid.
+	Sweep *sweep.Sweep
+	// Shards reports per-shard provenance, in shard order.
+	Shards []ShardReport
+	// Ingested counts results written to Options.Backend.
+	Ingested int
+}
+
+// jobFailedError marks a deterministic remote failure (the job itself
+// reached "failed"): retrying on another host would fail identically, so
+// it aborts the run instead of burning attempts.
+type jobFailedError struct{ msg string }
+
+func (e *jobFailedError) Error() string { return e.msg }
+
+// shardOutput is what one completed shard hands the merger.
+type shardOutput struct {
+	entries []server.ExportEntry // canonical key+payload, shard order
+	results []*core.Result       // decoded payloads, same order
+}
+
+// Run executes the grid across the hosts and returns the merged result.
+// The grid must expand within the hosts' job size limit
+// (server.MaxGridSize); cancellation of ctx aborts the run promptly.
+func Run(ctx context.Context, g sweep.Grid, o Options) (*Result, error) {
+	if len(o.Hosts) == 0 {
+		return nil, errors.New("coord: no hosts")
+	}
+	nShards := o.Shards
+	if nShards <= 0 {
+		nShards = len(o.Hosts)
+	}
+	client := o.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	poll := o.PollInterval
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	reqTimeout := o.RequestTimeout
+	if reqTimeout <= 0 {
+		reqTimeout = 30 * time.Second
+	}
+	maxAttempts := o.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	logf := o.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	// Normalize the benchmark list exactly as the server will (an empty
+	// list means the full suite): shard-size accounting and the grid
+	// equality behind idempotent named re-submission must both see the
+	// grid the hosts execute.
+	benches, err := sweep.ParseBenchmarks(strings.Join(g.Benchmarks, ","))
+	if err != nil {
+		return nil, err
+	}
+	g.Benchmarks = benches
+	name := o.Name
+	if name == "" {
+		name = defaultName(g, nShards)
+	}
+	total := g.Size()
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	c := &run{
+		client: client, grid: g, name: name,
+		nShards: nShards, total: total, poll: poll, reqTimeout: reqTimeout,
+		progress:  o.Progress,
+		logf:      logf,
+		outputs:   make([]shardOutput, nShards),
+		reports:   make([]ShardReport, nShards),
+		attempts:  make([]int, nShards),
+		shardDone: make([]int, nShards),
+		remaining: nShards,
+		liveHosts: len(o.Hosts),
+		pending:   make(chan int, nShards),
+		allDone:   make(chan struct{}),
+		cancel:    cancel,
+	}
+	for i := 0; i < nShards; i++ {
+		c.pending <- i
+	}
+
+	var wg sync.WaitGroup
+	for _, host := range o.Hosts {
+		wg.Add(1)
+		go func(host string) {
+			defer wg.Done()
+			c.hostWorker(runCtx, host, maxAttempts)
+		}(host)
+	}
+	workersIdle := make(chan struct{})
+	go func() { wg.Wait(); close(workersIdle) }()
+
+	select {
+	case <-c.allDone:
+	case <-workersIdle:
+		// Every worker exited without completing the run: a fatal error
+		// or all hosts dead.
+	case <-ctx.Done():
+	}
+	cancel()
+	<-workersIdle
+
+	c.mu.Lock()
+	err = c.fatal
+	c.mu.Unlock()
+	if err == nil {
+		err = ctx.Err()
+	}
+	if err == nil && c.remainingShards() > 0 {
+		err = errors.New("coord: run stopped with unfinished shards")
+	}
+	if err != nil {
+		return nil, err
+	}
+	return c.merge(o.Backend)
+}
+
+// run is the mutable state of one distributed execution.
+type run struct {
+	client     *http.Client
+	grid       sweep.Grid
+	name       string
+	nShards    int
+	total      int
+	poll       time.Duration
+	reqTimeout time.Duration
+
+	progress sweep.Progress
+	logf     func(string, ...any)
+	cancel   context.CancelFunc
+
+	pending chan int
+	allDone chan struct{}
+
+	mu        sync.Mutex
+	outputs   []shardOutput
+	reports   []ShardReport
+	attempts  []int
+	shardDone []int
+	remaining int
+	liveHosts int
+	fatal     error
+}
+
+func (c *run) remainingShards() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.remaining
+}
+
+// fail records the first fatal error and aborts the run.
+func (c *run) fail(err error) {
+	c.mu.Lock()
+	if c.fatal == nil {
+		c.fatal = err
+	}
+	c.mu.Unlock()
+	c.cancel()
+}
+
+// noteProgress folds one shard's done count into the aggregate feed.
+func (c *run) noteProgress(shard, done int) {
+	c.mu.Lock()
+	c.shardDone[shard] = done
+	sum := 0
+	for _, d := range c.shardDone {
+		sum += d
+	}
+	if c.progress != nil {
+		c.progress(sum, c.total)
+	}
+	c.mu.Unlock()
+}
+
+// hostWorker pulls shards off the queue and runs their full lifecycle on
+// one host until the host fails (then the in-flight shard is requeued for
+// a surviving host and the worker retires) or the run ends.
+func (c *run) hostWorker(ctx context.Context, host string, maxAttempts int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case i := <-c.pending:
+			c.mu.Lock()
+			c.attempts[i]++
+			attempt := c.attempts[i]
+			c.mu.Unlock()
+			c.logf("coord: shard %d/%d -> %s (attempt %d)", i, c.nShards, host, attempt)
+
+			out, jobID, fallbacks, err := c.runShard(ctx, host, i)
+			if err == nil {
+				c.completeShard(i, host, jobID, attempt, len(out.results), fallbacks, out)
+				continue
+			}
+			var jf *jobFailedError
+			if errors.As(err, &jf) {
+				c.fail(fmt.Errorf("coord: shard %d failed deterministically on %s: %w", i, host, err))
+				return
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			// Host-level failure: retire this host and hand the shard to a
+			// survivor, unless the shard is out of attempts or no host is
+			// left to take it.
+			c.logf("coord: host %s failed on shard %d (attempt %d): %v", host, i, attempt, err)
+			if jobID == "" {
+				// The submit itself failed — but its response may have
+				// been lost after the server enqueued the job. Hunt the
+				// deterministic name down so no zombie job survives.
+				c.abandonByName(host, c.shardName(i))
+			}
+			if attempt >= maxAttempts {
+				c.fail(fmt.Errorf("coord: shard %d failed %d times, last on %s: %w", i, attempt, host, err))
+				return
+			}
+			c.mu.Lock()
+			c.liveHosts--
+			dead := c.liveHosts == 0
+			c.mu.Unlock()
+			c.pending <- i
+			if dead {
+				c.fail(fmt.Errorf("coord: all hosts failed; last error from %s: %w", host, err))
+			}
+			return
+		}
+	}
+}
+
+// completeShard records a finished shard and closes allDone on the last.
+func (c *run) completeShard(i int, host, jobID string, attempt, configs int, fallbacks map[string]string, out shardOutput) {
+	c.mu.Lock()
+	c.outputs[i] = out
+	c.reports[i] = ShardReport{
+		Index: i, Host: host, JobID: jobID,
+		Configs: configs, Attempts: attempt,
+		TraceFallbacks: fallbacks,
+	}
+	c.remaining--
+	last := c.remaining == 0
+	c.mu.Unlock()
+	if last {
+		close(c.allDone)
+	}
+}
+
+// runShard drives one shard's lifecycle on one host: submit, poll to a
+// terminal state, export canonical results, and (best-effort) evict the
+// remote job. Any transport or server failure is a host-level error; a
+// remote "failed" state is a *jobFailedError.
+func (c *run) runShard(ctx context.Context, host string, i int) (shardOutput, string, map[string]string, error) {
+	st, err := c.submit(ctx, host, i)
+	if err != nil {
+		return shardOutput{}, "", nil, err
+	}
+	for st.State != "done" {
+		switch st.State {
+		case "failed":
+			return shardOutput{}, st.ID, nil, &jobFailedError{msg: st.Error}
+		case "cancelled":
+			// Someone (an operator, or a previous coordinator run's
+			// abandon) cancelled the job out from under us. Unlike a
+			// "failed" job this says nothing about the work itself, so
+			// it is a host-level error: retry the shard elsewhere.
+			return shardOutput{}, st.ID, nil, fmt.Errorf("job %s was cancelled on %s", st.ID, host)
+		}
+		c.noteProgress(i, st.Done)
+		select {
+		case <-ctx.Done():
+			c.abandon(host, st.ID)
+			return shardOutput{}, st.ID, nil, ctx.Err()
+		case <-time.After(c.poll):
+		}
+		if st, err = c.pollStatus(ctx, host, st.ID); err != nil {
+			c.abandon(host, st.ID)
+			return shardOutput{}, st.ID, nil, err
+		}
+	}
+	c.noteProgress(i, st.Done)
+
+	out, err := c.export(ctx, host, st.ID)
+	if err != nil {
+		c.abandon(host, st.ID)
+		return shardOutput{}, st.ID, nil, err
+	}
+	if want := sweep.ShardLen(c.total, i, c.nShards); len(out.results) != want {
+		c.abandon(host, st.ID)
+		return shardOutput{}, st.ID, nil,
+			fmt.Errorf("shard %d export from %s holds %d results, want %d", i, host, len(out.results), want)
+	}
+	// Evict the remote job so completed shards do not pin their results
+	// in host memory; the host's store keeps the simulations either way.
+	c.evict(ctx, host, st.ID)
+	return out, st.ID, st.TraceFallbacks, nil
+}
+
+// abandon best-effort cancels and evicts a job the coordinator is walking
+// away from — a reassigned shard, a run aborting, Ctrl-C. It uses its own
+// short-lived context because the run context may already be dead, and an
+// abandoned job must still be stopped: left alone it would keep grinding
+// on the host's sequential runner (exactly the starvation cancellation
+// exists to prevent) with its export payloads pinned until eviction. The
+// host may of course be truly dead, in which case nothing is listening
+// and nothing is leaked.
+func (c *run) abandon(host, id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if req, err := http.NewRequestWithContext(ctx, http.MethodPost, host+"/api/v1/jobs/"+id+"/cancel", nil); err == nil {
+		if resp, err := c.client.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}
+	// Eviction needs a terminal state; a just-cancelled running job
+	// drains first. Poll briefly within the abandon budget rather than
+	// issuing one guaranteed-409 delete.
+	for ctx.Err() == nil {
+		st, err := c.pollStatus(ctx, host, id)
+		if err != nil {
+			return // host unreachable: nothing is running, nothing leaks
+		}
+		switch st.State {
+		case "done", "failed", "cancelled":
+			c.evict(ctx, host, id)
+			return
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}
+
+// abandonByName handles the lost-submission case: the submit request
+// errored after the server may have enqueued the job (e.g. a response
+// timeout), leaving the coordinator without a job ID. Shard job names are
+// deterministic, so look the job up by name on the host and abandon it if
+// it exists — otherwise a zombie named job would grind the retired host
+// and pin its export payloads.
+func (c *run) abandonByName(host, name string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, host+"/api/v1/jobs", nil)
+	if err != nil {
+		return
+	}
+	var jobs []server.JobStatus
+	if err := c.doJSON(req, http.StatusOK, &jobs); err != nil {
+		return
+	}
+	for _, st := range jobs {
+		if st.Name == name && st.State != "done" && st.State != "failed" && st.State != "cancelled" {
+			c.abandon(host, st.ID)
+			return
+		}
+	}
+}
+
+// shardName is the deterministic remote job name for shard i.
+func (c *run) shardName(i int) string { return fmt.Sprintf("%s-shard-%d", c.name, i) }
+
+func (c *run) submit(ctx context.Context, host string, i int) (server.JobStatus, error) {
+	body, err := json.Marshal(server.JobRequest{
+		Grid:  c.grid,
+		Name:  c.shardName(i),
+		Shard: sweep.FormatShard(i, c.nShards),
+	})
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	// Per-request deadline: a host that hangs instead of erroring must
+	// still fail over, not freeze its shard.
+	rctx, cancel := context.WithTimeout(ctx, c.reqTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, host+"/api/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var st server.JobStatus
+	if err := c.doJSON(req, http.StatusAccepted, &st); err != nil {
+		return server.JobStatus{}, fmt.Errorf("submitting shard %d to %s: %w", i, host, err)
+	}
+	return st, nil
+}
+
+func (c *run) pollStatus(ctx context.Context, host, id string) (server.JobStatus, error) {
+	rctx, cancel := context.WithTimeout(ctx, c.reqTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, host+"/api/v1/jobs/"+id, nil)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	var st server.JobStatus
+	if err := c.doJSON(req, http.StatusOK, &st); err != nil {
+		return server.JobStatus{}, fmt.Errorf("polling %s on %s: %w", id, host, err)
+	}
+	return st, nil
+}
+
+// export streams the job's canonical results and decodes every entry.
+func (c *run) export(ctx context.Context, host, id string) (shardOutput, error) {
+	// A whole shard flows through this response, so it gets a far larger
+	// budget than a control request — but still a bounded one.
+	rctx, cancel := context.WithTimeout(ctx, 10*c.reqTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, host+"/api/v1/jobs/"+id+"/export", nil)
+	if err != nil {
+		return shardOutput{}, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return shardOutput{}, fmt.Errorf("exporting %s from %s: %w", id, host, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return shardOutput{}, fmt.Errorf("exporting %s from %s: status %d", id, host, resp.StatusCode)
+	}
+	var out shardOutput
+	dec := json.NewDecoder(bufio.NewReaderSize(resp.Body, 1<<16))
+	for {
+		var e server.ExportEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return shardOutput{}, fmt.Errorf("decoding export of %s from %s: %w", id, host, err)
+		}
+		if e.Key == "" || len(e.Result) == 0 {
+			return shardOutput{}, fmt.Errorf("export of %s from %s holds an empty entry", id, host)
+		}
+		res, err := core.DecodeResult(e.Result)
+		if err != nil {
+			return shardOutput{}, fmt.Errorf("export of %s from %s: %w", id, host, err)
+		}
+		out.entries = append(out.entries, e)
+		out.results = append(out.results, res)
+	}
+	return out, nil
+}
+
+// evict best-effort-deletes a fully exported job on its host.
+func (c *run) evict(ctx context.Context, host, id string) {
+	rctx, cancel := context.WithTimeout(ctx, c.reqTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodDelete, host+"/api/v1/jobs/"+id, nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return
+	}
+	resp.Body.Close()
+}
+
+// doJSON performs req, requiring status want and decoding the JSON body.
+func (c *run) doJSON(req *http.Request, want int, out any) error {
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// merge concatenates the shard outputs in shard order into the final
+// sweep, ingesting canonical payloads into the backend along the way.
+func (c *run) merge(backend sweep.Backend) (*Result, error) {
+	res := &Result{Shards: c.reports}
+	records := make([]sweep.Record, 0, c.total)
+	for i := range c.outputs {
+		for k, r := range c.outputs[i].results {
+			if backend != nil {
+				e := c.outputs[i].entries[k]
+				if err := sweep.PutEncoded(backend, e.Key, e.Result); err != nil {
+					return nil, fmt.Errorf("coord: ingesting shard %d result: %w", i, err)
+				}
+				res.Ingested++
+			}
+			records = append(records, sweep.NewRecord(r))
+		}
+	}
+	res.Sweep = &sweep.Sweep{Records: records}
+	return res, nil
+}
+
+// defaultName derives a stable run identity from the grid and shard count
+// so retried coordinator invocations of the same work share job names.
+func defaultName(g sweep.Grid, shards int) string {
+	b, _ := json.Marshal(g)
+	h := fnv.New64a()
+	h.Write(b)
+	fmt.Fprintf(h, "|%d", shards)
+	return fmt.Sprintf("grid-%012x", h.Sum64()&0xffffffffffff)
+}

@@ -295,12 +295,39 @@ func (db *DB) Get(key string) (res *core.Result, found bool, err error) {
 // the store is left untouched (results are deterministic per key, so the
 // first record is as good as any rewrite).
 func (db *DB) Put(key string, res *core.Result) error {
-	if key == "" {
-		return fmt.Errorf("resultdb: empty key")
-	}
 	payload, err := core.EncodeResult(res)
 	if err != nil {
 		return err
+	}
+	return db.putPayload(key, payload)
+}
+
+// PutEncoded appends a result that already exists in core.EncodeResult's
+// canonical byte form — the bulk-ingest path for shard results computed by
+// remote hosts. The payload is validated (it must decode) and then stored
+// byte-for-byte as provided, so the log holds exactly what the remote
+// computed, with no decode/re-encode round trip. Keys are write-once, as
+// with Put.
+func (db *DB) PutEncoded(key string, payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("resultdb: empty payload for key %q", key)
+	}
+	if len(payload) > payloadCap {
+		return fmt.Errorf("resultdb: payload for key %q is %d bytes (cap %d)", key, len(payload), payloadCap)
+	}
+	if _, err := core.DecodeResult(payload); err != nil {
+		return fmt.Errorf("resultdb: rejecting undecodable payload for key %q: %w", key, err)
+	}
+	return db.putPayload(key, payload)
+}
+
+// putPayload appends one validated record.
+func (db *DB) putPayload(key string, payload []byte) error {
+	if key == "" {
+		return fmt.Errorf("resultdb: empty key")
+	}
+	if len(key) > keyCap {
+		return fmt.Errorf("resultdb: key is %d bytes (cap %d)", len(key), keyCap)
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()

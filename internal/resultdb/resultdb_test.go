@@ -379,3 +379,74 @@ func TestOpenRejectsForeignFile(t *testing.T) {
 		t.Errorf("Open accepted an unknown format version")
 	}
 }
+
+// TestPutEncodedBulkIngest: canonical payloads computed elsewhere (the
+// distributed coordinator's export stream) must land in the log
+// byte-for-byte and read back as the identical result.
+func TestPutEncodedBulkIngest(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer db.Close()
+
+	r := results(t)[0]
+	key := keyOf(t, r)
+	payload, err := core.EncodeResult(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutEncoded(key, payload); err != nil {
+		t.Fatalf("PutEncoded: %v", err)
+	}
+	got, found, err := db.Get(key)
+	if err != nil || !found {
+		t.Fatalf("Get after PutEncoded: found=%v err=%v", found, err)
+	}
+	want := *r
+	want.Config = want.Config.Canonical()
+	if !reflect.DeepEqual(got, &want) {
+		t.Error("PutEncoded round trip differs from the source result")
+	}
+	// The stored bytes are exactly the provided payload: a Put of the
+	// same decoded result must be a no-op (same key), and a fresh encode
+	// of the read-back result must reproduce the ingested bytes.
+	if err := db.Put(key, got); err != nil {
+		t.Fatalf("duplicate Put: %v", err)
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len = %d after duplicate Put, want 1", db.Len())
+	}
+	re, err := core.EncodeResult(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(re) != string(payload) {
+		t.Error("read-back result re-encodes to different bytes than the ingested payload")
+	}
+
+	// Undecodable payloads must be rejected before touching the log.
+	if err := db.PutEncoded("bad-key", []byte("{not json")); err == nil {
+		t.Error("PutEncoded accepted an undecodable payload")
+	}
+	if err := db.PutEncoded("empty-key", nil); err == nil {
+		t.Error("PutEncoded accepted an empty payload")
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len = %d after rejected ingests, want 1", db.Len())
+	}
+
+	// Ingested records survive reopen like any Put record.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, found, err := db2.Get(key); err != nil || !found {
+		t.Errorf("reopened Get: found=%v err=%v", found, err)
+	}
+}

@@ -10,13 +10,26 @@
 // every simulation flows through one memoized Store, a job re-submitting
 // configurations an earlier job (or an earlier process, with a disk store)
 // already simulated costs memo lookups, not simulations.
+//
+// A submission may carry a shard spec ("i/n") and a client-supplied name:
+// the server expands the grid, runs only the i-th deterministic
+// sweep.Shard slice, and exports the shard's results in canonical
+// (core.EncodeResult) form — the building blocks the distributed
+// coordinator (internal/coord) fans out across hosts and merges
+// byte-identically. Every job owns a context: cancellation
+// (POST /api/v1/jobs/{id}/cancel) reaches a terminal "cancelled" state
+// promptly instead of blocking the runner behind an unwanted grid, and
+// terminal jobs can be evicted (DELETE /api/v1/jobs/{id}) to release the
+// memory their results pin.
 package server
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"reflect"
 	"strconv"
 	"strings"
 	"sync"
@@ -30,6 +43,8 @@ import (
 const QueueCap = 256
 
 // MaxGridSize bounds a single submission's expanded configuration count.
+// Shard submissions are bounded by their full grid too: the server expands
+// the whole grid before slicing it.
 const MaxGridSize = 1 << 20
 
 // maxBodyBytes bounds a grid submission body.
@@ -45,7 +60,8 @@ type Options struct {
 	// runtime.NumCPU(), via the sweep engine).
 	Workers int
 	// TraceDir, when non-empty, lets jobs replay captured traces (see
-	// sweep.Options.TraceDir).
+	// sweep.Options.TraceDir). Benchmarks that fall back to the walker are
+	// reported per job (JobStatus.TraceFallbacks), never silently.
 	TraceDir string
 }
 
@@ -56,7 +72,7 @@ type Server struct {
 	store *sweep.Store
 	mux   *http.ServeMux
 
-	ctx    context.Context // cancels the running job on Close
+	ctx    context.Context // parent of every job context; cancelled on Close
 	cancel context.CancelFunc
 	queue  chan *job
 	stopWG sync.WaitGroup
@@ -93,7 +109,10 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /api/v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleJobCancel)
+	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleJobDelete)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/results", s.handleJobResults)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/export", s.handleJobExport)
 	s.mux.HandleFunc("GET /api/v1/results", s.handleResults)
 	s.mux.HandleFunc("GET /api/v1/aggregate", s.handleAggregate)
 	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
@@ -106,9 +125,9 @@ func New(opts Options) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops the runner, cancelling any running job (it finishes as
-// "failed" with a cancellation error) and leaving queued jobs queued
-// forever. In-store results are unaffected.
+// Close stops the runner, cancelling any running job (it reaches the
+// terminal "cancelled" state) and leaving queued jobs queued forever.
+// In-store results are unaffected.
 func (s *Server) Close() {
 	s.cancel()
 	s.stopWG.Wait()
@@ -128,46 +147,85 @@ func (s *Server) runner() {
 }
 
 func (s *Server) runJob(j *job) {
-	j.setRunning()
-	// A fresh engine per job gives it a private progress feed; the shared
-	// store still deduplicates simulations across jobs and processes.
+	// A job cancelled while queued is already terminal: skip it without
+	// simulating, so one mistyped grid cannot starve the runner.
+	if !j.setRunning() {
+		return
+	}
+	cfgs := j.grid.Configs()
+	if j.shardN > 0 {
+		cfgs = sweep.Shard(cfgs, j.shardI, j.shardN)
+	}
+	// A fresh engine per job gives it a private progress feed and trace
+	// fallback report; the shared store still deduplicates simulations
+	// across jobs and processes.
 	eng := sweep.New(sweep.Options{
 		Workers:  s.opts.Workers,
 		Store:    s.store,
 		TraceDir: s.opts.TraceDir,
 		Progress: j.setProgress,
 	})
-	sw, err := eng.Run(s.ctx, j.grid)
-	j.finish(sw, err)
+	results, err := eng.RunConfigs(j.ctx, cfgs)
+	j.finish(cfgs, results, eng.TraceFallbacks(), err)
 }
 
-// job is one submitted grid and its lifecycle.
+// job is one submitted grid (or grid shard) and its lifecycle.
 type job struct {
-	id    string
-	grid  sweep.Grid
-	total int
+	id   string
+	name string // optional client-supplied identity
+	grid sweep.Grid
+	// shardN > 0 selects sweep.Shard(cfgs, shardI, shardN) of the
+	// expanded grid.
+	shardI, shardN int
+	total          int
+	// exportable jobs (named or sharded — the coordinator's) retain
+	// their canonical export entries after finishing; anonymous whole
+	// grid jobs keep only their Sweep, the pre-distribution footprint.
+	exportable bool
 
-	mu    sync.Mutex
-	state string // "queued" -> "running" -> "done" | "failed"
-	done  int
-	err   string
-	sweep *sweep.Sweep
+	// ctx governs the job's simulations; cancel is safe to call from any
+	// state and releases the context once the job is terminal.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     string // "queued" -> "running" -> "done" | "failed" | "cancelled"
+	cancelled bool   // cancellation requested while running
+	done      int
+	err       string
+	fallbacks map[string]string
+	exports   []ExportEntry // canonical key+payload per config, job order
+	sweep     *sweep.Sweep
 }
 
 // JobStatus is the wire form of a job's state, also returned by the
 // submission endpoint.
 type JobStatus struct {
 	ID    string `json:"id"`
+	Name  string `json:"name,omitempty"`
 	State string `json:"state"`
+	// Shard is "i/n" when the job runs one deterministic shard of its
+	// grid rather than the whole expansion.
+	Shard string `json:"shard,omitempty"`
 	Done  int    `json:"done"`
 	Total int    `json:"total"`
 	Error string `json:"error,omitempty"`
+	// TraceFallbacks maps each benchmark that re-simulated from the
+	// walker (instead of replaying its capture) to the reason. Empty when
+	// every benchmark replayed or the server has no trace directory.
+	TraceFallbacks map[string]string `json:"traceFallbacks,omitempty"`
 }
 
-func (j *job) setRunning() {
+// setRunning moves a queued job to running; it reports false when the job
+// was cancelled while queued and must not run.
+func (j *job) setRunning() bool {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != "queued" {
+		return false
+	}
 	j.state = "running"
-	j.mu.Unlock()
+	return true
 }
 
 func (j *job) setProgress(done, total int) {
@@ -176,29 +234,130 @@ func (j *job) setProgress(done, total int) {
 	j.mu.Unlock()
 }
 
-func (j *job) finish(sw *sweep.Sweep, err error) {
+// requestCancel asks the job to stop. Queued jobs become terminal
+// immediately; running jobs have their context cancelled and become
+// terminal when the engine unwinds. ok is false when the job is already
+// terminal.
+func (j *job) requestCancel() (JobStatus, bool) {
 	j.mu.Lock()
-	if err != nil {
+	defer j.mu.Unlock()
+	switch j.state {
+	case "queued":
+		j.state = "cancelled"
+		j.cancel()
+		return j.statusLocked(), true
+	case "running":
+		j.cancelled = true
+		j.cancel()
+		return j.statusLocked(), true
+	default:
+		return j.statusLocked(), false
+	}
+}
+
+func (j *job) finish(cfgs []core.Config, results []*core.Result, fallbacks map[string]string, err error) {
+	var exports []ExportEntry
+	if err == nil && j.exportable {
+		exports = buildExports(cfgs, results)
+	}
+	j.mu.Lock()
+	j.fallbacks = fallbacks
+	switch {
+	case err == nil:
+		j.state = "done"
+		j.sweep = sweep.NewSweep(results)
+		// The raw configs and results are not retained: the Sweep holds
+		// the records, exports (when built) hold the canonical payloads,
+		// and the store holds every simulation either way.
+		j.exports = exports
+	case j.cancelled || errors.Is(err, context.Canceled):
+		// Cancellation (client cancel or server Close) is its own terminal
+		// state, not a failure; the state says everything Error would.
+		j.state = "cancelled"
+	default:
 		j.state, j.err = "failed", err.Error()
-	} else {
-		j.state, j.sweep = "done", sw
 	}
 	j.mu.Unlock()
+	j.cancel() // release the context; terminal states never simulate again
+}
+
+// buildExports flattens finished results into canonical export entries,
+// keyed AND encoded under the submitted config — before any trace
+// resolution. Replay and walker runs produce identical statistics (the
+// repo's core determinism contract), so substituting the submitted config
+// makes the payload portable: no host-local trace path leaks into the
+// importing corpus, the payload's embedded Config matches the key it is
+// stored under, and a trace-enabled host exports the same bytes a
+// walker-only host would.
+func buildExports(cfgs []core.Config, results []*core.Result) []ExportEntry {
+	exports := make([]ExportEntry, 0, len(results))
+	for i, res := range results {
+		key, ok := cfgs[i].Key()
+		if !ok {
+			continue // unreachable: JSON submissions cannot carry a Source
+		}
+		rr := *res
+		rr.Config = cfgs[i]
+		payload, err := core.EncodeResult(&rr)
+		if err != nil {
+			continue // unreachable for the same reason
+		}
+		exports = append(exports, ExportEntry{Key: key, Result: payload})
+	}
+	return exports
+}
+
+// terminal reports whether the job has reached a final state.
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == "done" || j.state == "failed" || j.state == "cancelled"
+}
+
+// doomed reports whether the job is terminal or has cancellation pending:
+// either way it will never produce results, so it must not satisfy an
+// idempotent named re-submission.
+func (j *job) doomed() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case "done", "failed", "cancelled":
+		return true
+	}
+	return j.cancelled
+}
+
+func (j *job) statusLocked() JobStatus {
+	st := JobStatus{
+		ID: j.id, Name: j.name, State: j.state,
+		Done: j.done, Total: j.total, Error: j.err,
+		TraceFallbacks: j.fallbacks,
+	}
+	if j.shardN > 0 {
+		st.Shard = sweep.FormatShard(j.shardI, j.shardN)
+	}
+	return st
 }
 
 func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JobStatus{ID: j.id, State: j.state, Done: j.done, Total: j.total, Error: j.err}
+	return j.statusLocked()
 }
 
 // results returns the finished sweep, or an explanation of why there is
 // none yet.
-func (j *job) results() (*sweep.Sweep, JobStatus, bool) {
+func (j *job) resultsDone() (*sweep.Sweep, JobStatus, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := JobStatus{ID: j.id, State: j.state, Done: j.done, Total: j.total, Error: j.err}
-	return j.sweep, st, j.state == "done"
+	return j.sweep, j.statusLocked(), j.state == "done"
+}
+
+// export returns the finished job's canonical export entries.
+func (j *job) export() ([]ExportEntry, JobStatus, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.exports, j.statusLocked(), j.state == "done"
 }
 
 // --- handlers ---
@@ -207,14 +366,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// JobRequest is the submission body: a sweep.Grid, optionally narrowed to
+// one deterministic shard and tagged with a client-supplied name. It is
+// the one wire type both this server and the distributed coordinator
+// (internal/coord) marshal, so the two cannot drift.
+type JobRequest struct {
+	sweep.Grid
+	// Name is an optional client identity (e.g. "<sweep>-shard-3").
+	// Submitting a name that matches a live (non-terminal) job running
+	// the same grid and shard returns that job's status instead of
+	// enqueueing a duplicate, so a client that lost a submission response
+	// can re-submit idempotently; the same name with different work is
+	// refused (409) rather than silently answered with someone else's
+	// sweep.
+	Name string `json:"name"`
+	// Shard is "i/n": run only the i-th of n contiguous shards of the
+	// expanded grid (sweep.Shard), whose concatenation in shard order is
+	// the full grid.
+	Shard string `json:"shard"`
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var g sweep.Grid
+	var req JobRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&g); err != nil {
+	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad grid: %w", err))
 		return
 	}
+	g := req.Grid
 	// Validate benchmarks at submission (an unknown name should 400 here,
 	// not fail the job minutes later); an omitted list means the full
 	// suite, mirroring the CLI's -benchmarks default.
@@ -230,10 +410,51 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("grid expands to %d configurations (limit %d); shard it", total, MaxGridSize))
 		return
 	}
+	var shardI, shardN int
+	if req.Shard != "" {
+		if shardI, shardN, err = sweep.ParseShard(req.Shard); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		total = sweep.ShardLen(total, shardI, shardN)
+	}
 
 	s.mu.Lock()
+	// Idempotent named submission: a live job with the same name AND the
+	// same work gets its status handed back instead of a duplicate in
+	// the queue. A name collision over different work is refused — it
+	// would otherwise silently answer this client with someone else's
+	// sweep.
+	if req.Name != "" {
+		for _, id := range s.order {
+			jj := s.jobs[id]
+			// A cancel-pending job is as dead as a terminal one for
+			// idempotency purposes: handing it back would chain the new
+			// client to doomed work.
+			if jj.name != req.Name || jj.doomed() {
+				continue
+			}
+			if !reflect.DeepEqual(jj.grid, g) || jj.shardI != shardI || jj.shardN != shardN {
+				st := jj.status()
+				s.mu.Unlock()
+				writeError(w, http.StatusConflict,
+					fmt.Errorf("job name %q is live as %s with a different grid or shard", req.Name, st.ID))
+				return
+			}
+			s.mu.Unlock()
+			writeJSON(w, http.StatusAccepted, jj.status())
+			return
+		}
+	}
 	s.nextID++
-	j := &job{id: fmt.Sprintf("job-%d", s.nextID), grid: g, total: total, state: "queued"}
+	jctx, jcancel := context.WithCancel(s.ctx)
+	j := &job{
+		id: fmt.Sprintf("job-%d", s.nextID), name: req.Name,
+		grid: g, shardI: shardI, shardN: shardN,
+		total: total, state: "queued",
+		exportable: req.Name != "" || shardN > 0,
+		ctx:        jctx, cancel: jcancel,
+	}
 	select {
 	case s.queue <- j:
 		s.jobs[j.id] = j
@@ -242,6 +463,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.nextID--
 		s.mu.Unlock()
+		jcancel()
 		writeError(w, http.StatusServiceUnavailable,
 			fmt.Errorf("job queue full (%d queued); retry later", QueueCap))
 		return
@@ -275,12 +497,55 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	st, ok := j.requestCancel()
+	if !ok {
+		// Already terminal: cancelling finished work is a conflict, and
+		// the status body says which terminal state won the race.
+		writeJSON(w, http.StatusConflict, st)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	if j == nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	if !j.terminal() {
+		st := j.status()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusConflict, st)
+		return
+	}
+	delete(s.jobs, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	// The store keeps every simulated result; eviction only drops the
+	// job's bookkeeping (status, retained export results).
+	writeJSON(w, http.StatusOK, map[string]string{"evicted": id})
+}
+
 func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
 	j := s.job(w, r)
 	if j == nil {
 		return
 	}
-	sw, st, done := j.results()
+	sw, st, done := j.resultsDone()
 	if !done {
 		// Not an error JSON: the status body tells a poller exactly where
 		// the job stands (including a failure's message).
@@ -288,6 +553,43 @@ func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeSweep(w, r, sw)
+}
+
+// ExportEntry is one line of a job export stream: the canonical memo key
+// of a submitted configuration (core.Config.Key of the config as
+// submitted, before any trace resolution) and the result in
+// core.EncodeResult's canonical byte form. The distributed coordinator
+// ingests these lines into a local result store byte-for-byte.
+type ExportEntry struct {
+	Key    string          `json:"key"`
+	Result json.RawMessage `json:"result"`
+}
+
+func (s *Server) handleJobExport(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	if !j.exportable {
+		// Anonymous whole-grid jobs do not retain export payloads (only
+		// their records); exporting is the coordinator workflow, which
+		// always names its jobs.
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s was submitted without a name or shard and has no export; use /results", j.id))
+		return
+	}
+	exports, st, done := j.export()
+	if !done {
+		writeJSON(w, http.StatusConflict, st)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, e := range exports {
+		if err := enc.Encode(e); err != nil {
+			return
+		}
+	}
 }
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
@@ -335,10 +637,11 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	type jobCounts struct {
-		Queued  int `json:"queued"`
-		Running int `json:"running"`
-		Done    int `json:"done"`
-		Failed  int `json:"failed"`
+		Queued    int `json:"queued"`
+		Running   int `json:"running"`
+		Done      int `json:"done"`
+		Failed    int `json:"failed"`
+		Cancelled int `json:"cancelled"`
 	}
 	var jc jobCounts
 	s.mu.Lock()
@@ -352,6 +655,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			jc.Done++
 		case "failed":
 			jc.Failed++
+		case "cancelled":
+			jc.Cancelled++
 		}
 	}
 	s.mu.Unlock()

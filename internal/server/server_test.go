@@ -7,12 +7,16 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"waycache/internal/access"
+	"waycache/internal/core"
 	"waycache/internal/sweep"
+	"waycache/internal/trace"
+	"waycache/internal/workload"
 )
 
 // testGridJSON is the grid every end-to-end test submits: small, two
@@ -345,5 +349,362 @@ func TestHealthz(t *testing.T) {
 	resp := getJSON(t, ts.URL+"/healthz", &h)
 	if resp.StatusCode != http.StatusOK || h["status"] != "ok" {
 		t.Errorf("healthz = %d %v", resp.StatusCode, h)
+	}
+}
+
+// pollTerminal waits for any terminal state (done, failed, cancelled).
+func pollTerminal(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		var st JobStatus
+		getJSON(t, base+"/api/v1/jobs/"+id, &st)
+		switch st.State {
+		case "done", "failed", "cancelled":
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return JobStatus{}
+}
+
+// pollRunning waits for the job to leave the queue.
+func pollRunning(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	for time.Now().Before(deadline) {
+		var st JobStatus
+		getJSON(t, base+"/api/v1/jobs/"+id, &st)
+		if st.State != "queued" {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never started", id)
+	return JobStatus{}
+}
+
+func post(t *testing.T, url string) (*http.Response, JobStatus) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	json.NewDecoder(resp.Body).Decode(&st)
+	return resp, st
+}
+
+func del(t *testing.T, url string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE %s: %v", url, err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// bigGridJSON runs for seconds — long enough to observe and cancel a
+// running job deterministically.
+const bigGridJSON = `{
+  "Name": "big",
+  "Benchmarks": ["gcc", "swim", "li", "perl", "go", "vortex", "mgrid", "applu"],
+  "DWays": [1, 2, 4, 8, 16],
+  "Insts": 4000000
+}`
+
+// TestCancelReachesTerminalStateAndUnblocksQueue is the job-control
+// acceptance test: a mistyped long grid must be cancellable — queued or
+// running — reach the terminal "cancelled" state, and leave the runner
+// free for subsequent jobs.
+func TestCancelReachesTerminalStateAndUnblocksQueue(t *testing.T) {
+	srv := New(Options{Workers: 2})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	a := submit(t, ts.URL, bigGridJSON)
+	if a.Name != "big" {
+		t.Errorf("submitted name = %q, want big", a.Name)
+	}
+	b := submit(t, ts.URL, testGridJSON) // queued behind a
+
+	pollRunning(t, ts.URL, a.ID)
+
+	// Running and queued jobs cannot be evicted or exported.
+	if resp := del(t, ts.URL+"/api/v1/jobs/"+a.ID); resp.StatusCode != http.StatusConflict {
+		t.Errorf("DELETE running job = %d, want 409", resp.StatusCode)
+	}
+	if _, resp := fetch(t, ts.URL+"/api/v1/jobs/"+a.ID+"/export"); resp.StatusCode != http.StatusConflict {
+		t.Errorf("export of unfinished job = %d, want 409", resp.StatusCode)
+	}
+
+	// Cancelling a queued job is terminal immediately.
+	resp, st := post(t, ts.URL+"/api/v1/jobs/"+b.ID+"/cancel")
+	if resp.StatusCode != http.StatusOK || st.State != "cancelled" {
+		t.Errorf("cancel queued = %d %q, want 200 cancelled", resp.StatusCode, st.State)
+	}
+
+	// Cancelling the running job unwinds it to "cancelled".
+	if resp, _ := post(t, ts.URL+"/api/v1/jobs/"+a.ID+"/cancel"); resp.StatusCode != http.StatusOK {
+		t.Errorf("cancel running = %d, want 200", resp.StatusCode)
+	}
+	if st := pollTerminal(t, ts.URL, a.ID); st.State != "cancelled" {
+		t.Errorf("big job terminal state = %q, want cancelled", st.State)
+	}
+
+	// The runner is free: a new job completes.
+	c := submit(t, ts.URL, testGridJSON)
+	pollDone(t, ts.URL, c.ID)
+	if st := pollTerminal(t, ts.URL, b.ID); st.State != "cancelled" {
+		t.Errorf("queued-cancelled job state = %q after runner drained it", st.State)
+	}
+
+	// Cancelling terminal jobs conflicts.
+	if resp, _ := post(t, ts.URL+"/api/v1/jobs/"+a.ID+"/cancel"); resp.StatusCode != http.StatusConflict {
+		t.Errorf("re-cancel terminal = %d, want 409", resp.StatusCode)
+	}
+
+	var stats struct {
+		Jobs struct {
+			Done      int `json:"done"`
+			Cancelled int `json:"cancelled"`
+		} `json:"jobs"`
+	}
+	getJSON(t, ts.URL+"/api/v1/stats", &stats)
+	if stats.Jobs.Cancelled != 2 || stats.Jobs.Done != 1 {
+		t.Errorf("stats jobs = %+v, want 2 cancelled 1 done", stats.Jobs)
+	}
+
+	// Terminal jobs evict; evicted jobs are gone.
+	for _, id := range []string{a.ID, b.ID} {
+		if resp := del(t, ts.URL+"/api/v1/jobs/"+id); resp.StatusCode != http.StatusOK {
+			t.Errorf("DELETE terminal %s = %d, want 200", id, resp.StatusCode)
+		}
+		if _, resp := fetch(t, ts.URL+"/api/v1/jobs/"+id); resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET evicted %s = %d, want 404", id, resp.StatusCode)
+		}
+	}
+	var jobs []JobStatus
+	getJSON(t, ts.URL+"/api/v1/jobs", &jobs)
+	if len(jobs) != 1 || jobs[0].ID != c.ID {
+		t.Errorf("job list after eviction = %+v, want just %s", jobs, c.ID)
+	}
+	if resp := del(t, ts.URL+"/api/v1/jobs/job-999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE unknown job = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestShardJobsConcatenateToFullGrid: shard submissions run exactly the
+// deterministic sweep.Shard slices, and their outputs concatenate (CSV
+// bodies; export streams) to the full-grid run byte-for-byte.
+func TestShardJobsConcatenateToFullGrid(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	full := submit(t, ts.URL, testGridJSON)
+	pollDone(t, ts.URL, full.ID)
+	fullCSV, _ := fetch(t, ts.URL+"/api/v1/jobs/"+full.ID+"/results?format=csv")
+
+	cfgs := testGrid().Configs()
+	const n = 3
+	var bodies [][]byte
+	var allKeys []string
+	for i := 0; i < n; i++ {
+		body := fmt.Sprintf(`{"Benchmarks":["gcc","swim"],"DPolicies":["parallel","seldm+waypred"],"DWays":[2,4],"Insts":5000,"name":"part-%d","shard":"%d/%d"}`, i, i, n)
+		st := submit(t, ts.URL, body)
+		if want := sweep.ShardLen(len(cfgs), i, n); st.Total != want {
+			t.Errorf("shard %d total = %d, want %d", i, st.Total, want)
+		}
+		if want := fmt.Sprintf("%d/%d", i, n); st.Shard != want {
+			t.Errorf("shard field = %q, want %q", st.Shard, want)
+		}
+		st = pollDone(t, ts.URL, st.ID)
+
+		csv, _ := fetch(t, ts.URL+"/api/v1/jobs/"+st.ID+"/results?format=csv")
+		parts := bytes.SplitN(csv, []byte("\n"), 2)
+		if len(parts) != 2 {
+			t.Fatalf("shard %d CSV has no header row", i)
+		}
+		bodies = append(bodies, parts[1])
+
+		// Export: one NDJSON entry per config, keyed by the submitted
+		// config's canonical key, in shard order.
+		exp, resp := fetch(t, ts.URL+"/api/v1/jobs/"+st.ID+"/export")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("shard %d export status = %d", i, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Errorf("export Content-Type = %q", ct)
+		}
+		dec := json.NewDecoder(bytes.NewReader(exp))
+		for {
+			var e ExportEntry
+			if err := dec.Decode(&e); err != nil {
+				break
+			}
+			if len(e.Result) == 0 {
+				t.Fatalf("shard %d export entry %q has no result", i, e.Key)
+			}
+			allKeys = append(allKeys, e.Key)
+		}
+	}
+
+	fullParts := bytes.SplitN(fullCSV, []byte("\n"), 2)
+	if !bytes.Equal(bytes.Join(bodies, nil), fullParts[1]) {
+		t.Error("concatenated shard CSV bodies differ from the full-grid CSV body")
+	}
+	if len(allKeys) != len(cfgs) {
+		t.Fatalf("exports hold %d entries, want %d", len(allKeys), len(cfgs))
+	}
+	for i, key := range allKeys {
+		want, _ := cfgs[i].Key()
+		if key != want {
+			t.Errorf("export key %d = %q, want %q", i, key, want)
+		}
+	}
+
+	// Bad shard specs are submission errors.
+	for _, bad := range []string{"3/3", "x", "-1/2", "1/0"} {
+		body := fmt.Sprintf(`{"Benchmarks":["gcc"],"Insts":5000,"shard":"%s"}`, bad)
+		resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("shard %q status = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestNamedSubmissionIdempotent: re-submitting a live job's name returns
+// the existing job instead of queueing duplicate work.
+func TestNamedSubmissionIdempotent(t *testing.T) {
+	srv := New(Options{Workers: 2})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	a := submit(t, ts.URL, bigGridJSON) // occupies the runner
+	x1 := submit(t, ts.URL, `{"Benchmarks":["gcc"],"Insts":5000,"name":"x"}`)
+	x2 := submit(t, ts.URL, `{"Benchmarks":["gcc"],"Insts":5000,"name":"x"}`)
+	if x1.ID != x2.ID {
+		t.Errorf("re-submitted name %q got a new job: %s then %s", "x", x1.ID, x2.ID)
+	}
+	y := submit(t, ts.URL, `{"Benchmarks":["gcc"],"Insts":5000,"name":"y"}`)
+	if y.ID == x1.ID {
+		t.Error("distinct names shared a job")
+	}
+	anon1 := submit(t, ts.URL, testGridJSON)
+	anon2 := submit(t, ts.URL, testGridJSON)
+	if anon1.ID == anon2.ID {
+		t.Error("anonymous submissions deduplicated")
+	}
+
+	// A live name reused for DIFFERENT work must be refused, not answered
+	// with the existing job's (wrong) results.
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json",
+		strings.NewReader(`{"Benchmarks":["swim"],"Insts":9000,"name":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("name collision over different grid = %d, want 409", resp.StatusCode)
+	}
+	post(t, ts.URL+"/api/v1/jobs/"+a.ID+"/cancel")
+}
+
+// TestExportRequiresNamedOrShardJob: anonymous whole-grid jobs do not
+// retain export payloads; asking for them is a clear conflict, not a
+// silent empty stream.
+func TestExportRequiresNamedOrShardJob(t *testing.T) {
+	_, ts := newTestServer(t)
+	st := submit(t, ts.URL, testGridJSON) // no name, no shard
+	pollDone(t, ts.URL, st.ID)
+	body, resp := fetch(t, ts.URL+"/api/v1/jobs/"+st.ID+"/export")
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("anonymous export = %d, want 409", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "name") {
+		t.Errorf("anonymous export error %q does not explain the name requirement", body)
+	}
+
+	named := submit(t, ts.URL, `{"Benchmarks":["gcc"],"Insts":5000,"name":"exp"}`)
+	pollDone(t, ts.URL, named.ID)
+	exp, resp := fetch(t, ts.URL+"/api/v1/jobs/"+named.ID+"/export")
+	if resp.StatusCode != http.StatusOK || len(exp) == 0 {
+		t.Errorf("named export = %d with %d bytes, want 200 and a stream", resp.StatusCode, len(exp))
+	}
+}
+
+// TestServerSurfacesTraceFallbacks: a waycached with a trace directory
+// that covers nothing must report the walker fallbacks per job, not hide
+// them.
+func TestServerSurfacesTraceFallbacks(t *testing.T) {
+	srv := New(Options{Workers: 4, TraceDir: t.TempDir()})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	st := submit(t, ts.URL, testGridJSON)
+	st = pollDone(t, ts.URL, st.ID)
+	if len(st.TraceFallbacks) != 2 {
+		t.Fatalf("TraceFallbacks = %v, want gcc and swim", st.TraceFallbacks)
+	}
+	for _, b := range []string{"gcc", "swim"} {
+		if st.TraceFallbacks[b] == "" {
+			t.Errorf("benchmark %s has no fallback reason: %v", b, st.TraceFallbacks)
+		}
+	}
+}
+
+// TestExportPortableAcrossTraceHosts: a trace-replaying host must export
+// payloads keyed and encoded under the submitted (walker) config — no
+// host-local trace path may leak into the canonical bytes, and the
+// payload's embedded config must produce exactly the key it is stored
+// under, or an importing corpus would hold records that disagree with
+// their own keys.
+func TestExportPortableAcrossTraceHosts(t *testing.T) {
+	dir := t.TempDir()
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prof.CaptureFile(filepath.Join(dir, "gcc"+trace.FileExt), 5_000); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{Workers: 2, TraceDir: dir})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	st := submit(t, ts.URL, `{"Benchmarks":["gcc"],"Insts":5000,"name":"portable"}`)
+	st = pollDone(t, ts.URL, st.ID)
+	if len(st.TraceFallbacks) != 0 {
+		t.Fatalf("capture did not replay: %v", st.TraceFallbacks)
+	}
+
+	exp, resp := fetch(t, ts.URL+"/api/v1/jobs/"+st.ID+"/export")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export status = %d", resp.StatusCode)
+	}
+	var e ExportEntry
+	if err := json.Unmarshal(exp, &e); err != nil {
+		t.Fatalf("decoding export entry: %v", err)
+	}
+	res, err := core.DecodeResult(e.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.Trace != "" {
+		t.Errorf("host-local trace path %q leaked into the exported payload", res.Config.Trace)
+	}
+	key, ok := res.Config.Key()
+	if !ok || key != e.Key {
+		t.Errorf("payload's config keys to %q, stored under %q", key, e.Key)
 	}
 }

@@ -34,6 +34,30 @@ type Scanner interface {
 	Scan(fn func(key string, res *core.Result) error) error
 }
 
+// EncodedPutter is the optional Backend extension for bulk-ingesting
+// results that already exist in core.EncodeResult's canonical byte form —
+// the shape remote waycached hosts export shards in. Implementations
+// (resultdb.DB) validate and append the provided bytes directly, skipping
+// the decode/re-encode round trip; the stored payload is then exactly
+// what the remote computed.
+type EncodedPutter interface {
+	PutEncoded(key string, payload []byte) error
+}
+
+// PutEncoded stores one canonically-encoded result into b, using the
+// backend's native encoded path when it has one and decoding otherwise.
+// Like Put, keys are write-once: an already-present key is a no-op.
+func PutEncoded(b Backend, key string, payload []byte) error {
+	if ep, ok := b.(EncodedPutter); ok {
+		return ep.PutEncoded(key, payload)
+	}
+	res, err := core.DecodeResult(payload)
+	if err != nil {
+		return err
+	}
+	return b.Put(key, res)
+}
+
 // Memory is the in-memory Backend: a map guarded by a mutex. It never
 // returns an error.
 type Memory struct {
@@ -119,6 +143,23 @@ func (t Tiered) Get(key string) (*core.Result, bool, error) {
 // tier's error, if any, is the one that matters and is returned.
 func (t Tiered) Put(key string, res *core.Result) error {
 	err := t.Back.Put(key, res)
+	if ferr := t.Front.Put(key, res); err == nil && ferr != nil {
+		err = ferr
+	}
+	return err
+}
+
+// PutEncoded stores canonical bytes to the durable back tier natively and
+// decodes them for the front, mirroring Put's back-then-front order.
+func (t Tiered) PutEncoded(key string, payload []byte) error {
+	err := PutEncoded(t.Back, key, payload)
+	res, derr := core.DecodeResult(payload)
+	if derr != nil {
+		if err == nil {
+			err = derr
+		}
+		return err
+	}
 	if ferr := t.Front.Put(key, res); err == nil && ferr != nil {
 		err = ferr
 	}

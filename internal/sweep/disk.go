@@ -17,11 +17,14 @@ func OpenDiskStore(dir string) (*Store, *resultdb.DB, error) {
 	return NewStoreOn(Tiered{Front: NewMemory(), Back: db}), db, nil
 }
 
-// Backend conformance: the on-disk database plugs in wherever Memory does.
+// Backend conformance: the on-disk database plugs in wherever Memory does,
+// and both it and Tiered take the bulk encoded-ingest fast path.
 var _ Backend = (*resultdb.DB)(nil)
 var _ Scanner = (*resultdb.DB)(nil)
+var _ EncodedPutter = (*resultdb.DB)(nil)
 var _ interface {
 	Backend
 	Scanner
+	EncodedPutter
 } = Tiered{}
 var _ Scanner = (*Memory)(nil)

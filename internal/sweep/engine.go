@@ -73,6 +73,14 @@ func New(o Options) *Engine {
 // sharing with other engines).
 func (e *Engine) Store() *Store { return e.store }
 
+// TraceFallbacks reports every benchmark that a TraceDir-enabled engine
+// re-simulated from the walker instead of replaying its capture, mapped to
+// the reason (missing file, stale seed, too few instructions, ...). Empty
+// when every resolved benchmark replayed, and nil when the engine has no
+// trace directory. Callers surface this so a -trace run that quietly
+// re-simulated is visible in summaries, not silent.
+func (e *Engine) TraceFallbacks() map[string]string { return e.traces.fallbackReport() }
+
 // Result simulates (or recalls) a single configuration through the store,
 // replaying a captured trace when the engine's trace directory has one.
 func (e *Engine) Result(cfg core.Config) (*core.Result, error) {

@@ -1,0 +1,69 @@
+package sweep
+
+import "flag"
+
+// GridFlags registers the design-space dimension flags shared by the sweep
+// CLIs (cmd/sweep, cmd/sweepctl) on a FlagSet and assembles the Grid they
+// describe, so every front end parses dimensions — and reports errors —
+// identically.
+type GridFlags struct {
+	benches, dpols, ipols  *string
+	dsizes, dways, dblocks *string
+	isizes, iways, iblocks *string
+	dlats, tsizes, vsizes  *string
+	insts                  *int64
+	paperCosts             *bool
+}
+
+// RegisterGridFlags defines the grid dimension flags on fs (use
+// flag.CommandLine for a process's top-level flags) with the CLI-wide
+// defaults: all benchmarks, the parallel baseline policies, Table 1
+// geometry, 400k instructions.
+func RegisterGridFlags(fs *flag.FlagSet) *GridFlags {
+	return &GridFlags{
+		benches: fs.String("benchmarks", "all", "comma-separated benchmarks, or 'all'"),
+		dpols:   fs.String("dpolicies", "parallel", "d-cache policies (paper names, e.g. parallel,waypred-pc,seldm+waypred) or 'all'"),
+		ipols:   fs.String("ipolicies", "parallel", "i-cache policies (parallel, waypred) or 'all'"),
+		dsizes:  fs.String("dsizes", "", "d-cache sizes in bytes (k/m suffixes ok), e.g. 8k,16k,32k"),
+		dways:   fs.String("dways", "", "d-cache associativities, e.g. 1,2,4,8,16"),
+		dblocks: fs.String("dblocks", "", "d-cache block sizes in bytes"),
+		isizes:  fs.String("isizes", "", "i-cache sizes in bytes (k/m suffixes ok)"),
+		iways:   fs.String("iways", "", "i-cache associativities"),
+		iblocks: fs.String("iblocks", "", "i-cache block sizes in bytes"),
+		dlats:   fs.String("dlatencies", "", "base d-cache hit latencies in cycles, e.g. 1,2"),
+		tsizes:  fs.String("tablesizes", "", "prediction-table sizes, e.g. 512,1024,2048"),
+		vsizes:  fs.String("victimsizes", "", "victim-list sizes, e.g. 4,16,64"),
+		insts:   fs.Int64("insts", 400_000, "instructions per configuration"),
+		paperCosts: fs.Bool("papercosts", false,
+			"use the paper's Table 3 energy constants instead of mini-CACTI"),
+	}
+}
+
+// Grid assembles the parsed flag values into a Grid, validating benchmark
+// and policy names. Call after fs.Parse.
+func (gf *GridFlags) Grid() (Grid, error) {
+	g := Grid{Insts: *gf.insts, UsePaperCosts: *gf.paperCosts}
+	var err error
+	if g.Benchmarks, err = ParseBenchmarks(*gf.benches); err != nil {
+		return g, err
+	}
+	if g.DPolicies, err = ParseDPolicies(*gf.dpols); err != nil {
+		return g, err
+	}
+	if g.IPolicies, err = ParseIPolicies(*gf.ipols); err != nil {
+		return g, err
+	}
+	for _, dim := range []struct {
+		val string
+		dst *[]int
+	}{
+		{*gf.dsizes, &g.DSizes}, {*gf.dways, &g.DWays}, {*gf.dblocks, &g.DBlocks},
+		{*gf.isizes, &g.ISizes}, {*gf.iways, &g.IWays}, {*gf.iblocks, &g.IBlocks},
+		{*gf.dlats, &g.DLatencies}, {*gf.tsizes, &g.TableSizes}, {*gf.vsizes, &g.VictimSizes},
+	} {
+		if *dim.dst, err = ParseIntList(dim.val); err != nil {
+			return g, err
+		}
+	}
+	return g, nil
+}

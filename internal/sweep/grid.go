@@ -154,6 +154,35 @@ func Shard(cfgs []core.Config, i, n int) []core.Config {
 	return cfgs[lo:hi]
 }
 
+// ShardLen returns len(Shard(cfgs, i, n)) for any cfgs of length total,
+// without materializing the slice — how the coordinator and the HTTP
+// service size a shard job before (or without) expanding the grid.
+func ShardLen(total, i, n int) int {
+	if n <= 0 || i < 0 || i >= n || total < 0 {
+		return 0
+	}
+	size, rem := total/n, total%n
+	if i < rem {
+		size++
+	}
+	return size
+}
+
+// ParseShard parses a shard spec "i/n" (e.g. "0/4" is the first of four
+// contiguous grid shards), validating 0 <= i < n.
+func ParseShard(s string) (i, n int, err error) {
+	if _, err := fmt.Sscanf(s, "%d/%d", &i, &n); err != nil {
+		return 0, 0, fmt.Errorf("sweep: bad shard %q (want i/n, e.g. 0/4)", s)
+	}
+	if n <= 0 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("sweep: bad shard %q: need 0 <= i < n", s)
+	}
+	return i, n, nil
+}
+
+// FormatShard renders a shard spec in the form ParseShard accepts.
+func FormatShard(i, n int) string { return fmt.Sprintf("%d/%d", i, n) }
+
 // AllDPolicies lists every d-cache policy the simulator implements, in
 // enum order.
 func AllDPolicies() []access.DPolicy {

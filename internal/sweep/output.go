@@ -1,0 +1,39 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteOutput writes the sweep to path ("-" for stdout) in the named
+// format ("json" or "csv") — the one output path both sweep CLIs
+// (cmd/sweep, cmd/sweepctl) share, so their bytes and failure handling
+// cannot drift. Close and flush errors are surfaced: a truncated output
+// file must never look like success.
+func (s *Sweep) WriteOutput(path, format string) error {
+	var w io.Writer = os.Stdout
+	var f *os.File
+	if path != "-" {
+		var err error
+		if f, err = os.Create(path); err != nil {
+			return err
+		}
+		w = f
+	}
+	var err error
+	switch format {
+	case "json":
+		err = s.WriteJSON(w)
+	case "csv":
+		err = s.WriteCSV(w)
+	default:
+		err = fmt.Errorf("unknown format %q (want json or csv)", format)
+	}
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"waycache/internal/access"
@@ -82,7 +83,8 @@ func TestTraceDirSweepByteIdentical(t *testing.T) {
 }
 
 // TestTraceDirFallsBackToWalker: benchmarks without a usable capture must
-// silently simulate from the generator.
+// simulate from the generator — and say so in the fallback report, so the
+// reversion is never silent.
 func TestTraceDirFallsBackToWalker(t *testing.T) {
 	const insts = 5_000
 	dir := t.TempDir()
@@ -107,6 +109,96 @@ func TestTraceDirFallsBackToWalker(t *testing.T) {
 	if results[1].Benchmark != "swim" || results[1].Cycles() == 0 {
 		t.Fatal("walker fallback did not simulate")
 	}
+
+	fb := eng.TraceFallbacks()
+	if len(fb) != 1 {
+		t.Fatalf("TraceFallbacks = %v, want exactly swim", fb)
+	}
+	if fb["swim"] == "" {
+		t.Fatalf("swim fallback has no reason: %v", fb)
+	}
+	if _, leaked := fb["gcc"]; leaked {
+		t.Fatalf("gcc replayed but appears in the fallback report: %v", fb)
+	}
+	lines := FormatFallbacks(fb)
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "swim: ") {
+		t.Fatalf("FormatFallbacks = %q", lines)
+	}
+}
+
+// TestTraceFallbackReasons: each rejection class must report a reason that
+// names the actual defect.
+func TestTraceFallbackReasons(t *testing.T) {
+	const insts = int64(2_000)
+
+	t.Run("short capture", func(t *testing.T) {
+		dir := t.TempDir()
+		captureBench(t, dir, "gcc", 1_000)
+		eng := New(Options{TraceDir: dir})
+		if _, err := eng.Result(core.Config{Benchmark: "gcc", Insts: 50_000}); err != nil {
+			t.Fatal(err)
+		}
+		if why := eng.TraceFallbacks()["gcc"]; !strings.Contains(why, "1000") || !strings.Contains(why, "50000") {
+			t.Errorf("short-capture reason %q does not name the counts", why)
+		}
+	})
+
+	t.Run("stale seed", func(t *testing.T) {
+		dir := t.TempDir()
+		p, err := workload.ByName("gcc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "gcc"+trace.FileExt)
+		h := trace.Header{Benchmark: "gcc", Seed: p.Seed + 1, Insts: insts}
+		if err := trace.CaptureFile(path, h, p.NewWalker()); err != nil {
+			t.Fatal(err)
+		}
+		eng := New(Options{TraceDir: dir})
+		if _, err := eng.Result(core.Config{Benchmark: "gcc", Insts: insts}); err != nil {
+			t.Fatal(err)
+		}
+		if why := eng.TraceFallbacks()["gcc"]; !strings.Contains(why, "stale") {
+			t.Errorf("stale-seed reason %q does not say stale", why)
+		}
+	})
+
+	t.Run("corrupt file", func(t *testing.T) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "gcc"+trace.FileExt)
+		if err := os.WriteFile(path, []byte("not a trace file"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		eng := New(Options{TraceDir: dir})
+		if _, err := eng.Result(core.Config{Benchmark: "gcc", Insts: insts}); err != nil {
+			t.Fatal(err)
+		}
+		if why := eng.TraceFallbacks()["gcc"]; why == "" {
+			t.Error("corrupt capture produced no fallback reason")
+		}
+	})
+
+	t.Run("no trace dir", func(t *testing.T) {
+		eng := New(Options{})
+		if _, err := eng.Result(core.Config{Benchmark: "gcc", Insts: insts}); err != nil {
+			t.Fatal(err)
+		}
+		if fb := eng.TraceFallbacks(); fb != nil {
+			t.Errorf("engine without TraceDir reports fallbacks: %v", fb)
+		}
+	})
+
+	t.Run("clean replay", func(t *testing.T) {
+		dir := t.TempDir()
+		captureBench(t, dir, "gcc", insts)
+		eng := New(Options{TraceDir: dir})
+		if _, err := eng.Result(core.Config{Benchmark: "gcc", Insts: insts}); err != nil {
+			t.Fatal(err)
+		}
+		if fb := eng.TraceFallbacks(); len(fb) != 0 {
+			t.Errorf("clean replay reports fallbacks: %v", fb)
+		}
+	})
 }
 
 func TestTraceDirRejectsShortCapture(t *testing.T) {

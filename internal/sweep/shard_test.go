@@ -1,0 +1,142 @@
+package sweep
+
+import (
+	"testing"
+
+	"waycache/internal/access"
+	"waycache/internal/core"
+)
+
+// syntheticConfigs returns n pairwise-distinct configs (Insts encodes the
+// index), so slicing mistakes show up as value mismatches, not just
+// length mismatches.
+func syntheticConfigs(n int) []core.Config {
+	cfgs := make([]core.Config, n)
+	for i := range cfgs {
+		cfgs[i] = core.Config{Benchmark: "gcc", Insts: int64(i + 1)}
+	}
+	return cfgs
+}
+
+// TestShardPartitionProperty is the contract the distributed coordinator's
+// merge determinism rests on: for every total and every shard count —
+// including n that does not divide the total and n larger than the total —
+// concatenating Shard(cfgs, i, n) for i = 0..n-1 reproduces cfgs exactly,
+// shard sizes are contiguous and near-equal (leading shards take the
+// remainder), and ShardLen predicts every length without expansion.
+func TestShardPartitionProperty(t *testing.T) {
+	for _, total := range []int{0, 1, 2, 3, 5, 7, 8, 16, 17, 31} {
+		cfgs := syntheticConfigs(total)
+		for n := 1; n <= total+5; n++ {
+			var concat []core.Config
+			prevSize := -1
+			for i := 0; i < n; i++ {
+				shard := Shard(cfgs, i, n)
+				if got, want := len(shard), ShardLen(total, i, n); got != want {
+					t.Fatalf("total=%d n=%d i=%d: len(Shard)=%d, ShardLen=%d", total, n, i, got, want)
+				}
+				// Leading shards absorb the remainder: sizes are
+				// non-increasing and differ by at most one.
+				if prevSize >= 0 {
+					if len(shard) > prevSize {
+						t.Fatalf("total=%d n=%d i=%d: shard grew from %d to %d", total, n, i, prevSize, len(shard))
+					}
+					if prevSize-len(shard) > 1 {
+						t.Fatalf("total=%d n=%d i=%d: shard sizes %d and %d differ by more than 1",
+							total, n, i, prevSize, len(shard))
+					}
+				}
+				prevSize = len(shard)
+				concat = append(concat, shard...)
+			}
+			if len(concat) != total {
+				t.Fatalf("total=%d n=%d: concatenated length %d", total, n, len(concat))
+			}
+			for i := range concat {
+				if concat[i] != cfgs[i] {
+					t.Fatalf("total=%d n=%d: concat[%d] = %+v, want %+v", total, n, i, concat[i], cfgs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardMoreShardsThanConfigs: with n > len(cfgs) the trailing shards
+// must be empty, never out of range, and the non-empty ones singletons.
+func TestShardMoreShardsThanConfigs(t *testing.T) {
+	cfgs := syntheticConfigs(3)
+	const n = 7
+	for i := 0; i < n; i++ {
+		shard := Shard(cfgs, i, n)
+		want := 0
+		if i < len(cfgs) {
+			want = 1
+		}
+		if len(shard) != want {
+			t.Errorf("Shard(3 cfgs, %d, %d) has %d configs, want %d", i, n, len(shard), want)
+		}
+	}
+}
+
+func TestShardInvalidArgs(t *testing.T) {
+	cfgs := syntheticConfigs(4)
+	for _, tc := range []struct{ i, n int }{
+		{0, 0}, {0, -1}, {-1, 2}, {2, 2}, {5, 2},
+	} {
+		if got := Shard(cfgs, tc.i, tc.n); got != nil {
+			t.Errorf("Shard(cfgs, %d, %d) = %d configs, want nil", tc.i, tc.n, len(got))
+		}
+		if got := ShardLen(len(cfgs), tc.i, tc.n); got != 0 {
+			t.Errorf("ShardLen(4, %d, %d) = %d, want 0", tc.i, tc.n, got)
+		}
+	}
+	if got := ShardLen(-1, 0, 1); got != 0 {
+		t.Errorf("ShardLen(-1, 0, 1) = %d, want 0", got)
+	}
+}
+
+// TestShardGridExpansion runs the property on a real grid expansion, the
+// thing the coordinator actually slices.
+func TestShardGridExpansion(t *testing.T) {
+	g := Grid{
+		Benchmarks: []string{"gcc", "swim", "li"},
+		DPolicies:  []access.DPolicy{access.DParallel, access.DSelDMWayPred},
+		DWays:      []int{1, 2, 4},
+		Insts:      1000,
+	}
+	cfgs := g.Configs()
+	if len(cfgs) != g.Size() {
+		t.Fatalf("Configs len %d != Size %d", len(cfgs), g.Size())
+	}
+	for _, n := range []int{1, 2, 3, 4, 5, 7, len(cfgs), len(cfgs) + 3} {
+		var concat []core.Config
+		for i := 0; i < n; i++ {
+			concat = append(concat, Shard(cfgs, i, n)...)
+		}
+		if len(concat) != len(cfgs) {
+			t.Fatalf("n=%d: concat %d configs, want %d", n, len(concat), len(cfgs))
+		}
+		for i := range concat {
+			k1, _ := concat[i].Key()
+			k2, _ := cfgs[i].Key()
+			if k1 != k2 {
+				t.Fatalf("n=%d: concat[%d] key %q != %q", n, i, k1, k2)
+			}
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	i, n, err := ParseShard("2/5")
+	if err != nil || i != 2 || n != 5 {
+		t.Errorf("ParseShard(2/5) = %d,%d,%v", i, n, err)
+	}
+	if got := FormatShard(2, 5); got != "2/5" {
+		t.Errorf("FormatShard(2,5) = %q", got)
+	}
+	for _, bad := range []string{"", "x", "1", "5/2", "2/2", "-1/2", "1/0", "1/-3"} {
+		if _, _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q) did not error", bad)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package sweep
 
 import (
+	"fmt"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"waycache/internal/core"
@@ -14,26 +16,34 @@ import (
 // re-walking the synthetic generators on every sweep. Resolution is
 // conservative: a trace is used only when its header proves it mirrors the
 // requested run (right benchmark, the workload's current seed, enough
-// instructions); anything else silently falls back to the walker, which is
-// always correct, just slower.
+// instructions); anything else falls back to the walker, which is always
+// correct, just slower. Fallbacks are never silent: every benchmark that
+// reverted to the walker is recorded with its reason (see fallbacks), so
+// a -trace run that quietly re-simulated can be surfaced to the caller.
 type traceResolver struct {
 	dir string
 
-	mu     sync.Mutex
-	probes map[string]traceProbe // benchmark -> probe result, cached per engine
+	mu        sync.Mutex
+	probes    map[string]traceProbe // benchmark -> probe result, cached per engine
+	fallbacks map[string]string     // benchmark -> why the walker ran instead
 }
 
 type traceProbe struct {
-	path string
-	h    trace.Header
-	ok   bool // file exists, parses, and matches the benchmark's generator
+	path   string
+	h      trace.Header
+	ok     bool   // file exists, parses, and matches the benchmark's generator
+	reason string // when !ok: why the capture is unusable
 }
 
 func newTraceResolver(dir string) *traceResolver {
 	if dir == "" {
 		return nil
 	}
-	return &traceResolver{dir: dir, probes: make(map[string]traceProbe)}
+	return &traceResolver{
+		dir:       dir,
+		probes:    make(map[string]traceProbe),
+		fallbacks: make(map[string]string),
+	}
 }
 
 // resolve returns cfg pointed at a captured trace when one covers the run,
@@ -43,10 +53,20 @@ func (r *traceResolver) resolve(cfg core.Config) core.Config {
 		return cfg
 	}
 	p := r.probe(cfg.Benchmark)
+	if !p.ok {
+		r.noteFallback(cfg.Benchmark, p.reason)
+		return cfg
+	}
 	// Insts == 0 headers are rejected here even though core could replay
 	// them: without a declared count we cannot know up front that the file
 	// covers the run, and a mid-sweep fallback would not be possible.
-	if !p.ok || p.h.Insts <= 0 || p.h.Insts < cfg.Canonical().Insts {
+	if p.h.Insts <= 0 {
+		r.noteFallback(cfg.Benchmark, "capture declares no instruction count")
+		return cfg
+	}
+	if p.h.Insts < cfg.Canonical().Insts {
+		r.noteFallback(cfg.Benchmark, fmt.Sprintf("capture holds %d instructions, run needs %d",
+			p.h.Insts, cfg.Canonical().Insts))
 		return cfg
 	}
 	cfg.Trace = p.path
@@ -62,16 +82,72 @@ func (r *traceResolver) probe(bench string) traceProbe {
 		return p
 	}
 	p := traceProbe{path: filepath.Join(r.dir, bench+trace.FileExt)}
-	if f, err := trace.Open(p.path); err == nil {
+	f, err := trace.Open(p.path)
+	if err != nil {
+		p.reason = err.Error()
+	} else {
 		p.h = f.Header()
 		f.Close()
-		if prof, err := workload.ByName(bench); err == nil {
+		switch prof, err := workload.ByName(bench); {
+		case err != nil:
+			p.reason = err.Error()
+		case p.h.Benchmark != bench:
+			p.reason = fmt.Sprintf("capture is of benchmark %q, not %q", p.h.Benchmark, bench)
+		case p.h.Seed != prof.Seed:
 			// The seed check catches stale captures: a trace recorded
 			// before a profile's seed (and thus its stream) changed no
 			// longer mirrors the walker and must not stand in for it.
-			p.ok = p.h.Benchmark == bench && p.h.Seed == prof.Seed
+			p.reason = fmt.Sprintf("capture seed %d is stale (workload seed is now %d)", p.h.Seed, prof.Seed)
+		default:
+			p.ok = true
 		}
 	}
 	r.probes[bench] = p
 	return p
+}
+
+// noteFallback records that bench ran from the walker and why. Per-config
+// reasons (a too-short capture under a larger Insts) overwrite earlier
+// ones; one reason per benchmark is what a summary needs.
+func (r *traceResolver) noteFallback(bench, reason string) {
+	r.mu.Lock()
+	r.fallbacks[bench] = reason
+	r.mu.Unlock()
+}
+
+// fallbackReport returns a copy of every benchmark that reverted to the
+// walker, with its reason. Nil resolver (no trace dir) reports nothing.
+func (r *traceResolver) fallbackReport() map[string]string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.fallbacks) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(r.fallbacks))
+	for b, why := range r.fallbacks {
+		out[b] = why
+	}
+	return out
+}
+
+// FormatFallbacks renders a fallback report (see Engine.TraceFallbacks)
+// as one "benchmark: reason" line per entry, sorted by benchmark, for CLI
+// and log summaries.
+func FormatFallbacks(fb map[string]string) []string {
+	if len(fb) == 0 {
+		return nil
+	}
+	benches := make([]string, 0, len(fb))
+	for b := range fb {
+		benches = append(benches, b)
+	}
+	sort.Strings(benches)
+	lines := make([]string, len(benches))
+	for i, b := range benches {
+		lines[i] = fmt.Sprintf("%s: %s", b, fb[b])
+	}
+	return lines
 }

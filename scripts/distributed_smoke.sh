@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Distributed-sweep smoke test: start two local waycached hosts, exercise
+# job cancellation on one of them (a cancelled job must reach the terminal
+# "cancelled" state and must not starve the runner), then run a
+# two-host coordinator sweep (cmd/sweepctl) over the determinism-gate grid
+# and require the merged JSON to be byte-identical to the checked-in
+# single-host golden fixture (testdata/golden_sweep.json). Run from the
+# repo root; CI runs it on every push.
+set -euo pipefail
+
+ADDR1=127.0.0.1:18091
+ADDR2=127.0.0.1:18092
+BASE1="http://$ADDR1"
+WORK=$(mktemp -d)
+PID1=""
+PID2=""
+trap 'kill ${PID1:-} ${PID2:-} 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/waycached" ./cmd/waycached
+go build -o "$WORK/sweepctl" ./cmd/sweepctl
+
+"$WORK/waycached" -addr "$ADDR1" >"$WORK/host1.log" 2>&1 &
+PID1=$!
+"$WORK/waycached" -addr "$ADDR2" >"$WORK/host2.log" 2>&1 &
+PID2=$!
+
+for base in "$BASE1" "http://$ADDR2"; do
+  for i in $(seq 1 50); do
+    if curl -sf "$base/healthz" >/dev/null 2>&1; then break; fi
+    if [ "$i" = 50 ]; then
+      echo "waycached at $base never became healthy" >&2
+      cat "$WORK"/host*.log >&2
+      exit 1
+    fi
+    sleep 0.2
+  done
+done
+
+# --- cancellation: a huge mistyped grid must not block the host ---
+JOB=$(curl -sf -X POST "$BASE1/api/v1/jobs" -d '{
+  "DWays": [1, 2, 4, 8, 16],
+  "DSizes": [8192, 16384, 32768, 65536],
+  "TableSizes": [256, 512, 1024],
+  "Insts": 4000000
+}')
+ID=$(echo "$JOB" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$ID" ] || { echo "no job id in: $JOB" >&2; exit 1; }
+
+curl -sf -X POST "$BASE1/api/v1/jobs/$ID/cancel" >/dev/null
+for i in $(seq 1 100); do
+  STATE=$(curl -sf "$BASE1/api/v1/jobs/$ID" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+  [ "$STATE" = cancelled ] && break
+  if [ "$i" = 100 ]; then
+    echo "cancelled job $ID stuck in state $STATE" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+echo "distributed smoke: job $ID reached terminal cancelled state"
+
+# --- two-host coordinator run, byte-diffed against the golden fixture ---
+"$WORK/sweepctl" -hosts "$BASE1,http://$ADDR2" -shards 2 \
+  -benchmarks gcc,swim -dpolicies parallel,sequential,waypred-pc,seldm+waypred \
+  -dways 2,4 -insts 30000 -progress=false \
+  -out "$WORK/merged.json" 2>"$WORK/sweepctl.log" || {
+  echo "sweepctl failed:" >&2
+  cat "$WORK/sweepctl.log" >&2
+  exit 1
+}
+cmp testdata/golden_sweep.json "$WORK/merged.json" || {
+  echo "distributed merge differs from the single-host golden fixture" >&2
+  exit 1
+}
+
+# An odd split across the same hosts must merge to the same bytes.
+"$WORK/sweepctl" -hosts "$BASE1,http://$ADDR2" -shards 3 \
+  -benchmarks gcc,swim -dpolicies parallel,sequential,waypred-pc,seldm+waypred \
+  -dways 2,4 -insts 30000 -progress=false \
+  -out "$WORK/merged3.json" 2>>"$WORK/sweepctl.log"
+cmp testdata/golden_sweep.json "$WORK/merged3.json" || {
+  echo "3-shard distributed merge differs from the golden fixture" >&2
+  exit 1
+}
+
+echo "distributed smoke: OK (cancel terminal, 2- and 3-shard merges byte-identical to golden)"
