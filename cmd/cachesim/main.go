@@ -7,6 +7,7 @@
 //	cachesim -bench swim -dpolicy sequential -dlatency 2
 //	cachesim -bench fpppp -dways 8
 //	cachesim -trace traces/gcc.wct -dpolicy seldm+waypred
+//	cachesim -trace trace://<sha256> -tracestore /var/waycache/traces
 //	cachesim -bench gcc -dpolicy seldm+waypred -store results/
 //
 // With -store naming a directory, the run is memoized in the on-disk
@@ -18,7 +19,10 @@
 // With -trace the simulator replays a captured trace file (written by
 // tracegen -capture) instead of walking the named benchmark's generator;
 // the benchmark name is taken from the trace header unless -bench is given
-// explicitly, in which case the two must agree.
+// explicitly, in which case the two must agree. -trace also accepts a
+// content-addressed trace://<sha256> reference when -tracestore names a
+// local store (see cmd/traceconv); the bytes are verified against the
+// hash on decode.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"waycache/internal/access"
 	"waycache/internal/core"
 	"waycache/internal/sweep"
+	"waycache/internal/tracestore"
 )
 
 var dPolicies = map[string]access.DPolicy{
@@ -59,6 +64,7 @@ func main() {
 	dlat := flag.Int("dlatency", 1, "base d-cache hit latency (cycles)")
 	baseline := flag.Bool("baseline", false, "also run the parallel baseline and print relative metrics")
 	storeDir := flag.String("store", "", "directory of the on-disk result store; known configurations are recalled, fresh ones stored")
+	traceStoreDir := flag.String("tracestore", "", "content-addressed trace store directory; lets -trace name a trace://<sha256> reference")
 	flag.Parse()
 
 	dp, ok := dPolicies[*dpol]
@@ -76,6 +82,14 @@ func main() {
 		Benchmark: *bench, Trace: *tracePath, Insts: *insts,
 		DPolicy: dp, IPolicy: ip,
 		DSize: *dsize, DWays: *dways, IWays: *iways, DLatency: *dlat,
+	}
+	if *traceStoreDir != "" {
+		ts, err := tracestore.Open(*traceStoreDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.TraceStore = ts
 	}
 	if *tracePath != "" {
 		// With -trace, the benchmark name comes from the trace header;

@@ -46,6 +46,7 @@ import (
 
 	"waycache/internal/resultdb"
 	"waycache/internal/sweep"
+	"waycache/internal/tracestore"
 )
 
 func main() {
@@ -59,6 +60,7 @@ func run() error {
 	gridFlags := sweep.RegisterGridFlags(flag.CommandLine)
 	storeDir := flag.String("store", "", "directory of the on-disk result store; repeated runs recall results instead of re-simulating")
 	traceDir := flag.String("trace", "", "directory of captured traces (<benchmark>.wct); matching benchmarks replay instead of re-walking")
+	traceStore := flag.String("tracestore", "", "content-addressed trace store directory resolving trace://<hash> references (-traces)")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulations")
 	shard := flag.String("shard", "", "run only shard i of n contiguous grid shards, as 'i/n'")
 	format := flag.String("format", "json", "output format: json or csv")
@@ -84,6 +86,11 @@ func run() error {
 	defer stop()
 
 	opts := sweep.Options{Workers: *workers, TraceDir: *traceDir}
+	if *traceStore != "" {
+		if opts.TraceStore, err = tracestore.Open(*traceStore); err != nil {
+			return err
+		}
+	}
 	store := sweep.NewStore()
 	if *storeDir != "" {
 		var db *resultdb.DB

@@ -18,6 +18,14 @@
 // one corpus from the whole fleet. Protocol and failure semantics:
 // docs/DISTRIBUTED.md.
 //
+// Grids may replay content-addressed traces: -traces maps benchmarks to
+// trace://<sha256> references (printed by traceconv on import), and
+// before any shard is submitted the coordinator pushes every referenced
+// trace to the hosts that lack it — from the local -tracestore, or
+// relayed from whichever host already has it — so no host needs a
+// pre-provisioned trace directory. A host that cannot be brought up to
+// date is dropped from the run up front.
+//
 // Benchmarks that a remote host re-simulated from the walker instead of
 // replaying a capture are reported per shard on stderr — a distributed
 // -trace run never falls back silently.
@@ -35,6 +43,7 @@ import (
 	"waycache/internal/coord"
 	"waycache/internal/resultdb"
 	"waycache/internal/sweep"
+	"waycache/internal/tracestore"
 )
 
 func main() {
@@ -53,6 +62,7 @@ func run() error {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline for host control requests (a hanging host fails over like a dead one; exports get 10x)")
 	name := flag.String("name", "", "run identity for remote job names (default: derived from the grid)")
 	storeDir := flag.String("store", "", "directory of a local on-disk result store to bulk-ingest shard results into")
+	traceStoreDir := flag.String("tracestore", "", "local content-addressed trace store; referenced trace://<hash> objects are pushed to hosts that lack them")
 	format := flag.String("format", "json", "output format: json or csv")
 	out := flag.String("out", "-", "output file ('-' for stdout)")
 	progress := flag.Bool("progress", true, "report live aggregate progress on stderr")
@@ -80,6 +90,11 @@ func run() error {
 		Logf: func(f string, args ...any) {
 			fmt.Fprintf(os.Stderr, f+"\n", args...)
 		},
+	}
+	if *traceStoreDir != "" {
+		if opts.TraceStore, err = tracestore.Open(*traceStoreDir); err != nil {
+			return err
+		}
 	}
 	if *storeDir != "" {
 		db, err := resultdb.Open(*storeDir)

@@ -27,6 +27,9 @@
 //	                                    byte-identical to cmd/sweep output
 //	GET    /api/v1/jobs/{id}/export     canonical key+result stream for the
 //	                                    distributed coordinator (sweepctl)
+//	GET    /api/v1/traces               list stored trace hashes (-tracestore)
+//	GET    /api/v1/traces/{hash}        download a stored trace (HEAD probes)
+//	PUT    /api/v1/traces/{hash}        upload a trace under its sha256
 //	GET    /api/v1/results              filter the whole corpus by
 //	                                    benchmark/policy/geometry
 //	GET    /api/v1/aggregate            group-by summaries over the corpus
@@ -52,6 +55,7 @@ import (
 
 	"waycache/internal/server"
 	"waycache/internal/sweep"
+	"waycache/internal/tracestore"
 )
 
 func main() {
@@ -66,9 +70,22 @@ func run() error {
 	storeDir := flag.String("store", "", "directory of the on-disk result store (empty: memory only)")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulations per job")
 	traceDir := flag.String("trace", "", "directory of captured traces (<benchmark>.wct) to replay")
+	traceStoreDir := flag.String("tracestore", "", "content-addressed trace store directory: serves /api/v1/traces and resolves trace:// job references")
 	flag.Parse()
 
 	opts := server.Options{Workers: *workers, TraceDir: *traceDir}
+	if *traceStoreDir != "" {
+		ts, err := tracestore.Open(*traceStoreDir)
+		if err != nil {
+			return err
+		}
+		opts.TraceStore = ts
+		hashes, err := ts.Hashes()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "waycached: trace store %s holds %d traces\n", *traceStoreDir, len(hashes))
+	}
 	if *storeDir != "" {
 		store, db, err := sweep.OpenDiskStore(*storeDir)
 		if err != nil {

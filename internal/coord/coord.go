@@ -33,13 +33,13 @@ import (
 	"hash/fnv"
 	"io"
 	"net/http"
-	"strings"
 	"sync"
 	"time"
 
 	"waycache/internal/core"
 	"waycache/internal/server"
 	"waycache/internal/sweep"
+	"waycache/internal/tracestore"
 )
 
 // Options configures a distributed run.
@@ -70,6 +70,14 @@ type Options struct {
 	// pass a resultdb.DB to build one local corpus from a distributed
 	// run.
 	Backend sweep.Backend
+	// TraceStore, when non-nil, is the coordinator's local
+	// content-addressed trace store: the source of truth for pushing the
+	// grid's trace://<hash> references to hosts that lack them before any
+	// shard is submitted (see distributeTraces). Nil is fine even for
+	// trace:// grids — as long as every referenced hash already exists on
+	// at least one host, the coordinator relays it through an ephemeral
+	// store.
+	TraceStore *tracestore.Store
 	// Progress, when non-nil, receives aggregated done/total config
 	// counts across all shards. Calls are serialized.
 	Progress sweep.Progress
@@ -152,15 +160,24 @@ func Run(ctx context.Context, g sweep.Grid, o Options) (*Result, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	// Normalize the benchmark list exactly as the server will (an empty
-	// list means the full suite): shard-size accounting and the grid
-	// equality behind idempotent named re-submission must both see the
-	// grid the hosts execute.
-	benches, err := sweep.ParseBenchmarks(strings.Join(g.Benchmarks, ","))
+	// Normalize exactly as the server will (an empty benchmark list means
+	// the full suite, trace references validate): shard-size accounting
+	// and the grid equality behind idempotent named re-submission must
+	// both see the grid the hosts execute.
+	g, err := g.Normalize()
 	if err != nil {
 		return nil, err
 	}
-	g.Benchmarks = benches
+	// Push every referenced trace to every host that lacks it before any
+	// shard lands; hosts that cannot be brought up to date leave the run
+	// here, like hosts that die mid-run.
+	hosts, err := distributeTraces(ctx, g, o.Hosts, client, reqTimeout, o.TraceStore, logf)
+	if err != nil {
+		return nil, err
+	}
+	if len(hosts) == 0 {
+		return nil, errors.New("coord: no host can serve the grid's trace references")
+	}
 	name := o.Name
 	if name == "" {
 		name = defaultName(g, nShards)
@@ -180,7 +197,7 @@ func Run(ctx context.Context, g sweep.Grid, o Options) (*Result, error) {
 		attempts:  make([]int, nShards),
 		shardDone: make([]int, nShards),
 		remaining: nShards,
-		liveHosts: len(o.Hosts),
+		liveHosts: len(hosts),
 		pending:   make(chan int, nShards),
 		allDone:   make(chan struct{}),
 		cancel:    cancel,
@@ -190,7 +207,7 @@ func Run(ctx context.Context, g sweep.Grid, o Options) (*Result, error) {
 	}
 
 	var wg sync.WaitGroup
-	for _, host := range o.Hosts {
+	for _, host := range hosts {
 		wg.Add(1)
 		go func(host string) {
 			defer wg.Done()

@@ -1,0 +1,210 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"waycache/internal/sweep"
+	"waycache/internal/trace"
+	"waycache/internal/tracestore"
+)
+
+// Trace distribution: before any shard job is submitted, every
+// trace://<hash> the grid references must be present on every host that
+// will run cells of it — a shard lands on whichever host is free, so a
+// trace that exists on only one host would make the others fall back to
+// the walker (observable, but slower and, for imported external
+// workloads, a hard failure). The coordinator closes the gap itself:
+// it probes each (host, hash) pair with a HEAD, fetches any hash it
+// lacks locally from a host that has it (hash-verified on receipt,
+// like every store ingest), and pushes each missing object over
+// PUT /api/v1/traces/{hash}. Hosts that cannot be brought up to date —
+// no -tracestore, probe errors, failed pushes — are dropped from the
+// run before workers start, exactly like hosts that die mid-run; a
+// hash that exists neither locally nor on any host aborts the run,
+// since no host could replay it. The result: shards may land anywhere,
+// and no host needs a pre-provisioned trace directory.
+
+// distributeTraces returns the hosts that hold (or received) every
+// referenced trace, in input order. A nil local store is replaced by an
+// ephemeral one that lives only for the relay.
+func distributeTraces(ctx context.Context, g sweep.Grid, hosts []string, client *http.Client,
+	reqTimeout time.Duration, local *tracestore.Store, logf func(string, ...any)) ([]string, error) {
+	hashes := referencedHashes(g)
+	if len(hashes) == 0 {
+		return hosts, nil
+	}
+	if local == nil {
+		// No local store: relay donor-host objects through a temp store,
+		// which hash-verifies them exactly like a durable one would.
+		dir, err := os.MkdirTemp("", "waycache-coord-traces-")
+		if err != nil {
+			return nil, fmt.Errorf("coord: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		if local, err = tracestore.Open(dir); err != nil {
+			return nil, err
+		}
+	}
+	d := &distributor{client: client, reqTimeout: reqTimeout, store: local, logf: logf}
+	live := hosts
+	for _, hash := range hashes {
+		var err error
+		if live, err = d.distribute(ctx, hash, live); err != nil {
+			return nil, err
+		}
+	}
+	return live, nil
+}
+
+// referencedHashes returns the grid's distinct trace hashes, sorted so
+// distribution order (and its logs) is deterministic.
+func referencedHashes(g sweep.Grid) []string {
+	seen := make(map[string]bool)
+	var hashes []string
+	for _, ref := range g.TraceRefs {
+		if hash, ok := trace.ParseRef(ref); ok && !seen[hash] {
+			seen[hash] = true
+			hashes = append(hashes, hash)
+		}
+	}
+	sort.Strings(hashes)
+	return hashes
+}
+
+type distributor struct {
+	client     *http.Client
+	reqTimeout time.Duration
+	store      *tracestore.Store
+	logf       func(string, ...any)
+}
+
+// distribute brings every reachable host up to date on one hash and
+// returns the hosts still eligible for the run, preserving order.
+func (d *distributor) distribute(ctx context.Context, hash string, hosts []string) ([]string, error) {
+	have := make(map[string]bool, len(hosts))
+	var live []string
+	for _, h := range hosts {
+		ok, err := d.has(ctx, h, hash)
+		if err != nil {
+			// A 409 here means the host runs without -tracestore: it could
+			// never replay the reference, so it leaves the run with the
+			// unreachable hosts.
+			d.logf("coord: dropping host %s: probing trace %s: %v", h, trace.ShortHash(hash), err)
+			continue
+		}
+		have[h] = ok
+		live = append(live, h)
+	}
+	if err := d.ensureLocal(ctx, hash, live, have); err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, h := range live {
+		if !have[h] {
+			if err := d.push(ctx, h, hash); err != nil {
+				d.logf("coord: dropping host %s: pushing trace %s: %v", h, trace.ShortHash(hash), err)
+				continue
+			}
+			d.logf("coord: pushed trace %s -> %s", trace.ShortHash(hash), h)
+		}
+		out = append(out, h)
+	}
+	return out, nil
+}
+
+// ensureLocal guarantees the coordinator's store holds hash, fetching it
+// from a donor host when it does not. A hash that exists nowhere aborts
+// the run: no amount of reassignment could replay it.
+func (d *distributor) ensureLocal(ctx context.Context, hash string, hosts []string, have map[string]bool) error {
+	if d.store.Has(hash) {
+		return nil
+	}
+	for _, h := range hosts {
+		if !have[h] {
+			continue
+		}
+		if err := d.fetch(ctx, h, hash); err != nil {
+			d.logf("coord: fetching trace %s from %s: %v", trace.ShortHash(hash), h, err)
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("coord: trace %s is in no local store (-tracestore) and on no host; import it with traceconv and upload it somewhere first",
+		trace.ShortHash(hash))
+}
+
+// has probes one host for one hash without transferring bytes.
+func (d *distributor) has(ctx context.Context, host, hash string) (bool, error) {
+	rctx, cancel := context.WithTimeout(ctx, d.reqTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodHead, host+"/api/v1/traces/"+hash, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	default:
+		return false, fmt.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+// fetch pulls hash's bytes from a donor host into the local store, which
+// verifies them against the hash before committing — a corrupt transfer
+// is rejected here, never relayed onward.
+func (d *distributor) fetch(ctx context.Context, host, hash string) error {
+	rctx, cancel := context.WithTimeout(ctx, 10*d.reqTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, host+"/api/v1/traces/"+hash, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	_, _, err = d.store.PutExpected(resp.Body, hash)
+	return err
+}
+
+// push uploads the local copy of hash to one host.
+func (d *distributor) push(ctx context.Context, host, hash string) error {
+	f, size, err := d.store.Open(hash)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rctx, cancel := context.WithTimeout(ctx, 10*d.reqTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPut, host+"/api/v1/traces/"+hash, f)
+	if err != nil {
+		return err
+	}
+	req.ContentLength = size
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -37,13 +37,21 @@ type Config struct {
 	Source trace.Source `json:"-"`
 
 	// Trace is the path of a captured trace file (trace.Writer format; see
-	// docs/TRACE_FORMAT.md). When set, the simulation replays the file
-	// instead of walking Benchmark's generator — the pipeline consumes the
-	// identical instruction stream either way, so results match a live run
-	// of the captured workload byte for byte. The file must hold at least
-	// Insts instructions; when Benchmark is also set, the file's header
-	// must name the same benchmark.
+	// docs/TRACE_FORMAT.md), or a content-addressed "trace://<sha256>"
+	// reference resolved through TraceStore. When set, the simulation
+	// replays the capture instead of walking Benchmark's generator — the
+	// pipeline consumes the identical instruction stream either way, so
+	// results match a live run of the captured workload byte for byte. The
+	// capture must hold at least Insts instructions; when Benchmark is also
+	// set, the capture's header must name the same benchmark.
 	Trace string
+
+	// TraceStore resolves trace:// references in Trace to local files
+	// (typically a *tracestore.Store). It is plumbing, not identity — the
+	// hash inside the reference already names the exact bytes, so the
+	// store is excluded from Key and the canonical encoding, and the same
+	// reference produces the same results whichever store serves it.
+	TraceStore TraceStore `json:"-"`
 
 	// Insts is the number of instructions to simulate (default 1,000,000).
 	Insts int64
@@ -78,6 +86,13 @@ type Config struct {
 
 	// Core overrides pipeline structure; zero means Table 1.
 	Core pipeline.Config
+}
+
+// TraceStore maps a trace content hash (64 lowercase hex digits) to a
+// local .wct file path. *tracestore.Store implements it; the indirection
+// keeps core free of the store's on-disk concerns.
+type TraceStore interface {
+	Path(hash string) (string, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -143,7 +158,10 @@ func (c Config) Key() (key string, ok bool) {
 		c.TableSize, c.VictimSize, c.SelectiveWays, c.UsePaperCosts, c.Core)
 	// A replayed trace is keyed separately from the walker run it mirrors:
 	// the two are byte-identical for a faithful capture, but the file's
-	// contents are not provable from the config alone.
+	// contents are not provable from the config alone. A trace://<hash>
+	// reference is the strong form of this: the key then names the exact
+	// bytes, host-independently, so memoized results and traces link
+	// durably across machines.
 	if c.Trace != "" {
 		key += "|tr:" + c.Trace
 	}
@@ -192,7 +210,22 @@ func (c Config) source() (src trace.Source, name string, finish func() error, er
 // records in the same order, with decode errors surfaced only if the run
 // actually consumes the corrupt range.
 func (c Config) traceSource() (trace.Source, string, func() error, error) {
-	src, err := trace.SharedArena().Load(c.Trace)
+	var src *trace.MemSource
+	var err error
+	if hash, ok := trace.ParseRef(c.Trace); ok {
+		// Content-addressed reference: the store locates the bytes and the
+		// arena verifies them against the hash while decoding.
+		if c.TraceStore == nil {
+			return nil, "", nil, fmt.Errorf("core: trace reference %s needs a trace store (-tracestore)", c.Trace)
+		}
+		path, perr := c.TraceStore.Path(hash)
+		if perr != nil {
+			return nil, "", nil, fmt.Errorf("core: resolving %s: %w", c.Trace, perr)
+		}
+		src, err = trace.SharedArena().LoadRef(path, hash)
+	} else {
+		src, err = trace.SharedArena().Load(c.Trace)
+	}
 	if err != nil {
 		return nil, "", nil, err
 	}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"waycache/internal/access"
+	"waycache/internal/trace"
+	"waycache/internal/tracestore"
+)
+
+// TestTraceRefReplayMatchesWalker extends the replay equivalence property
+// to content-addressed references: a capture resolved via trace://<hash>
+// through a store simulates identically to the live walker.
+func TestTraceRefReplayMatchesWalker(t *testing.T) {
+	const bench, insts = "gcc", 30_000
+	path := captureBench(t, t.TempDir(), bench, insts)
+	store, err := tracestore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, _, err := store.PutFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{
+		Benchmark: bench, Insts: insts,
+		DPolicy: access.DSelDMWayPred, IPolicy: access.IWayPred,
+	}
+	live, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCfg := cfg
+	refCfg.Trace = trace.FormatRef(hash)
+	refCfg.TraceStore = store
+	replay, err := Run(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.Config, replay.Config = Config{}, Config{}
+	if !reflect.DeepEqual(live, replay) {
+		t.Fatalf("trace:// replay differs from walker results:\n live   %+v\n replay %+v", live, replay)
+	}
+}
+
+func TestTraceRefNeedsStore(t *testing.T) {
+	ref := trace.FormatRef(strings.Repeat("ab", 32))
+	_, err := Run(Config{Trace: ref, Insts: 1000})
+	if err == nil || !strings.Contains(err.Error(), "trace store") {
+		t.Fatalf("Run without a store = %v, want a needs-a-trace-store error", err)
+	}
+}
+
+func TestTraceRefNotFound(t *testing.T) {
+	store, err := tracestore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := trace.FormatRef(strings.Repeat("ab", 32))
+	_, err = Run(Config{Trace: ref, Insts: 1000, TraceStore: store})
+	if err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("Run with a missing object = %v, want a not-found error", err)
+	}
+}
+
+// TestTraceRefKeyIsStoreIndependent pins the durability property: the
+// memo key depends on the reference (the bytes), never on which store
+// serves it — so results computed anywhere are interchangeable.
+func TestTraceRefKeyIsStoreIndependent(t *testing.T) {
+	ref := trace.FormatRef(strings.Repeat("cd", 32))
+	a := Config{Benchmark: "gcc", Insts: 1000, Trace: ref}
+	storeA, err := tracestore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a
+	b.TraceStore = storeA
+
+	ka, oka := a.Key()
+	kb, okb := b.Key()
+	if !oka || !okb || ka != kb {
+		t.Fatalf("keys differ with/without a store:\n %q (%v)\n %q (%v)", ka, oka, kb, okb)
+	}
+	if !strings.Contains(ka, "|tr:"+ref) {
+		t.Fatalf("key %q does not embed the trace reference", ka)
+	}
+
+	// And the canonical JSON encoding is store-independent too.
+	res, err := Run(Config{Benchmark: "gcc", Insts: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Config.Trace = ref
+	enc1, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Config.TraceStore = storeA
+	enc2, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc1) != string(enc2) {
+		t.Fatal("EncodeResult leaks the trace store into the canonical encoding")
+	}
+}

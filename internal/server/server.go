@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"reflect"
 	"strconv"
@@ -36,6 +37,8 @@ import (
 
 	"waycache/internal/core"
 	"waycache/internal/sweep"
+	"waycache/internal/trace"
+	"waycache/internal/tracestore"
 )
 
 // QueueCap bounds jobs waiting behind the running one; submissions beyond
@@ -63,6 +66,12 @@ type Options struct {
 	// sweep.Options.TraceDir). Benchmarks that fall back to the walker are
 	// reported per job (JobStatus.TraceFallbacks), never silently.
 	TraceDir string
+	// TraceStore, when non-nil, serves and accepts content-addressed
+	// traces over /api/v1/traces/{hash} and resolves the trace://<hash>
+	// references jobs carry in Grid.TraceRefs. Without it, trace uploads
+	// are refused and referencing jobs fall back per benchmark (see
+	// sweep.Options.TraceStore).
+	TraceStore *tracestore.Store
 }
 
 // Server implements the HTTP API. Create with New, serve with net/http,
@@ -113,6 +122,9 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleJobDelete)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/results", s.handleJobResults)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/export", s.handleJobExport)
+	s.mux.HandleFunc("GET /api/v1/traces", s.handleTraceList)
+	s.mux.HandleFunc("GET /api/v1/traces/{hash}", s.handleTraceGet)
+	s.mux.HandleFunc("PUT /api/v1/traces/{hash}", s.handleTracePut)
 	s.mux.HandleFunc("GET /api/v1/results", s.handleResults)
 	s.mux.HandleFunc("GET /api/v1/aggregate", s.handleAggregate)
 	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
@@ -160,10 +172,11 @@ func (s *Server) runJob(j *job) {
 	// fallback report; the shared store still deduplicates simulations
 	// across jobs and processes.
 	eng := sweep.New(sweep.Options{
-		Workers:  s.opts.Workers,
-		Store:    s.store,
-		TraceDir: s.opts.TraceDir,
-		Progress: j.setProgress,
+		Workers:    s.opts.Workers,
+		Store:      s.store,
+		TraceDir:   s.opts.TraceDir,
+		TraceStore: s.opts.TraceStore,
+		Progress:   j.setProgress,
 	})
 	results, err := eng.RunConfigs(j.ctx, cfgs)
 	j.finish(cfgs, results, eng.TraceFallbacks(), err)
@@ -394,16 +407,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad grid: %w", err))
 		return
 	}
-	g := req.Grid
-	// Validate benchmarks at submission (an unknown name should 400 here,
-	// not fail the job minutes later); an omitted list means the full
-	// suite, mirroring the CLI's -benchmarks default.
-	benches, err := sweep.ParseBenchmarks(strings.Join(g.Benchmarks, ","))
+	// Normalize at submission (an unknown benchmark or malformed trace
+	// reference should 400 here, not fail the job minutes later); an
+	// omitted benchmark list means the full suite, mirroring the CLI's
+	// -benchmarks default, and every front end normalizes identically —
+	// which is what makes the named-job idempotency DeepEqual below
+	// compare like with like.
+	g, err := req.Grid.Normalize()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	g.Benchmarks = benches
 	total := g.Size()
 	if total > MaxGridSize {
 		writeError(w, http.StatusBadRequest,
@@ -591,6 +605,94 @@ func (s *Server) handleJobExport(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 }
+
+// --- trace distribution ---
+//
+// The /api/v1/traces endpoints make every waycached host a node of the
+// content-addressed trace store: the coordinator (internal/coord) pushes
+// each referenced trace to the hosts that lack it before submitting
+// shard jobs, so a trace://<hash> sweep needs no pre-provisioned trace
+// directories anywhere. Objects are immutable and self-verifying — the
+// URL names the SHA-256 of the exact bytes — so PUT is idempotent and
+// replication can never serve the wrong trace.
+
+// maxTraceBytes bounds one uploaded trace object.
+const maxTraceBytes = 1 << 32
+
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	if s.opts.TraceStore == nil {
+		writeError(w, http.StatusConflict, errNoTraceStore)
+		return
+	}
+	hashes, err := s.opts.TraceStore.Hashes()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if hashes == nil {
+		hashes = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": hashes})
+}
+
+// handleTraceGet streams a stored trace object; its GET route also
+// answers HEAD, which is how the coordinator probes hosts for a hash
+// without transferring bytes.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if s.opts.TraceStore == nil {
+		writeError(w, http.StatusConflict, errNoTraceStore)
+		return
+	}
+	if !trace.ValidHash(hash) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad trace hash %q (want 64 lowercase hex digits)", hash))
+		return
+	}
+	f, size, err := s.opts.TraceStore.Open(hash)
+	if err != nil {
+		if errors.Is(err, tracestore.ErrNotFound) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("trace %s not in the store", trace.ShortHash(hash)))
+		} else {
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	if r.Method != http.MethodHead {
+		io.Copy(w, f)
+	}
+}
+
+// handleTracePut ingests a trace object under its declared hash. The
+// store hashes the body as it lands and refuses a mismatch, so a
+// corrupted transfer (or a lying client) cannot poison the store; a
+// hash already present reads and discards the body but stores nothing,
+// making replication pushes idempotent.
+func (s *Server) handleTracePut(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if s.opts.TraceStore == nil {
+		writeError(w, http.StatusConflict, errNoTraceStore)
+		return
+	}
+	if !trace.ValidHash(hash) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad trace hash %q (want 64 lowercase hex digits)", hash))
+		return
+	}
+	created, n, err := s.opts.TraceStore.PutExpected(http.MaxBytesReader(w, r.Body, maxTraceBytes), hash)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, map[string]any{"hash": hash, "bytes": n, "created": created})
+}
+
+var errNoTraceStore = errors.New("this host has no trace store (start waycached with -tracestore)")
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	recs, err := s.queryRecords(r)

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"waycache/internal/core"
+	"waycache/internal/tracestore"
 )
 
 // Options configures an Engine.
@@ -44,6 +45,13 @@ type Options struct {
 	// cost while producing identical results. Benchmarks without a usable
 	// capture fall back to the walker.
 	TraceDir string
+	// TraceStore, when non-nil, resolves content-addressed trace
+	// references (core.Config.Trace = "trace://<hash>", typically set by
+	// Grid.TraceRefs) to local files, verified against their hash on
+	// decode. References whose object is missing or unreadable fall back
+	// to the walker when the benchmark has one, with the reason reported
+	// through TraceFallbacks.
+	TraceStore *tracestore.Store
 }
 
 // Engine executes sweeps on a bounded worker pool.
@@ -65,7 +73,7 @@ func New(o Options) *Engine {
 	}
 	return &Engine{
 		workers: o.Workers, store: o.Store, progress: o.Progress,
-		traces: newTraceResolver(o.TraceDir),
+		traces: newTraceResolver(o.TraceDir, o.TraceStore),
 	}
 }
 

@@ -11,6 +11,7 @@ type GridFlags struct {
 	dsizes, dways, dblocks *string
 	isizes, iways, iblocks *string
 	dlats, tsizes, vsizes  *string
+	traces                 *string
 	insts                  *int64
 	paperCosts             *bool
 }
@@ -33,18 +34,23 @@ func RegisterGridFlags(fs *flag.FlagSet) *GridFlags {
 		dlats:   fs.String("dlatencies", "", "base d-cache hit latencies in cycles, e.g. 1,2"),
 		tsizes:  fs.String("tablesizes", "", "prediction-table sizes, e.g. 512,1024,2048"),
 		vsizes:  fs.String("victimsizes", "", "victim-list sizes, e.g. 4,16,64"),
-		insts:   fs.Int64("insts", 400_000, "instructions per configuration"),
+		traces: fs.String("traces", "",
+			"content-addressed traces per benchmark, e.g. gcc=trace://<sha256> (needs a trace store)"),
+		insts: fs.Int64("insts", 400_000, "instructions per configuration"),
 		paperCosts: fs.Bool("papercosts", false,
 			"use the paper's Table 3 energy constants instead of mini-CACTI"),
 	}
 }
 
-// Grid assembles the parsed flag values into a Grid, validating benchmark
-// and policy names. Call after fs.Parse.
+// Grid assembles the parsed flag values into a normalized Grid,
+// validating benchmark and policy names (a benchmark outside the
+// synthetic suite is accepted when -traces maps it to a trace
+// reference). Call after fs.Parse.
 func (gf *GridFlags) Grid() (Grid, error) {
 	g := Grid{Insts: *gf.insts, UsePaperCosts: *gf.paperCosts}
+	g.Benchmarks = splitList(*gf.benches)
 	var err error
-	if g.Benchmarks, err = ParseBenchmarks(*gf.benches); err != nil {
+	if g.TraceRefs, err = ParseTraceRefs(*gf.traces); err != nil {
 		return g, err
 	}
 	if g.DPolicies, err = ParseDPolicies(*gf.dpols); err != nil {
@@ -65,5 +71,5 @@ func (gf *GridFlags) Grid() (Grid, error) {
 			return g, err
 		}
 	}
-	return g, nil
+	return g.Normalize()
 }

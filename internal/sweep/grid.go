@@ -7,6 +7,7 @@ import (
 
 	"waycache/internal/access"
 	"waycache/internal/core"
+	"waycache/internal/trace"
 	"waycache/internal/workload"
 )
 
@@ -35,6 +36,69 @@ type Grid struct {
 	// UsePaperCosts switches every cell to the paper's Table 3 energy
 	// constants instead of the mini-CACTI model.
 	UsePaperCosts bool
+
+	// TraceRefs maps benchmark names to content-addressed trace
+	// references ("trace://<sha256>", typically printed by traceconv).
+	// Every cell of a mapped benchmark replays the referenced capture
+	// instead of a walker — which is also how externally imported
+	// workloads, with no synthetic generator to fall back to, enter a
+	// sweep. Keys must appear in Benchmarks (see Normalize).
+	TraceRefs map[string]string
+}
+
+// Normalize expands and validates the grid's workload axis: "all" (or an
+// empty benchmark list) becomes the full synthetic suite, every other
+// name must be a suite benchmark or carry a TraceRefs entry, every
+// TraceRefs value must be a well-formed trace:// reference, and every
+// TraceRefs key must be a listed benchmark. Submission front ends (CLI
+// flags, the HTTP service, the coordinator) all normalize through here,
+// so a grid means the same cells everywhere — which is also what makes
+// named-job idempotency checks compare like with like.
+func (g Grid) Normalize() (Grid, error) {
+	var names []string
+	if len(g.Benchmarks) == 0 {
+		names = workload.Names()
+	} else {
+		for _, b := range g.Benchmarks {
+			b = strings.TrimSpace(b)
+			switch {
+			case b == "":
+				continue
+			case b == "all":
+				names = append(names, workload.Names()...)
+			default:
+				names = append(names, b)
+			}
+		}
+		if len(names) == 0 {
+			names = workload.Names()
+		}
+	}
+	for _, b := range names {
+		if _, ok := g.TraceRefs[b]; ok {
+			continue
+		}
+		if _, err := workload.ByName(b); err != nil {
+			return g, fmt.Errorf("sweep: benchmark %q is not in the suite and has no trace reference", b)
+		}
+	}
+	for b, ref := range g.TraceRefs {
+		if _, ok := trace.ParseRef(ref); !ok {
+			return g, fmt.Errorf("sweep: benchmark %q: malformed trace reference %q (want trace://<64 hex digits>)", b, ref)
+		}
+		found := false
+		for _, n := range names {
+			if n == b {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return g, fmt.Errorf("sweep: trace reference for %q, which is not a listed benchmark", b)
+		}
+	}
+	g.Benchmarks = names
+	return g, nil
 }
 
 // orStrings returns dim, or the single zero value when the dim is empty.
@@ -114,6 +178,7 @@ func (g Grid) Configs() []core.Config {
 												for _, vsize := range orInts(g.VictimSizes) {
 													cfgs = append(cfgs, core.Config{
 														Benchmark: bench,
+														Trace:     g.TraceRefs[bench],
 														DPolicy:   dpol, IPolicy: ipol,
 														DSize: dsize, DWays: dways, DBlock: dblock,
 														ISize: isize, IWays: iways, IBlock: iblock,
@@ -261,6 +326,30 @@ func ParseBenchmarks(s string) ([]string, error) {
 		names = append(names, n)
 	}
 	return names, nil
+}
+
+// ParseTraceRefs parses a comma-separated "bench=trace://<hash>" list
+// into a Grid.TraceRefs map. The empty string parses to nil.
+func ParseTraceRefs(s string) (map[string]string, error) {
+	var out map[string]string
+	for _, f := range splitList(s) {
+		bench, ref, ok := strings.Cut(f, "=")
+		bench, ref = strings.TrimSpace(bench), strings.TrimSpace(ref)
+		if !ok || bench == "" {
+			return nil, fmt.Errorf("sweep: bad trace mapping %q (want bench=trace://<hash>)", f)
+		}
+		if _, refOK := trace.ParseRef(ref); !refOK {
+			return nil, fmt.Errorf("sweep: benchmark %q: malformed trace reference %q (want trace://<64 hex digits>)", bench, ref)
+		}
+		if out == nil {
+			out = make(map[string]string)
+		}
+		if prev, dup := out[bench]; dup && prev != ref {
+			return nil, fmt.Errorf("sweep: benchmark %q mapped to two different traces", bench)
+		}
+		out[bench] = ref
+	}
+	return out, nil
 }
 
 // ParseIntList parses a comma-separated int list; values may carry k/m

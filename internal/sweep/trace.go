@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"path/filepath"
 	"sort"
@@ -8,48 +9,67 @@ import (
 
 	"waycache/internal/core"
 	"waycache/internal/trace"
+	"waycache/internal/tracestore"
 	"waycache/internal/workload"
 )
 
-// traceResolver maps benchmark names to captured trace files under a
-// directory, so the engine can replay recorded streams instead of
-// re-walking the synthetic generators on every sweep. Resolution is
-// conservative: a trace is used only when its header proves it mirrors the
-// requested run (right benchmark, the workload's current seed, enough
-// instructions); anything else falls back to the walker, which is always
-// correct, just slower. Fallbacks are never silent: every benchmark that
-// reverted to the walker is recorded with its reason (see fallbacks), so
-// a -trace run that quietly re-simulated can be surfaced to the caller.
+// traceResolver resolves configs onto captured traces, from two sources:
+// a trace directory mapping benchmark names to <dir>/<benchmark>.wct
+// files, and a content-addressed store serving trace://<hash> references
+// carried by the configs themselves. Resolution is conservative: a trace
+// is used only when it provably covers the requested run (right
+// benchmark, enough instructions — and, for directory captures, the
+// workload's current seed); anything else falls back to the walker,
+// which is always correct, just slower. Fallbacks are never silent:
+// every benchmark that reverted to the walker is recorded with its
+// reason (see fallbacks), so a run that quietly re-simulated can be
+// surfaced to the caller. A reference with no walker to fall back to
+// (an imported external workload) is left in place instead, so the run
+// fails with the resolver's reason rather than silently computing
+// something else.
 type traceResolver struct {
-	dir string
+	dir   string
+	store *tracestore.Store
 
 	mu        sync.Mutex
-	probes    map[string]traceProbe // benchmark -> probe result, cached per engine
-	fallbacks map[string]string     // benchmark -> why the walker ran instead
+	probes    map[string]traceProbe // benchmark or trace:// ref -> cached probe
+	fallbacks map[string]string     // benchmark (or short hash) -> why the walker ran instead
 }
 
 type traceProbe struct {
 	path   string
 	h      trace.Header
-	ok     bool   // file exists, parses, and matches the benchmark's generator
+	ok     bool   // capture exists, parses, and is trustworthy
 	reason string // when !ok: why the capture is unusable
 }
 
-func newTraceResolver(dir string) *traceResolver {
-	if dir == "" {
+func newTraceResolver(dir string, store *tracestore.Store) *traceResolver {
+	if dir == "" && store == nil {
 		return nil
 	}
 	return &traceResolver{
 		dir:       dir,
+		store:     store,
 		probes:    make(map[string]traceProbe),
 		fallbacks: make(map[string]string),
 	}
 }
 
-// resolve returns cfg pointed at a captured trace when one covers the run,
-// or cfg unchanged. A nil resolver resolves nothing.
+// resolve returns cfg pointed at a captured trace when one covers the
+// run, or cfg unchanged. A nil resolver resolves nothing — except that
+// trace:// references still need a store, so they fail in core with a
+// clear error rather than silently walking.
 func (r *traceResolver) resolve(cfg core.Config) core.Config {
-	if r == nil || cfg.Source != nil || cfg.Trace != "" || cfg.Benchmark == "" {
+	if cfg.Source != nil {
+		return cfg
+	}
+	if hash, ok := trace.ParseRef(cfg.Trace); ok {
+		if r == nil {
+			return cfg
+		}
+		return r.resolveRef(cfg, hash)
+	}
+	if r == nil || r.dir == "" || cfg.Trace != "" || cfg.Benchmark == "" {
 		return cfg
 	}
 	p := r.probe(cfg.Benchmark)
@@ -71,6 +91,82 @@ func (r *traceResolver) resolve(cfg core.Config) core.Config {
 	}
 	cfg.Trace = p.path
 	return cfg
+}
+
+// resolveRef resolves a trace://<hash> config through the content store.
+// A usable object keeps the reference and gains the store; an unusable
+// one falls back to the walker only when the benchmark actually has one
+// (suite benchmarks), with the reason — which names the hash and
+// distinguishes a missing object from an unreadable one — recorded
+// either way.
+func (r *traceResolver) resolveRef(cfg core.Config, hash string) core.Config {
+	p := r.probeRef(cfg.Trace, hash)
+	reason := p.reason
+	if p.ok {
+		switch {
+		case p.h.Insts > 0 && p.h.Insts < cfg.Canonical().Insts:
+			reason = fmt.Sprintf("trace %s holds %d instructions, run needs %d",
+				trace.ShortHash(hash), p.h.Insts, cfg.Canonical().Insts)
+		case cfg.Benchmark != "" && p.h.Benchmark != "" && p.h.Benchmark != cfg.Benchmark:
+			reason = fmt.Sprintf("trace %s was imported as %q, not %q",
+				trace.ShortHash(hash), p.h.Benchmark, cfg.Benchmark)
+		default:
+			cfg.TraceStore = r.store
+			return cfg
+		}
+	}
+
+	key := cfg.Benchmark
+	if key == "" {
+		key = trace.ShortHash(hash)
+	}
+	r.noteFallback(key, reason)
+	if cfg.Benchmark != "" {
+		if _, err := workload.ByName(cfg.Benchmark); err == nil {
+			// The benchmark has a synthetic walker: run it, exactly like a
+			// directory-capture fallback.
+			cfg.Trace = ""
+			cfg.TraceStore = nil
+			return cfg
+		}
+	}
+	// No walker exists for this workload. Keep the reference (and the
+	// store, which may still be nil) so the run fails with the real
+	// resolution error instead of computing something else.
+	cfg.TraceStore = r.store
+	return cfg
+}
+
+// probeRef inspects the store object behind a trace:// reference once
+// and caches the verdict. The reasons deliberately split the three
+// failure classes a distributed operator must tell apart: no store
+// configured, hash not in the store (fetch/push it), and object present
+// but unreadable (corrupt fetch or disk fault).
+func (r *traceResolver) probeRef(ref, hash string) traceProbe {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.probes[ref]; ok {
+		return p
+	}
+	var p traceProbe
+	if r.store == nil {
+		p.reason = fmt.Sprintf("trace %s: no trace store configured (-tracestore)", trace.ShortHash(hash))
+	} else if path, err := r.store.Path(hash); err != nil {
+		if errors.Is(err, tracestore.ErrNotFound) {
+			p.reason = fmt.Sprintf("trace %s: not in the trace store", trace.ShortHash(hash))
+		} else {
+			p.reason = fmt.Sprintf("trace %s: %v", trace.ShortHash(hash), err)
+		}
+	} else if f, err := trace.Open(path); err != nil {
+		p.reason = fmt.Sprintf("trace %s: fetch failed: %v", trace.ShortHash(hash), err)
+	} else {
+		p.path = path
+		p.h = f.Header()
+		f.Close()
+		p.ok = true
+	}
+	r.probes[ref] = p
+	return p
 }
 
 // probe inspects <dir>/<benchmark>.wct once per engine and caches the
@@ -116,7 +212,8 @@ func (r *traceResolver) noteFallback(bench, reason string) {
 }
 
 // fallbackReport returns a copy of every benchmark that reverted to the
-// walker, with its reason. Nil resolver (no trace dir) reports nothing.
+// walker, with its reason. Nil resolver (no trace dir or store) reports
+// nothing.
 func (r *traceResolver) fallbackReport() map[string]string {
 	if r == nil {
 		return nil

@@ -18,6 +18,10 @@ package trace
 // the two paths byte-identical.
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
 	"os"
 	"sync"
 	"time"
@@ -29,10 +33,14 @@ import (
 // of captures; least-recently-used files are evicted past the cap.
 const DefaultArenaCap = 16 << 20
 
-// Arena caches decoded trace files by path. Entries are invalidated when
-// the file's size or modification time changes, so a re-captured trace is
-// re-decoded rather than served stale. The zero value is not usable; use
-// NewArena or the process-wide SharedArena.
+// Arena caches decoded trace files. Path-keyed entries (Load) are
+// invalidated when the file's size or modification time changes, so a
+// re-captured trace is re-decoded rather than served stale. Hash-keyed
+// entries (LoadRef) are content-addressed: the key IS the content, so the
+// same trace fetched to different paths decodes once, and the decode
+// verifies the bytes against the hash — an overwrite that preserves size
+// and mtime can never serve stale instructions under a hash key. The zero
+// value is not usable; use NewArena or the process-wide SharedArena.
 type Arena struct {
 	mu       sync.Mutex
 	entries  map[string]*arenaEntry
@@ -88,14 +96,47 @@ func (a *Arena) Load(path string) (*MemSource, error) {
 	}
 	a.mu.Unlock()
 
-	e.once.Do(func() { e.decode(path) })
+	e.once.Do(func() { e.decode(path, "") })
+	return a.finish(path, e)
+}
+
+// LoadRef returns a MemSource replaying the trace whose canonical bytes
+// hash (SHA-256, lowercase hex) to sha256hex, reading them from path on
+// first use. The entry is keyed by the content hash, not the path: the
+// same trace fetched to different paths on different hosts — or to a
+// store object and a scratch copy on one host — decodes exactly once, and
+// a later caller naming a different path for the same hash shares the
+// decode. The file's bytes are hashed while decoding and a mismatch is an
+// error, so content served under a hash is always the content the hash
+// names — no (size, mtime) heuristic is involved, and an overwrite that
+// preserves both cannot serve stale instructions.
+func (a *Arena) LoadRef(path, sha256hex string) (*MemSource, error) {
+	if !ValidHash(sha256hex) {
+		return nil, fmt.Errorf("trace: invalid content hash %q", sha256hex)
+	}
+	key := "sha256:" + sha256hex
+
+	a.mu.Lock()
+	e := a.entries[key]
+	if e == nil {
+		e = &arenaEntry{}
+		a.entries[key] = e
+	}
+	a.mu.Unlock()
+
+	e.once.Do(func() { e.decode(path, sha256hex) })
+	return a.finish(key, e)
+}
+
+// finish applies the shared post-decode bookkeeping for the entry cached
+// under key: open failures are uncached (transient errors must not poison
+// the key for the life of the process), successful first uses are charged
+// to the resident count, and the LRU clock advances.
+func (a *Arena) finish(key string, e *arenaEntry) (*MemSource, error) {
 	if e.openErr != nil {
-		// Open/header failures are not cached: a transient error (fd
-		// exhaustion, momentary EACCES) must not poison the path for the
-		// life of the process — the streaming path retried Open per run.
 		a.mu.Lock()
-		if a.entries[path] == e {
-			delete(a.entries, path)
+		if a.entries[key] == e {
+			delete(a.entries, key)
 		}
 		a.mu.Unlock()
 		return nil, e.openErr
@@ -107,7 +148,7 @@ func (a *Arena) Load(path string) (*MemSource, error) {
 	// a re-capture may have replaced it mid-decode, and charging a
 	// resident count evictLocked can no longer reach would inflate it
 	// forever.
-	if a.entries[path] == e {
+	if a.entries[key] == e {
 		if e.lastUse == 0 { // first successful use: account its footprint
 			a.resident += int64(len(e.insts))
 		}
@@ -119,29 +160,67 @@ func (a *Arena) Load(path string) (*MemSource, error) {
 	return &MemSource{insts: e.insts, h: e.h, decodeErr: e.decodeErr}, nil
 }
 
-// decode slurps the whole file through the canonical Reader.
-func (e *arenaEntry) decode(path string) {
-	f, err := Open(path)
+// decode slurps the whole file through the canonical Reader. A non-empty
+// wantHash makes the decode content-verified: every byte of the file is
+// fed through SHA-256 on the way in, and a final digest that differs from
+// wantHash turns the whole load into an open error — nothing is cached or
+// served under a hash the bytes do not carry.
+func (e *arenaEntry) decode(path, wantHash string) {
+	raw, err := os.Open(path)
 	if err != nil {
 		e.openErr = err
 		return
 	}
-	defer f.Close()
-	e.h = f.Header()
+	defer raw.Close()
+
+	sum := sha256.New()
+	var src io.Reader = raw
+	if wantHash != "" {
+		src = io.TeeReader(raw, sum)
+	}
+	r, err := NewReader(src)
+	if err != nil {
+		e.openErr = err
+		return
+	}
+	e.h = r.Header()
 	// Preallocate from the declared count, but never trust it past what
 	// the file could physically hold (records are at least one byte): a
 	// corrupt header must not drive a huge allocation.
+	size := e.size
+	if size == 0 {
+		if fi, err := raw.Stat(); err == nil {
+			size = fi.Size()
+		}
+	}
 	if n := e.h.Insts; n > 0 {
-		if n > e.size {
-			n = e.size
+		if n > size {
+			n = size
 		}
 		e.insts = make([]Inst, 0, n)
 	}
 	var in Inst
-	for f.Next(&in) {
+	for r.Next(&in) {
 		e.insts = append(e.insts, in)
 	}
-	e.decodeErr = f.Err()
+	e.decodeErr = r.Err()
+
+	if wantHash != "" {
+		// The Reader stops at the declared record count; any trailing
+		// bytes are still part of the content the hash names, so drain
+		// them through the tee before comparing digests.
+		if _, err := io.Copy(io.Discard, src); err != nil {
+			e.openErr = fmt.Errorf("trace: reading %s for hash verification: %w", path, err)
+			e.insts, e.decodeErr = nil, nil
+			return
+		}
+		if got := hex.EncodeToString(sum.Sum(nil)); got != wantHash {
+			e.openErr = fmt.Errorf("trace: %s content mismatch: bytes hash to %s, reference names %s",
+				path, ShortHash(got), ShortHash(wantHash))
+			e.insts, e.decodeErr = nil, nil
+			return
+		}
+	}
 }
 
 // evictLocked drops least-recently-used entries until the arena is within

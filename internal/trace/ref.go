@@ -1,0 +1,58 @@
+package trace
+
+// Content-addressed trace references. A trace's identity is the SHA-256
+// of its canonical .wct bytes, written "trace://<64 hex digits>". The
+// reference is host-independent — the same hash names the same bytes on
+// every machine — which is what lets it enter memoization keys durably
+// (core.Config.Key) and travel through job submissions without leaking
+// host-local paths. internal/tracestore maps hashes to local files;
+// Arena.LoadRef replays them with the hash verified against the bytes.
+
+import "strings"
+
+// RefScheme prefixes a content-addressed trace reference.
+const RefScheme = "trace://"
+
+// HashHexLen is the length of a lowercase-hex SHA-256 trace hash.
+const HashHexLen = 64
+
+// ValidHash reports whether s is a well-formed trace content hash:
+// exactly 64 lowercase hex digits. Uppercase is rejected so every hash
+// has one spelling and string equality is identity.
+func ValidHash(s string) bool {
+	if len(s) != HashHexLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseRef extracts the content hash from a "trace://<hash>" reference.
+// ok is false for anything else — including file paths, which callers
+// treat as ordinary .wct locations.
+func ParseRef(s string) (hash string, ok bool) {
+	if !strings.HasPrefix(s, RefScheme) {
+		return "", false
+	}
+	h := s[len(RefScheme):]
+	if !ValidHash(h) {
+		return "", false
+	}
+	return h, true
+}
+
+// FormatRef renders a content hash as a trace:// reference.
+func FormatRef(hash string) string { return RefScheme + hash }
+
+// ShortHash abbreviates a content hash for log and error messages.
+func ShortHash(hash string) string {
+	if len(hash) > 12 {
+		return hash[:12] + "…"
+	}
+	return hash
+}

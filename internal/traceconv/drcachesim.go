@@ -1,0 +1,153 @@
+package traceconv
+
+// DynamoRIO drcachesim CSV: the text export produced by drcachesim's
+// record-listing tools (and by our own exporter), one record per line,
+//
+//	ifetch,<pc>[,<size>]          instruction fetch (size defaults to 4)
+//	load,<addr>[,<size>[,<pc>]]   data load
+//	store,<addr>[,<size>[,<pc>]]  data store
+//	branch,<pc>,<target>,<taken>  branch outcome (taken: 0/1/true/false)
+//
+// Numbers parse with a 0x prefix or as plain decimal; lines starting
+// with '#' are comments. Data references and branch records attach to
+// the most recent ifetch; a branch record's pc must match it. Fetch
+// discontinuities with no explicit branch synthesize taken jumps, as in
+// the lackey importer.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"waycache/internal/isa"
+	"waycache/internal/trace"
+)
+
+type drcachesimImporter struct{}
+
+func (drcachesimImporter) Name() string { return "drcachesim" }
+
+func (drcachesimImporter) Read(r io.Reader, opts Options, emit func(*trace.Inst) error) (Stats, error) {
+	var st Stats
+	d := &dropper{st: &st, lossy: opts.Lossy, format: "drcachesim"}
+	emit = counted(&st, emit)
+
+	var g group
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, ",")
+		for i := range f {
+			f[i] = strings.TrimSpace(f[i])
+		}
+		bad := func(reason string, err error) error {
+			return d.drop(reason, fmt.Sprintf("line %d: %q: %v", lineNo, line, err))
+		}
+		switch f[0] {
+		case "ifetch":
+			if len(f) < 2 || len(f) > 3 {
+				if derr := bad("malformed-line", fmt.Errorf("want ifetch,<pc>[,<size>]")); derr != nil {
+					return st, derr
+				}
+				continue
+			}
+			pc, err := strconv.ParseUint(f[1], 0, 64)
+			if err != nil {
+				if derr := bad("malformed-line", err); derr != nil {
+					return st, derr
+				}
+				continue
+			}
+			size := uint64(isa.InstBytes)
+			if len(f) == 3 {
+				if size, err = strconv.ParseUint(f[2], 0, 64); err != nil {
+					if derr := bad("malformed-line", err); derr != nil {
+						return st, derr
+					}
+					continue
+				}
+			}
+			st.Records++
+			if err := g.flush(pc, emit); err != nil {
+				return st, err
+			}
+			g.start(pc, size)
+
+		case "load", "store":
+			if len(f) < 2 || len(f) > 4 {
+				if derr := bad("malformed-line", fmt.Errorf("want %s,<addr>[,<size>[,<pc>]]", f[0])); derr != nil {
+					return st, derr
+				}
+				continue
+			}
+			addr, err := strconv.ParseUint(f[1], 0, 64)
+			if err != nil {
+				if derr := bad("malformed-line", err); derr != nil {
+					return st, derr
+				}
+				continue
+			}
+			if !g.live {
+				if derr := d.drop("ref-before-instruction", fmt.Sprintf("line %d: %q", lineNo, line)); derr != nil {
+					return st, derr
+				}
+				continue
+			}
+			st.Records++
+			if f[0] == "load" {
+				g.loads = append(g.loads, addr)
+			} else {
+				g.stores = append(g.stores, addr)
+			}
+
+		case "branch":
+			if len(f) != 4 {
+				if derr := bad("malformed-line", fmt.Errorf("want branch,<pc>,<target>,<taken>")); derr != nil {
+					return st, derr
+				}
+				continue
+			}
+			pc, err1 := strconv.ParseUint(f[1], 0, 64)
+			target, err2 := strconv.ParseUint(f[2], 0, 64)
+			taken, err3 := strconv.ParseBool(f[3])
+			if err1 != nil || err2 != nil || err3 != nil {
+				if derr := bad("malformed-line", fmt.Errorf("%v%v%v", err1, err2, err3)); derr != nil {
+					return st, derr
+				}
+				continue
+			}
+			if !g.live || g.pc != pc {
+				if derr := d.drop("branch-pc-mismatch", fmt.Sprintf("line %d: branch pc %#x does not match current ifetch", lineNo, pc)); derr != nil {
+					return st, derr
+				}
+				continue
+			}
+			st.Records++
+			g.hasCtl = true
+			g.ctl = trace.Inst{Kind: isa.KindBranch, Taken: taken}
+			if taken {
+				g.ctl.Target = target
+			}
+
+		default:
+			if derr := d.drop("unknown-record", fmt.Sprintf("line %d: %q", lineNo, line)); derr != nil {
+				return st, derr
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return st, fmt.Errorf("traceconv: drcachesim: %w", err)
+	}
+	if err := g.flush(0, emit); err != nil {
+		return st, err
+	}
+	return st, nil
+}

@@ -1,0 +1,120 @@
+package traceconv
+
+// Exporters: render an internal instruction stream in each external
+// format. They exist to close the loop — golden fixtures, importer
+// benchmarks, and the distributed smoke test all need realistic external
+// inputs, and generating them from our own deterministic walkers needs no
+// third-party tooling. The mapping is deliberately the importers'
+// inverse where the formats allow it: a taken control instruction
+// becomes an explicit branch record (drcachesim, champsim) or a bare
+// fetch discontinuity (lackey); a not-taken branch leaves no mark in any
+// format beyond a sequential fetch, so it reimports as an ALU op.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"waycache/internal/isa"
+	"waycache/internal/trace"
+)
+
+// Exporter writes up to n instructions from src (n <= 0: the whole
+// stream) in an external format, returning the instruction count written.
+type Exporter func(w io.Writer, src trace.Source, n int64) (int64, error)
+
+// ExporterFor returns the exporter matching an importer name.
+func ExporterFor(format string) (Exporter, error) {
+	switch format {
+	case "champsim":
+		return WriteChampSim, nil
+	case "drcachesim":
+		return WriteDrcachesim, nil
+	case "lackey":
+		return WriteLackey, nil
+	}
+	return nil, fmt.Errorf("traceconv: unknown format %q (have %v)", format, Names())
+}
+
+// WriteLackey renders src as Valgrind lackey --trace-mem text: an "I"
+// fetch line per instruction, data lines for loads and stores. Control
+// flow survives only as fetch discontinuities.
+func WriteLackey(w io.Writer, src trace.Source, n int64) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var in trace.Inst
+	var count int64
+	for (n <= 0 || count < n) && src.Next(&in) {
+		fmt.Fprintf(bw, "I  %x,%d\n", in.PC, isa.InstBytes)
+		switch in.Kind {
+		case isa.KindLoad:
+			fmt.Fprintf(bw, " L %x,8\n", in.Addr)
+		case isa.KindStore:
+			fmt.Fprintf(bw, " S %x,8\n", in.Addr)
+		}
+		count++
+	}
+	return count, bw.Flush()
+}
+
+// WriteDrcachesim renders src as drcachesim CSV records.
+func WriteDrcachesim(w io.Writer, src trace.Source, n int64) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var in trace.Inst
+	var count int64
+	for (n <= 0 || count < n) && src.Next(&in) {
+		fmt.Fprintf(bw, "ifetch,0x%x,%d\n", in.PC, isa.InstBytes)
+		switch {
+		case in.Kind == isa.KindLoad:
+			fmt.Fprintf(bw, "load,0x%x,8,0x%x\n", in.Addr, in.PC)
+		case in.Kind == isa.KindStore:
+			fmt.Fprintf(bw, "store,0x%x,8,0x%x\n", in.Addr, in.PC)
+		case in.Kind == isa.KindBranch:
+			taken := 0
+			if in.Taken {
+				taken = 1
+			}
+			fmt.Fprintf(bw, "branch,0x%x,0x%x,%d\n", in.PC, in.Target, taken)
+		}
+		count++
+	}
+	return count, bw.Flush()
+}
+
+// WriteChampSim renders src as ChampSim 64-byte binary records.
+func WriteChampSim(w io.Writer, src trace.Source, n int64) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var in trace.Inst
+	var buf [champRecordBytes]byte
+	var count int64
+	for (n <= 0 || count < n) && src.Next(&in) {
+		for i := range buf {
+			buf[i] = 0
+		}
+		binary.LittleEndian.PutUint64(buf[0:8], in.PC)
+		switch {
+		case in.Kind.IsControl():
+			buf[8] = 1
+			if in.Taken {
+				buf[9] = 1
+			}
+		case in.Kind == isa.KindLoad:
+			binary.LittleEndian.PutUint64(buf[32:40], in.Addr) // src_mem[0]
+			buf[10] = uint8(in.Dst)                            // dest_regs[0]
+			buf[12] = uint8(in.Src1)                           // src_regs[0]
+		case in.Kind == isa.KindStore:
+			binary.LittleEndian.PutUint64(buf[16:24], in.Addr) // dest_mem[0]
+			buf[12] = uint8(in.Src1)
+			buf[13] = uint8(in.Src2)
+		default:
+			buf[10] = uint8(in.Dst)
+			buf[12] = uint8(in.Src1)
+			buf[13] = uint8(in.Src2)
+		}
+		if _, err := bw.Write(buf[:]); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, bw.Flush()
+}

@@ -1,0 +1,106 @@
+package traceconv
+
+// Valgrind lackey --trace-mem=yes text: one record per line,
+//
+//	I  <addr>,<size>    instruction fetch
+//	 L <addr>,<size>    data load
+//	 S <addr>,<size>    data store
+//	 M <addr>,<size>    modify (load + store of the same location)
+//
+// with bare (0x-less) lowercase hex addresses and decimal sizes. Data
+// references attach to the most recent instruction fetch. Lackey records
+// instruction sizes, so fetch discontinuities that are not explained by
+// the previous instruction's size synthesize taken jumps — this is the
+// format's only source of control-flow information.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"waycache/internal/trace"
+)
+
+type lackeyImporter struct{}
+
+func (lackeyImporter) Name() string { return "lackey" }
+
+func (lackeyImporter) Read(r io.Reader, opts Options, emit func(*trace.Inst) error) (Stats, error) {
+	var st Stats
+	d := &dropper{st: &st, lossy: opts.Lossy, format: "lackey"}
+	emit = counted(&st, emit)
+
+	var g group
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "=") {
+			continue // valgrind banner/summary lines ("==pid== ...")
+		}
+		op := line[0]
+		rest := strings.TrimSpace(line[1:])
+		addr, size, err := parseLackeyRef(rest)
+		if err != nil {
+			if derr := d.drop("malformed-line", fmt.Sprintf("line %d: %q: %v", lineNo, line, err)); derr != nil {
+				return st, derr
+			}
+			continue
+		}
+		st.Records++
+		switch op {
+		case 'I':
+			if err := g.flush(addr, emit); err != nil {
+				return st, err
+			}
+			g.start(addr, size)
+		case 'L', 'S', 'M':
+			if !g.live {
+				st.Records--
+				if derr := d.drop("ref-before-instruction", fmt.Sprintf("line %d: %q", lineNo, line)); derr != nil {
+					return st, derr
+				}
+				continue
+			}
+			if op != 'S' {
+				g.loads = append(g.loads, addr)
+			}
+			if op != 'L' {
+				g.stores = append(g.stores, addr)
+			}
+		default:
+			st.Records--
+			if derr := d.drop("unknown-record", fmt.Sprintf("line %d: %q", lineNo, line)); derr != nil {
+				return st, derr
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return st, fmt.Errorf("traceconv: lackey: %w", err)
+	}
+	if err := g.flush(0, emit); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// parseLackeyRef parses "<hex-addr>,<size>".
+func parseLackeyRef(s string) (addr, size uint64, err error) {
+	i := strings.IndexByte(s, ',')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("missing \",<size>\"")
+	}
+	addr, err = strconv.ParseUint(strings.TrimSpace(s[:i]), 16, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad address: %v", err)
+	}
+	size, err = strconv.ParseUint(strings.TrimSpace(s[i+1:]), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad size: %v", err)
+	}
+	return addr, size, nil
+}

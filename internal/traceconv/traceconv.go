@@ -1,0 +1,252 @@
+// Package traceconv imports external trace formats into the canonical
+// .wct capture format.
+//
+// Three importers ship, behind one Importer interface: ChampSim binary
+// traces, DynamoRIO drcachesim CSV exports, and Valgrind lackey
+// --trace-mem text. Each external record expands into one or more
+// canonical trace.Inst micro-ops under a fixed reconciliation rule (see
+// docs/TRACE_FORMAT.md, "Importing external traces"):
+//
+//   - data references become loads/stores at the instruction's PC, with
+//     BaseValue = Addr and Offset = 0 (the XOR way-prediction handle then
+//     equals the true address — external formats carry no base-register
+//     values, so the import models a predictor fed perfect handles);
+//   - explicit branch records become KindBranch with the recorded
+//     direction and target;
+//   - a fetch discontinuity with no explicit branch (only detectable when
+//     the format carries instruction sizes) synthesizes a taken KindJump;
+//   - an instruction that produced no micro-op at all becomes KindIntALU,
+//     so instruction counts and fetch bandwidth are preserved.
+//
+// Imports are deterministic: the same input bytes and options produce the
+// same .wct bytes, so a converted trace has one content hash everywhere.
+//
+// Strict mode (the default) fails on the first malformed record; lossy
+// mode drops malformed records and reports per-reason counts in Stats.
+// Exporters for the same three formats (export.go) close the loop for
+// fixtures and benchmarks.
+package traceconv
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"waycache/internal/isa"
+	"waycache/internal/trace"
+)
+
+// Options controls an import.
+type Options struct {
+	// Benchmark is recorded in the output header. Job-side trace
+	// validation matches it against config benchmarks, so name the
+	// workload the trace captures.
+	Benchmark string
+
+	// MaxInsts stops the import after emitting this many canonical
+	// instructions (0 = no limit).
+	MaxInsts int64
+
+	// Lossy drops malformed records (counted in Stats) instead of
+	// failing on the first one.
+	Lossy bool
+}
+
+// Stats reports what an import consumed and produced.
+type Stats struct {
+	Records int64 // external records consumed
+	Insts   int64 // canonical instructions emitted
+	Dropped int64 // malformed records dropped (lossy mode only)
+
+	// Reasons counts drops by reason string.
+	Reasons map[string]int64
+}
+
+// DropSummary renders the drop reasons as a stable one-line summary.
+func (s Stats) DropSummary() string {
+	if s.Dropped == 0 {
+		return ""
+	}
+	reasons := make([]string, 0, len(s.Reasons))
+	for r := range s.Reasons {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	out := ""
+	for i, r := range reasons {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s ×%d", r, s.Reasons[r])
+	}
+	return out
+}
+
+// Importer converts one external trace format. Read consumes the whole
+// input, calling emit for every canonical instruction; an error from emit
+// aborts the import and is returned as-is.
+type Importer interface {
+	Name() string
+	Read(r io.Reader, opts Options, emit func(*trace.Inst) error) (Stats, error)
+}
+
+// errStop aborts an import that reached Options.MaxInsts. It travels
+// through the emit callback and is swallowed by Convert.
+var errStop = errors.New("traceconv: instruction limit reached")
+
+var importers = []Importer{champsimImporter{}, drcachesimImporter{}, lackeyImporter{}}
+
+// Names lists the registered importer names, sorted.
+func Names() []string {
+	out := make([]string, len(importers))
+	for i, imp := range importers {
+		out[i] = imp.Name()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName returns the importer for a format name.
+func ByName(name string) (Importer, error) {
+	for _, imp := range importers {
+		if imp.Name() == name {
+			return imp, nil
+		}
+	}
+	return nil, fmt.Errorf("traceconv: unknown format %q (have %v)", name, Names())
+}
+
+// Convert runs imp over r and writes a canonical .wct capture to w. The
+// header declares the exact emitted instruction count (and Seed 0 —
+// imported traces are externally produced, not walker captures), so the
+// output is byte-deterministic for fixed input and options.
+func Convert(imp Importer, r io.Reader, w io.Writer, opts Options) (Stats, error) {
+	var insts []trace.Inst
+	st, err := imp.Read(r, opts, func(in *trace.Inst) error {
+		insts = append(insts, *in)
+		if opts.MaxInsts > 0 && int64(len(insts)) >= opts.MaxInsts {
+			return errStop
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStop) {
+		return st, err
+	}
+	tw, err := trace.NewWriter(w, trace.Header{Benchmark: opts.Benchmark, Insts: int64(len(insts))})
+	if err != nil {
+		return st, err
+	}
+	for i := range insts {
+		if err := tw.Write(&insts[i]); err != nil {
+			return st, err
+		}
+	}
+	return st, tw.Close()
+}
+
+// mapReg clamps an external register number into the abstract 64-register
+// file: zero stays the hard-wired zero register (no dependence), every
+// other number maps stably onto a non-zero register.
+func mapReg(r uint8) isa.Reg {
+	if r == 0 {
+		return isa.RegZero
+	}
+	return isa.Reg(1 + (int(r)-1)%(isa.NumRegs-1))
+}
+
+// dropper implements the strict/lossy policy shared by all importers.
+type dropper struct {
+	st     *Stats
+	lossy  bool
+	format string
+}
+
+// drop records a malformed record: in lossy mode it counts it under
+// reason and returns nil, in strict mode it returns an error carrying
+// detail.
+func (d *dropper) drop(reason, detail string) error {
+	if !d.lossy {
+		return fmt.Errorf("traceconv: %s: %s (%s); use lossy mode to drop such records", d.format, reason, detail)
+	}
+	d.st.Dropped++
+	if d.st.Reasons == nil {
+		d.st.Reasons = make(map[string]int64)
+	}
+	d.st.Reasons[reason]++
+	return nil
+}
+
+// group accumulates the data references and control outcome of one
+// fetched external instruction; flush applies the reconciliation rule.
+// Used by the text importers (lackey, drcachesim), which interleave fetch
+// and data-reference records.
+type group struct {
+	pc     uint64
+	size   uint64
+	loads  []uint64
+	stores []uint64
+	hasCtl bool
+	ctl    trace.Inst
+	live   bool
+}
+
+// start resets the group for the instruction fetched at pc.
+func (g *group) start(pc, size uint64) {
+	g.pc, g.size = pc, size
+	g.loads, g.stores = g.loads[:0], g.stores[:0]
+	g.hasCtl = false
+	g.live = true
+}
+
+// flush emits the group's micro-ops. nextPC is the following fetch
+// address (0 = end of stream): a discontinuity with no explicit control
+// record synthesizes a taken jump, and an instruction with no micro-ops
+// at all becomes an ALU op so the instruction count survives the import.
+func (g *group) flush(nextPC uint64, emit func(*trace.Inst) error) error {
+	if !g.live {
+		return nil
+	}
+	g.live = false
+	emitted := false
+	for _, a := range g.loads {
+		in := trace.Inst{PC: g.pc, Kind: isa.KindLoad, Addr: a, BaseValue: a}
+		if err := emit(&in); err != nil {
+			return err
+		}
+		emitted = true
+	}
+	for _, a := range g.stores {
+		in := trace.Inst{PC: g.pc, Kind: isa.KindStore, Addr: a, BaseValue: a}
+		if err := emit(&in); err != nil {
+			return err
+		}
+		emitted = true
+	}
+	if g.hasCtl {
+		in := g.ctl
+		in.PC = g.pc
+		return emit(&in)
+	}
+	if nextPC != 0 && g.size != 0 && nextPC != g.pc+g.size {
+		in := trace.Inst{PC: g.pc, Kind: isa.KindJump, Taken: true, Target: nextPC}
+		return emit(&in)
+	}
+	if !emitted {
+		in := trace.Inst{PC: g.pc, Kind: isa.KindIntALU}
+		return emit(&in)
+	}
+	return nil
+}
+
+// counted wraps emit so st.Insts tracks every instruction the callback
+// accepted — including the final one when emit signals the MaxInsts stop.
+func counted(st *Stats, emit func(*trace.Inst) error) func(*trace.Inst) error {
+	return func(in *trace.Inst) error {
+		err := emit(in)
+		if err == nil || errors.Is(err, errStop) {
+			st.Insts++
+		}
+		return err
+	}
+}

@@ -4,8 +4,13 @@
 # "cancelled" state and must not starve the runner), then run a
 # two-host coordinator sweep (cmd/sweepctl) over the determinism-gate grid
 # and require the merged JSON to be byte-identical to the checked-in
-# single-host golden fixture (testdata/golden_sweep.json). Run from the
-# repo root; CI runs it on every push.
+# single-host golden fixture (testdata/golden_sweep.json). Finally, the
+# trace-distribution leg: convert a fixture trace with traceconv, upload
+# it to ONE host only, sweep it via trace://<hash> across both hosts
+# (the coordinator must push it to the second host — neither host has a
+# pre-provisioned trace directory), and byte-diff the merged output
+# against a local single-host cmd/sweep run of the same reference. Run
+# from the repo root; CI runs it on every push.
 set -euo pipefail
 
 ADDR1=127.0.0.1:18091
@@ -18,10 +23,14 @@ trap 'kill ${PID1:-} ${PID2:-} 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 go build -o "$WORK/waycached" ./cmd/waycached
 go build -o "$WORK/sweepctl" ./cmd/sweepctl
+go build -o "$WORK/traceconv" ./cmd/traceconv
+go build -o "$WORK/sweep" ./cmd/sweep
 
-"$WORK/waycached" -addr "$ADDR1" >"$WORK/host1.log" 2>&1 &
+# Each host gets a fresh, empty trace store — no pre-provisioned traces
+# anywhere; the trace leg below relies on coordinator distribution alone.
+"$WORK/waycached" -addr "$ADDR1" -tracestore "$WORK/ts1" >"$WORK/host1.log" 2>&1 &
 PID1=$!
-"$WORK/waycached" -addr "$ADDR2" >"$WORK/host2.log" 2>&1 &
+"$WORK/waycached" -addr "$ADDR2" -tracestore "$WORK/ts2" >"$WORK/host2.log" 2>&1 &
 PID2=$!
 
 for base in "$BASE1" "http://$ADDR2"; do
@@ -82,4 +91,61 @@ cmp testdata/golden_sweep.json "$WORK/merged3.json" || {
   exit 1
 }
 
-echo "distributed smoke: OK (cancel terminal, 2- and 3-shard merges byte-identical to golden)"
+# --- trace distribution: import, upload to ONE host, sweep everywhere ---
+BASE2="http://$ADDR2"
+
+# Convert a real-format fixture: render the gcc walker as a Valgrind
+# lackey trace, then import it back through the lackey importer into a
+# local content store (this also exercises the external-format round
+# trip end to end over real binaries).
+"$WORK/traceconv" -export -format lackey -bench gcc -n 50000 -o "$WORK/gcc.lackey" \
+  2>>"$WORK/traceconv.log"
+"$WORK/traceconv" -format lackey -in "$WORK/gcc.lackey" -bench gcc \
+  -o "$WORK/gcc.wct" -store "$WORK/localstore" 2>>"$WORK/traceconv.log"
+HASH=$(sha256sum "$WORK/gcc.wct" | cut -d' ' -f1)
+
+# Upload to host 1 ONLY; host 2 must receive it from the coordinator.
+curl -sf -X PUT --data-binary "@$WORK/gcc.wct" "$BASE1/api/v1/traces/$HASH" >/dev/null
+curl -sf -I "$BASE2/api/v1/traces/$HASH" >/dev/null 2>&1 && {
+  echo "host 2 has trace $HASH before the run — distribution would be untested" >&2
+  exit 1
+}
+
+"$WORK/sweepctl" -hosts "$BASE1,$BASE2" -shards 2 \
+  -benchmarks gcc -traces "gcc=trace://$HASH" \
+  -dpolicies parallel,seldm+waypred -dways 2,4 -insts 30000 -progress=false \
+  -out "$WORK/traced.json" 2>"$WORK/sweepctl_trace.log" || {
+  echo "trace-distribution sweepctl failed:" >&2
+  cat "$WORK/sweepctl_trace.log" >&2
+  exit 1
+}
+
+# The coordinator must have pushed the trace to host 2 ...
+curl -sf -I "$BASE2/api/v1/traces/$HASH" >/dev/null || {
+  echo "trace $HASH was not pushed to host 2" >&2
+  cat "$WORK/sweepctl_trace.log" >&2
+  exit 1
+}
+# ... and every cell must have replayed, never fallen back to the walker.
+if grep -q "replayed from walker" "$WORK/sweepctl_trace.log"; then
+  echo "distributed trace run fell back to the walker:" >&2
+  cat "$WORK/sweepctl_trace.log" >&2
+  exit 1
+fi
+
+# Byte-identity against a local single-host run of the same reference
+# (resolved from the import-time local store, not from any host).
+"$WORK/sweep" -benchmarks gcc -traces "gcc=trace://$HASH" -tracestore "$WORK/localstore" \
+  -dpolicies parallel,seldm+waypred -dways 2,4 -insts 30000 -progress=false \
+  -out "$WORK/traced_local.json" 2>"$WORK/sweep_trace.log"
+if grep -q "replayed from walker" "$WORK/sweep_trace.log"; then
+  echo "local trace run fell back to the walker:" >&2
+  cat "$WORK/sweep_trace.log" >&2
+  exit 1
+fi
+cmp "$WORK/traced_local.json" "$WORK/traced.json" || {
+  echo "distributed trace:// merge differs from the local single-host run" >&2
+  exit 1
+}
+
+echo "distributed smoke: OK (cancel terminal, 2- and 3-shard merges byte-identical to golden, trace distributed to all hosts and byte-identical to local replay)"
