@@ -29,6 +29,13 @@
 // Benchmarks that a remote host re-simulated from the walker instead of
 // replaying a capture are reported per shard on stderr — a distributed
 // -trace run never falls back silently.
+//
+// Shard progress streams over each host's Server-Sent Events endpoint
+// (GET /api/v1/jobs/{id}/events); hosts whose stream cannot be
+// established fall back transparently to -poll status polling.
+// Fleets running with -auth-tokens take a bearer credential via -token
+// or the WAYCACHE_TOKEN environment variable (preferred for shared
+// machines: flags are visible in process listings).
 package main
 
 import (
@@ -66,6 +73,7 @@ func run() error {
 	format := flag.String("format", "json", "output format: json or csv")
 	out := flag.String("out", "-", "output file ('-' for stdout)")
 	progress := flag.Bool("progress", true, "report live aggregate progress on stderr")
+	token := flag.String("token", "", "bearer token for hosts running with -auth-tokens (default: $WAYCACHE_TOKEN)")
 	flag.Parse()
 
 	hostList := splitHosts(*hosts)
@@ -80,6 +88,11 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	authToken := *token
+	if authToken == "" {
+		authToken = os.Getenv("WAYCACHE_TOKEN")
+	}
+
 	opts := coord.Options{
 		Hosts:          hostList,
 		Shards:         *shards,
@@ -87,6 +100,7 @@ func run() error {
 		PollInterval:   *poll,
 		RequestTimeout: *timeout,
 		Name:           *name,
+		Token:          authToken,
 		Logf: func(f string, args ...any) {
 			fmt.Fprintf(os.Stderr, f+"\n", args...)
 		},

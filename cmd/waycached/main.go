@@ -27,6 +27,10 @@
 //	                                    byte-identical to cmd/sweep output
 //	GET    /api/v1/jobs/{id}/export     canonical key+result stream for the
 //	                                    distributed coordinator (sweepctl)
+//	GET    /api/v1/jobs/{id}/events     Server-Sent Events progress stream
+//	                                    (terminal status event, then EOF)
+//	POST   /api/v1/admin/compact        compact the on-disk result log
+//	                                    (-store only)
 //	GET    /api/v1/traces               list stored trace hashes (-tracestore)
 //	GET    /api/v1/traces/{hash}        download a stored trace (HEAD probes)
 //	PUT    /api/v1/traces/{hash}        upload a trace under its sha256
@@ -35,6 +39,13 @@
 //	GET    /api/v1/aggregate            group-by summaries over the corpus
 //	GET    /api/v1/stats                store and job counters
 //	GET    /healthz                     liveness
+//
+// Jobs from any number of clients run concurrently under one fair-share
+// simulation budget (-workers slots total): freed slots rotate across
+// clients, so a giant grid never starves a small job, and outputs stay
+// byte-identical to sequential runs at any budget. With -auth-tokens the
+// service requires bearer tokens and meters fair share and -rate limits
+// per token name; without it, per remote host.
 //
 // Several waycached instances form the worker fleet of a distributed
 // sweep: cmd/sweepctl splits a grid into deterministic shards, runs one
@@ -68,12 +79,23 @@ func main() {
 func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
 	storeDir := flag.String("store", "", "directory of the on-disk result store (empty: memory only)")
-	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulations per job")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "global simulation budget: max concurrent simulations across all jobs")
 	traceDir := flag.String("trace", "", "directory of captured traces (<benchmark>.wct) to replay")
 	traceStoreDir := flag.String("tracestore", "", "content-addressed trace store directory: serves /api/v1/traces and resolves trace:// job references")
+	authTokens := flag.String("auth-tokens", "", "comma-separated name=token bearer credentials; empty runs the service open")
+	rate := flag.Float64("rate", 0, "per-client request rate limit in requests/sec (0: unlimited)")
+	burst := flag.Int("burst", 0, "rate-limit burst size (default 16)")
 	flag.Parse()
 
-	opts := server.Options{Workers: *workers, TraceDir: *traceDir}
+	opts := server.Options{Workers: *workers, TraceDir: *traceDir, RatePerSec: *rate, RateBurst: *burst}
+	if *authTokens != "" {
+		tokens, err := server.ParseAuthTokens(*authTokens)
+		if err != nil {
+			return err
+		}
+		opts.AuthTokens = tokens
+		fmt.Fprintf(os.Stderr, "waycached: bearer auth enabled for %d clients\n", len(tokens))
+	}
 	if *traceStoreDir != "" {
 		ts, err := tracestore.Open(*traceStoreDir)
 		if err != nil {
@@ -93,6 +115,7 @@ func run() error {
 		}
 		defer db.Close()
 		opts.Store = store
+		opts.Compactor = db
 		fmt.Fprintf(os.Stderr, "waycached: store %s holds %d results\n", *storeDir, store.Len())
 	} else {
 		opts.Store = sweep.NewStore()

@@ -6,10 +6,13 @@
 // sweep.Grid order: the coordinator splits it into n contiguous
 // sweep.Shard slices by index arithmetic alone (no local expansion) and
 // submits each shard as a named shard job ({"shard": "i/n"}) to a remote
-// waycached instance. Hosts poll-complete independently; a shard whose
-// host dies — network error, 5xx, vanished process — is reassigned to a
-// surviving host, and a host that fails is retired for the rest of the
-// run. Finished shards are exported in canonical core.EncodeResult form
+// waycached instance. Each shard is tracked to completion over the
+// host's Server-Sent Events progress stream (GET
+// /api/v1/jobs/{id}/events) — one connection, push-based progress —
+// falling back to the status poll loop when the stream cannot be
+// established or breaks; a shard whose host dies — network error, 5xx,
+// vanished process — is reassigned to a surviving host, and a host that
+// fails is retired for the rest of the run. Finished shards are exported in canonical core.EncodeResult form
 // (GET /api/v1/jobs/{id}/export), optionally bulk-ingested into a local
 // result store, and concatenated in shard order, so the merged JSON/CSV
 // is byte-identical to what cmd/sweep emits for the whole grid on one
@@ -33,6 +36,7 @@ import (
 	"hash/fnv"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -88,6 +92,11 @@ type Options struct {
 	// host job lists, and so resubmissions after a lost response are
 	// idempotent. Default: a hash of the grid and shard count.
 	Name string
+	// Token, when non-empty, is sent as "Authorization: Bearer <token>"
+	// on every request — job control, events streams, exports, and trace
+	// distribution — for hosts running with -auth-tokens. One fleet, one
+	// credential: all hosts must accept the same token.
+	Token string
 }
 
 // ShardReport is one shard's provenance in the merged output: which host
@@ -171,7 +180,7 @@ func Run(ctx context.Context, g sweep.Grid, o Options) (*Result, error) {
 	// Push every referenced trace to every host that lacks it before any
 	// shard lands; hosts that cannot be brought up to date leave the run
 	// here, like hosts that die mid-run.
-	hosts, err := distributeTraces(ctx, g, o.Hosts, client, reqTimeout, o.TraceStore, logf)
+	hosts, err := distributeTraces(ctx, g, o.Hosts, client, reqTimeout, o.TraceStore, o.Token, logf)
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +197,7 @@ func Run(ctx context.Context, g sweep.Grid, o Options) (*Result, error) {
 	defer cancel()
 
 	c := &run{
-		client: client, grid: g, name: name,
+		client: client, grid: g, name: name, token: o.Token,
 		nShards: nShards, total: total, poll: poll, reqTimeout: reqTimeout,
 		progress:  o.Progress,
 		logf:      logf,
@@ -247,6 +256,7 @@ type run struct {
 	client     *http.Client
 	grid       sweep.Grid
 	name       string
+	token      string
 	nShards    int
 	total      int
 	poll       time.Duration
@@ -371,37 +381,29 @@ func (c *run) completeShard(i int, host, jobID string, attempt, configs int, fal
 	}
 }
 
-// runShard drives one shard's lifecycle on one host: submit, poll to a
-// terminal state, export canonical results, and (best-effort) evict the
-// remote job. Any transport or server failure is a host-level error; a
-// remote "failed" state is a *jobFailedError.
+// runShard drives one shard's lifecycle on one host: submit, follow the
+// job to a terminal state (events stream, then polling), export
+// canonical results, and (best-effort) evict the remote job. Any
+// transport or server failure is a host-level error; a remote "failed"
+// state is a *jobFailedError.
 func (c *run) runShard(ctx context.Context, host string, i int) (shardOutput, string, map[string]string, error) {
 	st, err := c.submit(ctx, host, i)
 	if err != nil {
 		return shardOutput{}, "", nil, err
 	}
-	for st.State != "done" {
-		switch st.State {
-		case "failed":
-			return shardOutput{}, st.ID, nil, &jobFailedError{msg: st.Error}
-		case "cancelled":
-			// Someone (an operator, or a previous coordinator run's
-			// abandon) cancelled the job out from under us. Unlike a
-			// "failed" job this says nothing about the work itself, so
-			// it is a host-level error: retry the shard elsewhere.
-			return shardOutput{}, st.ID, nil, fmt.Errorf("job %s was cancelled on %s", st.ID, host)
-		}
-		c.noteProgress(i, st.Done)
-		select {
-		case <-ctx.Done():
-			c.abandon(host, st.ID)
-			return shardOutput{}, st.ID, nil, ctx.Err()
-		case <-time.After(c.poll):
-		}
-		if st, err = c.pollStatus(ctx, host, st.ID); err != nil {
-			c.abandon(host, st.ID)
-			return shardOutput{}, st.ID, nil, err
-		}
+	if st, err = c.awaitTerminal(ctx, host, i, st); err != nil {
+		c.abandon(host, st.ID)
+		return shardOutput{}, st.ID, nil, err
+	}
+	switch st.State {
+	case "failed":
+		return shardOutput{}, st.ID, nil, &jobFailedError{msg: st.Error}
+	case "cancelled":
+		// Someone (an operator, or a previous coordinator run's
+		// abandon) cancelled the job out from under us. Unlike a
+		// "failed" job this says nothing about the work itself, so
+		// it is a host-level error: retry the shard elsewhere.
+		return shardOutput{}, st.ID, nil, fmt.Errorf("job %s was cancelled on %s", st.ID, host)
 	}
 	c.noteProgress(i, st.Done)
 
@@ -421,6 +423,89 @@ func (c *run) runShard(ctx context.Context, host string, i int) (shardOutput, st
 	return out, st.ID, st.TraceFallbacks, nil
 }
 
+// awaitTerminal follows a submitted job to a terminal state and returns
+// that status. It prefers the host's SSE events stream — one connection,
+// progress pushed the moment it changes — and falls back to the status
+// poll loop when the stream cannot be established or breaks mid-flight
+// (a host predating the endpoint, a buffering proxy, a dropped
+// connection). A broken stream is not by itself a host failure: polling
+// gets a clean shot at the same job before the shard is reassigned. The
+// returned status always carries the job ID, even on error, so the
+// caller can abandon the remote job.
+func (c *run) awaitTerminal(ctx context.Context, host string, i int, st server.JobStatus) (server.JobStatus, error) {
+	if term, err := c.streamStatus(ctx, host, i, st.ID); err == nil {
+		return term, nil
+	} else if ctx.Err() != nil {
+		return st, ctx.Err()
+	} else {
+		c.logf("coord: events stream for %s on %s failed (%v); polling instead", st.ID, host, err)
+	}
+	for {
+		switch st.State {
+		case "done", "failed", "cancelled":
+			return st, nil
+		}
+		c.noteProgress(i, st.Done)
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(c.poll):
+		}
+		next, err := c.pollStatus(ctx, host, st.ID)
+		if err != nil {
+			return st, err // st keeps the job ID for the caller's abandon
+		}
+		st = next
+	}
+}
+
+// streamStatus consumes the job's SSE progress stream until a terminal
+// status event arrives, folding every event into the progress feed. Any
+// setup or mid-stream failure is returned for the caller to fall back
+// on polling. The stream has no overall deadline — a shard runs as long
+// as it runs — but the server heartbeats idle streams, so a connection
+// silent for a full request timeout means a dead or wedged host and
+// trips the watchdog.
+func (c *run) streamStatus(ctx context.Context, host string, i int, id string) (server.JobStatus, error) {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	req, err := c.newRequest(sctx, http.MethodGet, host+"/api/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return server.JobStatus{}, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	watchdog := time.AfterFunc(c.reqTimeout, cancel)
+	defer watchdog.Stop()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		watchdog.Reset(c.reqTimeout)
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue // "event:" labels, heartbeat comments, blank separators
+		}
+		var st server.JobStatus
+		if err := json.Unmarshal([]byte(data), &st); err != nil {
+			return server.JobStatus{}, fmt.Errorf("bad event payload: %w", err)
+		}
+		c.noteProgress(i, st.Done)
+		switch st.State {
+		case "done", "failed", "cancelled":
+			return st, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return server.JobStatus{}, err
+	}
+	return server.JobStatus{}, errors.New("stream ended without a terminal status")
+}
+
 // abandon best-effort cancels and evicts a job the coordinator is walking
 // away from — a reassigned shard, a run aborting, Ctrl-C. It uses its own
 // short-lived context because the run context may already be dead, and an
@@ -432,7 +517,7 @@ func (c *run) runShard(ctx context.Context, host string, i int) (shardOutput, st
 func (c *run) abandon(host, id string) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if req, err := http.NewRequestWithContext(ctx, http.MethodPost, host+"/api/v1/jobs/"+id+"/cancel", nil); err == nil {
+	if req, err := c.newRequest(ctx, http.MethodPost, host+"/api/v1/jobs/"+id+"/cancel", nil); err == nil {
 		if resp, err := c.client.Do(req); err == nil {
 			resp.Body.Close()
 		}
@@ -466,7 +551,7 @@ func (c *run) abandon(host, id string) {
 func (c *run) abandonByName(host, name string) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, host+"/api/v1/jobs", nil)
+	req, err := c.newRequest(ctx, http.MethodGet, host+"/api/v1/jobs", nil)
 	if err != nil {
 		return
 	}
@@ -498,7 +583,7 @@ func (c *run) submit(ctx context.Context, host string, i int) (server.JobStatus,
 	// still fail over, not freeze its shard.
 	rctx, cancel := context.WithTimeout(ctx, c.reqTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(rctx, http.MethodPost, host+"/api/v1/jobs", bytes.NewReader(body))
+	req, err := c.newRequest(rctx, http.MethodPost, host+"/api/v1/jobs", bytes.NewReader(body))
 	if err != nil {
 		return server.JobStatus{}, err
 	}
@@ -513,7 +598,7 @@ func (c *run) submit(ctx context.Context, host string, i int) (server.JobStatus,
 func (c *run) pollStatus(ctx context.Context, host, id string) (server.JobStatus, error) {
 	rctx, cancel := context.WithTimeout(ctx, c.reqTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(rctx, http.MethodGet, host+"/api/v1/jobs/"+id, nil)
+	req, err := c.newRequest(rctx, http.MethodGet, host+"/api/v1/jobs/"+id, nil)
 	if err != nil {
 		return server.JobStatus{}, err
 	}
@@ -530,7 +615,7 @@ func (c *run) export(ctx context.Context, host, id string) (shardOutput, error) 
 	// budget than a control request — but still a bounded one.
 	rctx, cancel := context.WithTimeout(ctx, 10*c.reqTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(rctx, http.MethodGet, host+"/api/v1/jobs/"+id+"/export", nil)
+	req, err := c.newRequest(rctx, http.MethodGet, host+"/api/v1/jobs/"+id+"/export", nil)
 	if err != nil {
 		return shardOutput{}, err
 	}
@@ -568,7 +653,7 @@ func (c *run) export(ctx context.Context, host, id string) (shardOutput, error) 
 func (c *run) evict(ctx context.Context, host, id string) {
 	rctx, cancel := context.WithTimeout(ctx, c.reqTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(rctx, http.MethodDelete, host+"/api/v1/jobs/"+id, nil)
+	req, err := c.newRequest(rctx, http.MethodDelete, host+"/api/v1/jobs/"+id, nil)
 	if err != nil {
 		return
 	}
@@ -577,6 +662,19 @@ func (c *run) evict(ctx context.Context, host, id string) {
 		return
 	}
 	resp.Body.Close()
+}
+
+// newRequest builds one API request, attaching the run's bearer token
+// when the fleet is authenticated.
+func (c *run) newRequest(ctx context.Context, method, url string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	return req, nil
 }
 
 // doJSON performs req, requiring status want and decoding the JSON body.

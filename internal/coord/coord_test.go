@@ -254,6 +254,83 @@ func TestHostDeathReassignsShard(t *testing.T) {
 	}
 }
 
+// TestPollFallbackWhenStreamUnavailable: a host whose events endpoint is
+// missing (an older waycached, a proxy that rejects streams) must still
+// complete its shards through the status poll loop, byte-identically.
+func TestPollFallbackWhenStreamUnavailable(t *testing.T) {
+	g := testGrid()
+	srv := server.New(server.Options{Workers: 2})
+	noStream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/events") {
+			http.Error(w, "no such endpoint", http.StatusNotFound)
+			return
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() { noStream.Close(); srv.Close() })
+
+	streamFailures := 0
+	res, err := Run(context.Background(), g, Options{
+		Hosts:        []string{noStream.URL},
+		PollInterval: 10 * time.Millisecond,
+		Name:         "t-poll-fallback",
+		Logf: func(f string, args ...any) {
+			if strings.Contains(f, "events stream") {
+				streamFailures++
+			}
+			t.Logf(f, args...)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := singleHostBytes(t, g)
+	gotJSON, _ := coordBytes(t, res)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Error("poll-fallback merge differs from single-host sweep JSON")
+	}
+	if streamFailures == 0 {
+		t.Error("run never logged a stream fallback — the 404ing events endpoint was not exercised")
+	}
+}
+
+// TestAuthenticatedFleet: with hosts requiring bearer tokens, a run
+// carrying Options.Token succeeds and one without it fails fast.
+func TestAuthenticatedFleet(t *testing.T) {
+	tokens, err := server.ParseAuthTokens("coordinator=fleet-secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Options{Workers: 2, AuthTokens: tokens})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	g := sweep.Grid{Benchmarks: []string{"gcc"}, Insts: 2_000}
+	if _, err := Run(context.Background(), g, Options{
+		Hosts:        []string{ts.URL},
+		PollInterval: 10 * time.Millisecond,
+		MaxAttempts:  1,
+		Name:         "t-auth-missing",
+	}); err == nil {
+		t.Fatal("tokenless run against an authenticated host succeeded")
+	}
+
+	res, err := Run(context.Background(), g, Options{
+		Hosts:        []string{ts.URL},
+		PollInterval: 10 * time.Millisecond,
+		Name:         "t-auth-ok",
+		Token:        "fleet-secret",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := singleHostBytes(t, g)
+	gotJSON, _ := coordBytes(t, res)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Error("authenticated merge differs from single-host sweep JSON")
+	}
+}
+
 // TestAllHostsDeadFailsRun: with no live host the run must error out, not
 // hang.
 func TestAllHostsDeadFailsRun(t *testing.T) {

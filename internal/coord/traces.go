@@ -3,6 +3,7 @@ package coord
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"sort"
@@ -33,7 +34,7 @@ import (
 // referenced trace, in input order. A nil local store is replaced by an
 // ephemeral one that lives only for the relay.
 func distributeTraces(ctx context.Context, g sweep.Grid, hosts []string, client *http.Client,
-	reqTimeout time.Duration, local *tracestore.Store, logf func(string, ...any)) ([]string, error) {
+	reqTimeout time.Duration, local *tracestore.Store, token string, logf func(string, ...any)) ([]string, error) {
 	hashes := referencedHashes(g)
 	if len(hashes) == 0 {
 		return hosts, nil
@@ -50,7 +51,7 @@ func distributeTraces(ctx context.Context, g sweep.Grid, hosts []string, client 
 			return nil, err
 		}
 	}
-	d := &distributor{client: client, reqTimeout: reqTimeout, store: local, logf: logf}
+	d := &distributor{client: client, reqTimeout: reqTimeout, store: local, token: token, logf: logf}
 	live := hosts
 	for _, hash := range hashes {
 		var err error
@@ -80,7 +81,21 @@ type distributor struct {
 	client     *http.Client
 	reqTimeout time.Duration
 	store      *tracestore.Store
+	token      string
 	logf       func(string, ...any)
+}
+
+// newRequest builds one trace-API request, attaching the fleet's bearer
+// token when it is authenticated.
+func (d *distributor) newRequest(ctx context.Context, method, url string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if d.token != "" {
+		req.Header.Set("Authorization", "Bearer "+d.token)
+	}
+	return req, nil
 }
 
 // distribute brings every reachable host up to date on one hash and
@@ -142,7 +157,7 @@ func (d *distributor) ensureLocal(ctx context.Context, hash string, hosts []stri
 func (d *distributor) has(ctx context.Context, host, hash string) (bool, error) {
 	rctx, cancel := context.WithTimeout(ctx, d.reqTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(rctx, http.MethodHead, host+"/api/v1/traces/"+hash, nil)
+	req, err := d.newRequest(rctx, http.MethodHead, host+"/api/v1/traces/"+hash, nil)
 	if err != nil {
 		return false, err
 	}
@@ -167,7 +182,7 @@ func (d *distributor) has(ctx context.Context, host, hash string) (bool, error) 
 func (d *distributor) fetch(ctx context.Context, host, hash string) error {
 	rctx, cancel := context.WithTimeout(ctx, 10*d.reqTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(rctx, http.MethodGet, host+"/api/v1/traces/"+hash, nil)
+	req, err := d.newRequest(rctx, http.MethodGet, host+"/api/v1/traces/"+hash, nil)
 	if err != nil {
 		return err
 	}
@@ -192,7 +207,7 @@ func (d *distributor) push(ctx context.Context, host, hash string) error {
 	defer f.Close()
 	rctx, cancel := context.WithTimeout(ctx, 10*d.reqTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(rctx, http.MethodPut, host+"/api/v1/traces/"+hash, f)
+	req, err := d.newRequest(rctx, http.MethodPut, host+"/api/v1/traces/"+hash, f)
 	if err != nil {
 		return err
 	}

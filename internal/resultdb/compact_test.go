@@ -1,0 +1,263 @@
+package resultdb
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"waycache/internal/core"
+)
+
+// snapshotEncoded captures every live key's payload bytes.
+func snapshotEncoded(t *testing.T, db *DB) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	for _, key := range db.Keys() {
+		payload, found, err := db.GetEncoded(key)
+		if err != nil || !found {
+			t.Fatalf("GetEncoded(%q): found=%v err=%v", key, found, err)
+		}
+		out[key] = payload
+	}
+	return out
+}
+
+func logSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	st, err := os.Stat(filepath.Join(dir, LogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Size()
+}
+
+// TestDeleteAndReopen: a deleted key stays deleted across reopen, both via
+// the index snapshot (Close) and via a full log scan (no snapshot), and
+// the key can be Put again afterwards.
+func TestDeleteAndReopen(t *testing.T) {
+	for _, withIndex := range []bool{true, false} {
+		dir := t.TempDir()
+		db, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := fill(t, db)
+		victim := keys[1]
+
+		if ok, err := db.Delete("no-such-key"); err != nil || ok {
+			t.Fatalf("Delete(absent) = %v, %v; want false, nil", ok, err)
+		}
+		if ok, err := db.Delete(victim); err != nil || !ok {
+			t.Fatalf("Delete(%q) = %v, %v; want true, nil", victim, ok, err)
+		}
+		if db.Garbage() == 0 {
+			t.Error("Garbage() = 0 after delete")
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !withIndex {
+			os.Remove(filepath.Join(dir, IndexName))
+		}
+
+		db, err = Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, found, _ := db.Get(victim); found {
+			t.Errorf("withIndex=%v: deleted key resurfaced on reopen", withIndex)
+		}
+		if got := db.Len(); got != len(keys)-1 {
+			t.Errorf("withIndex=%v: Len() = %d, want %d", withIndex, got, len(keys)-1)
+		}
+		// Supersession: the deleted key accepts a fresh record.
+		if err := db.Put(victim, results(t)[1]); err != nil {
+			t.Fatal(err)
+		}
+		if _, found, err := db.Get(victim); err != nil || !found {
+			t.Fatalf("withIndex=%v: re-Put key not readable: found=%v err=%v", withIndex, found, err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCompactPreservesLiveRecordsByteForByte: after deletes, Compact keeps
+// every live payload identical, reclaims the dead bytes on disk, and the
+// compacted store survives reopen (fresh index and scan paths both).
+func TestCompactPreservesLiveRecordsByteForByte(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := fill(t, db)
+	if ok, err := db.Delete(keys[0]); err != nil || !ok {
+		t.Fatal(err)
+	}
+	want := snapshotEncoded(t, db)
+	wantOrder := db.Keys()
+	garbage := db.Garbage()
+	if garbage == 0 {
+		t.Fatal("no garbage to reclaim")
+	}
+	before := logSize(t, dir)
+
+	stats, err := db.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if stats.Live != len(wantOrder) {
+		t.Errorf("stats.Live = %d, want %d", stats.Live, len(wantOrder))
+	}
+	if stats.Reclaimed != garbage {
+		t.Errorf("stats.Reclaimed = %d, want garbage %d", stats.Reclaimed, garbage)
+	}
+	if after := logSize(t, dir); after != before-garbage {
+		t.Errorf("log size %d after compact, want %d", after, before-garbage)
+	}
+	if g := db.Garbage(); g != 0 {
+		t.Errorf("Garbage() = %d after compact, want 0", g)
+	}
+
+	check := func(db *DB, when string) {
+		t.Helper()
+		order := db.Keys()
+		if len(order) != len(wantOrder) {
+			t.Fatalf("%s: %d keys, want %d", when, len(order), len(wantOrder))
+		}
+		for i, key := range order {
+			if key != wantOrder[i] {
+				t.Errorf("%s: key %d = %q, want %q (order changed)", when, i, key, wantOrder[i])
+			}
+			payload, found, err := db.GetEncoded(key)
+			if err != nil || !found {
+				t.Fatalf("%s: GetEncoded(%q): found=%v err=%v", when, key, found, err)
+			}
+			if !bytes.Equal(payload, want[key]) {
+				t.Errorf("%s: payload for %q changed across compaction", when, key)
+			}
+		}
+	}
+	check(db, "open store")
+
+	// The store stays writable after the swap.
+	if err := db.Put(keys[0], results(t)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := db.Delete(keys[0]); err != nil || !ok {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, withIndex := range []bool{true, false} {
+		if !withIndex {
+			os.Remove(filepath.Join(dir, IndexName))
+		}
+		re, err := Open(dir)
+		if err != nil {
+			t.Fatalf("reopen (withIndex=%v): %v", withIndex, err)
+		}
+		check(re, "reopened store")
+		if err := re.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCompactEmptyAndNoGarbage: compacting an empty store and a store with
+// zero garbage are both harmless no-ops byte-wise.
+func TestCompactEmptyAndNoGarbage(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats, err := db.Compact(); err != nil || stats.Reclaimed != 0 {
+		t.Fatalf("empty Compact: stats=%+v err=%v", stats, err)
+	}
+	fill(t, db)
+	before := logSize(t, dir)
+	stats, err := db.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if stats.Reclaimed != 0 || logSize(t, dir) != before {
+		t.Errorf("garbage-free compact changed the log: stats=%+v size %d -> %d", stats, before, logSize(t, dir))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAutoCompactOnClose: Close compacts when garbage crosses both the
+// absolute floor and the log-fraction threshold, and leaves small or
+// mostly-live logs alone.
+func TestAutoCompactOnClose(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bulk records big enough that a few deletes clear the 1 MiB floor.
+	payload, err := core.EncodeResult(results(t)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := bytes.Repeat([]byte(" "), 1<<19) // JSON-legal trailing whitespace
+	big := append(append([]byte(nil), payload...), pad...)
+	for _, key := range []string{"bulk-a", "bulk-b", "bulk-c", "bulk-d"} {
+		if err := db.PutEncoded(key, big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, err := db.Delete("bulk-a"); err != nil || !ok {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil { // ~0.5 MiB garbage: under the floor
+		t.Fatal(err)
+	}
+
+	db, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Garbage() == 0 {
+		t.Fatal("expected garbage to survive a non-compacting Close")
+	}
+	for _, key := range []string{"bulk-b", "bulk-c"} {
+		if ok, err := db.Delete(key); err != nil || !ok {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil { // ~1.5 MiB, >= 1/4 of log: compacts
+		t.Fatal(err)
+	}
+	// After compaction the log holds exactly the header plus the one
+	// surviving record.
+	want := int64(len(Magic)+1) + recordBytes(len("bulk-d"), int64(len(big)))
+	if got := logSize(t, dir); got != want {
+		t.Errorf("log size after auto-compact = %d, want %d", got, want)
+	}
+
+	db, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Len(); got != 1 {
+		t.Errorf("Len() = %d after auto-compact reopen, want 1", got)
+	}
+	if g := db.Garbage(); g != 0 {
+		t.Errorf("Garbage() = %d after auto-compact, want 0", g)
+	}
+	if _, found, err := db.Get("bulk-d"); err != nil || !found {
+		t.Fatalf("surviving key unreadable: found=%v err=%v", found, err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,7 +20,21 @@
 //
 // where payload is core.EncodeResult's canonical bytes and the CRC-32
 // (IEEE, little-endian) closes the record. Records are immutable once
-// written; a key is never written twice.
+// written; a live key is never written twice. A record with payloadLen 0
+// is a tombstone: it marks the key's earlier record dead (Delete), after
+// which the key may be written again — supersession is a tombstone
+// followed by a fresh record.
+//
+// # Compaction
+//
+// Tombstoned and superseded records stay in the log as garbage until
+// Compact rewrites the live records — byte-for-byte, in their original
+// order — into a fresh log that atomically replaces the old one
+// (temp file + fsync + rename, with the new file flock'd before the
+// swap). Close compacts automatically when garbage exceeds both an
+// absolute floor and a quarter of the log. Garbage is derived, not
+// tracked on faith: it is exactly the log size minus the header and the
+// live records' sizes, so accounting can never drift from the file.
 //
 // # Crash safety
 //
@@ -41,6 +55,7 @@
 package resultdb
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -59,9 +74,12 @@ const (
 	MagicIndex = "WCRI"
 )
 
-// FormatVersion is the log and index encoding version this package writes.
-// Readers accept exactly this version.
-const FormatVersion = 1
+// FormatVersion is the log and index encoding version this package
+// writes. Version 2 added tombstone records (payloadLen 0, previously
+// rejected as implausible); version-1 logs are still read — they are a
+// strict subset — but version-1 readers refuse version-2 logs outright
+// instead of mistaking a tombstone for a torn tail.
+const FormatVersion = 2
 
 // LogName and IndexName are the file names inside a store directory.
 const (
@@ -85,12 +103,29 @@ type span struct {
 
 // DB is an open result store. It is safe for concurrent use.
 type DB struct {
-	mu    sync.Mutex
-	dir   string
-	f     *os.File
-	size  int64 // end of the validated log == append offset
-	index map[string]span
-	keys  []string // insertion (log) order, for deterministic Scan
+	mu        sync.Mutex
+	dir       string
+	f         *os.File
+	size      int64 // end of the validated log == append offset
+	index     map[string]span
+	keys      []string // insertion (log) order, for deterministic Scan
+	liveBytes int64    // total size of live records; garbage = size - header - liveBytes
+}
+
+// recordBytes is the encoded size of one record with the given key and
+// payload lengths — the unit garbage accounting and compaction both use.
+func recordBytes(keyLen int, payloadLen int64) int64 {
+	return int64(uvarintLen(uint64(keyLen))) + int64(keyLen) +
+		int64(uvarintLen(uint64(payloadLen))) + payloadLen + 4
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // Open opens the store in dir, creating the directory and an empty log as
@@ -146,7 +181,7 @@ func (db *DB) load() error {
 	if string(hdr[:len(Magic)]) != Magic {
 		return fmt.Errorf("resultdb: %s has bad magic %q (not a result log)", LogName, hdr[:len(Magic)])
 	}
-	if v := hdr[len(Magic)]; v != FormatVersion {
+	if v := hdr[len(Magic)]; v != FormatVersion && v != 1 {
 		return fmt.Errorf("resultdb: unsupported log format version %d (reader speaks %d)", v, FormatVersion)
 	}
 	db.size = headerLen
@@ -173,7 +208,9 @@ func (db *DB) load() error {
 
 // scan reads records from db.size to end, extending the index; it stops —
 // without error — at the first torn or corrupt record, leaving db.size at
-// the end of the valid prefix.
+// the end of the valid prefix. Tombstones (payloadLen 0) kill the key's
+// live record; a later record under a killed key revives it, which is how
+// supersession replays.
 func (db *DB) scan(end int64) error {
 	base := db.size
 	r := io.NewSectionReader(db.f, base, end-base)
@@ -188,11 +225,29 @@ func (db *DB) scan(end int64) error {
 			// Torn or corrupt tail: everything before this record is intact.
 			return nil
 		}
-		if _, dup := db.index[key]; !dup {
+		switch old, live := db.index[key]; {
+		case sp.n == 0: // tombstone
+			if live {
+				delete(db.index, key)
+				db.removeKeyLocked(key)
+				db.liveBytes -= recordBytes(len(key), old.n)
+			}
+		case !live:
 			db.index[key] = sp
 			db.keys = append(db.keys, key)
+			db.liveBytes += recordBytes(len(key), sp.n)
 		}
 		db.size = sp.off + sp.n + 4 // payload end + crc = end of this record
+	}
+}
+
+// removeKeyLocked drops key from the insertion-order slice.
+func (db *DB) removeKeyLocked(key string) {
+	for i, k := range db.keys {
+		if k == key {
+			db.keys = append(db.keys[:i], db.keys[i+1:]...)
+			return
+		}
 	}
 }
 
@@ -237,7 +292,8 @@ func readRecord(br *countingReader, start int64) (key string, sp span, err error
 	if err != nil {
 		return "", span{}, fmt.Errorf("resultdb: payload length: %w", err)
 	}
-	if plen == 0 || plen > payloadCap {
+	// plen 0 is a tombstone (span.n 0), not corruption.
+	if plen > payloadCap {
 		return "", span{}, fmt.Errorf("resultdb: implausible payload length %d", plen)
 	}
 	payload := make([]byte, plen)
@@ -272,23 +328,35 @@ func appendRecord(key string, payload []byte) []byte {
 }
 
 // Get returns the stored result for key, decoding it from the log. found
-// is false when the key has never been Put.
+// is false when the key has never been Put (or was deleted).
 func (db *DB) Get(key string) (res *core.Result, found bool, err error) {
-	db.mu.Lock()
-	sp, ok := db.index[key]
-	db.mu.Unlock()
-	if !ok {
-		return nil, false, nil
-	}
-	payload := make([]byte, sp.n)
-	if _, err := db.f.ReadAt(payload, sp.off); err != nil {
-		return nil, false, fmt.Errorf("resultdb: reading record: %w", err)
+	payload, ok, err := db.GetEncoded(key)
+	if !ok || err != nil {
+		return nil, false, err
 	}
 	r, err := core.DecodeResult(payload)
 	if err != nil {
 		return nil, false, fmt.Errorf("resultdb: %w", err)
 	}
 	return r, true, nil
+}
+
+// GetEncoded returns the stored payload for key exactly as written —
+// core.EncodeResult's canonical bytes — without decoding. It is what
+// compaction round-trip checks compare. The read happens under the lock
+// because Compact swaps the log file handle out from under stale spans.
+func (db *DB) GetEncoded(key string) (payload []byte, found bool, err error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	sp, ok := db.index[key]
+	if !ok {
+		return nil, false, nil
+	}
+	payload = make([]byte, sp.n)
+	if _, err := db.f.ReadAt(payload, sp.off); err != nil {
+		return nil, false, fmt.Errorf("resultdb: reading record: %w", err)
+	}
+	return payload, true, nil
 }
 
 // Put appends the result for key. Keys are write-once: a key already in
@@ -342,7 +410,117 @@ func (db *DB) putPayload(key string, payload []byte) error {
 	db.size += int64(len(rec))
 	db.index[key] = span{off: off, n: int64(len(payload))}
 	db.keys = append(db.keys, key)
+	db.liveBytes += int64(len(rec))
 	return nil
+}
+
+// Delete appends a tombstone for key and drops it from the store. It
+// returns false — writing nothing — when the key is not present. A
+// deleted key may be Put again (supersession); the dead record and its
+// tombstone count as garbage until Compact reclaims them.
+func (db *DB) Delete(key string) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	sp, ok := db.index[key]
+	if !ok {
+		return false, nil
+	}
+	rec := appendRecord(key, nil)
+	if _, err := db.f.WriteAt(rec, db.size); err != nil {
+		return false, fmt.Errorf("resultdb: appending tombstone: %w", err)
+	}
+	db.size += int64(len(rec))
+	delete(db.index, key)
+	db.removeKeyLocked(key)
+	db.liveBytes -= recordBytes(len(key), sp.n)
+	return true, nil
+}
+
+// Garbage reports the dead bytes in the log — tombstones, the records
+// they killed, and superseded records — i.e. what Compact would reclaim.
+func (db *DB) Garbage() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.garbageLocked()
+}
+
+func (db *DB) garbageLocked() int64 {
+	return db.size - int64(len(Magic)+1) - db.liveBytes
+}
+
+// CompactStats reports what one compaction accomplished.
+type CompactStats struct {
+	Live      int   `json:"live"`           // records carried into the new log
+	Before    int64 `json:"beforeBytes"`    // log size before
+	After     int64 `json:"afterBytes"`     // log size after
+	Reclaimed int64 `json:"reclaimedBytes"` // Before - After
+}
+
+// Compact rewrites the live records — byte-for-byte, in log order — into
+// a fresh log that atomically replaces the current one, reclaiming all
+// garbage. The store stays open and usable throughout; on any failure the
+// original log is untouched. The index snapshot is refreshed immediately
+// after the swap so a stale sidecar can never describe the new layout.
+func (db *DB) Compact() (CompactStats, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.compactLocked()
+}
+
+func (db *DB) compactLocked() (CompactStats, error) {
+	stats := CompactStats{Live: len(db.keys), Before: db.size}
+	tmpPath := filepath.Join(db.dir, LogName+".compact")
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return stats, fmt.Errorf("resultdb: compact: %w", err)
+	}
+	fail := func(err error) (CompactStats, error) {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return stats, err
+	}
+	// Lock the replacement before it becomes results.log: renaming first
+	// would open a window where a concurrent Open could flock the new
+	// inode while we still think we are the single writer.
+	if err := lockLog(tmp); err != nil {
+		return fail(err)
+	}
+	w := bufio.NewWriterSize(tmp, 1<<20)
+	if _, err := w.Write(append([]byte(Magic), FormatVersion)); err != nil {
+		return fail(fmt.Errorf("resultdb: compact: %w", err))
+	}
+	written := int64(len(Magic) + 1)
+	newIndex := make(map[string]span, len(db.keys))
+	for _, key := range db.keys {
+		sp := db.index[key]
+		payload := make([]byte, sp.n)
+		if _, err := db.f.ReadAt(payload, sp.off); err != nil {
+			return fail(fmt.Errorf("resultdb: compact: reading %q: %w", key, err))
+		}
+		rec := appendRecord(key, payload)
+		if _, err := w.Write(rec); err != nil {
+			return fail(fmt.Errorf("resultdb: compact: %w", err))
+		}
+		written += int64(len(rec))
+		newIndex[key] = span{off: written - 4 - sp.n, n: sp.n}
+	}
+	if err := w.Flush(); err != nil {
+		return fail(fmt.Errorf("resultdb: compact: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("resultdb: compact: %w", err))
+	}
+	if err := os.Rename(tmpPath, filepath.Join(db.dir, LogName)); err != nil {
+		return fail(fmt.Errorf("resultdb: compact: installing new log: %w", err))
+	}
+	db.f.Close() // the old handle (and its lock) die with the old inode
+	db.f = tmp
+	db.size = written
+	db.index = newIndex
+	db.liveBytes = written - int64(len(Magic)+1)
+	stats.After = db.size
+	stats.Reclaimed = stats.Before - stats.After
+	return stats, db.writeIndexLocked()
 }
 
 // Len returns the number of stored results.
@@ -386,13 +564,28 @@ func (db *DB) Sync() error {
 	return db.f.Sync()
 }
 
-// Close writes the index snapshot and closes the log. The store remains
-// reopenable — and loses nothing — if Close is never called; the snapshot
-// only speeds up the next Open.
+// autoCompact* gate compaction on Close: a rewrite is worth its IO only
+// when the dead bytes are both substantial and a meaningful fraction of
+// the log.
+const (
+	autoCompactMinBytes = 1 << 20
+	autoCompactFraction = 4 // garbage >= size/4
+)
+
+// Close writes the index snapshot and closes the log, compacting first
+// when accumulated garbage crosses the auto-compact threshold. The store
+// remains reopenable — and loses nothing — if Close is never called; the
+// snapshot only speeds up the next Open.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	err := db.writeIndexLocked()
+	var err error
+	if g := db.garbageLocked(); g >= autoCompactMinBytes && g*autoCompactFraction >= db.size {
+		_, err = db.compactLocked()
+	}
+	if ierr := db.writeIndexLocked(); err == nil {
+		err = ierr
+	}
 	if cerr := db.f.Close(); err == nil {
 		err = cerr
 	}
@@ -469,6 +662,7 @@ func (db *DB) loadIndex(logSize int64) (covered int64, ok bool) {
 	}
 	index := make(map[string]span, n)
 	keys := make([]string, 0, n)
+	var live int64
 	for i := uint64(0); i < n; i++ {
 		klen, ok := next()
 		if !ok || klen == 0 || klen > keyCap || uint64(len(body)) < klen {
@@ -486,8 +680,10 @@ func (db *DB) loadIndex(logSize int64) (covered int64, ok bool) {
 		}
 		index[key] = span{off: int64(off), n: int64(plen)}
 		keys = append(keys, key)
+		live += recordBytes(int(klen), int64(plen))
 	}
 	db.index = index
 	db.keys = keys
+	db.liveBytes = live
 	return int64(cov), true
 }

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"crypto/subtle"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Authentication and per-client rate limiting.
+//
+// waycached runs in one of two modes. Open mode (no AuthTokens) accepts
+// every request and identifies clients by remote host — the right default
+// for a lab machine or a trusted cluster. Token mode requires
+// "Authorization: Bearer <token>" on every endpoint except /healthz and
+// identifies clients by the token's configured name, which is also the
+// identity the fair-share scheduler meters simulation slots under: one
+// token, one share.
+//
+// Rate limiting (when RatePerSec > 0) is a per-identity token bucket,
+// refilled continuously and capped at RateBurst. It bounds request
+// processing (grid parsing, corpus queries), not simulation work — the
+// simulation Budget already meters that — so a chatty poller cannot
+// monopolize the HTTP side of the service either. Both modes limit:
+// open mode per remote host, token mode per token name.
+
+// ParseAuthTokens parses an -auth-tokens flag value: comma-separated
+// name=token pairs, e.g. "alice=s3cret,ci=deadbeef". It returns a
+// token -> client name map for Options.AuthTokens. Names and tokens must
+// be non-empty; duplicate tokens are an error (the name a request maps
+// to would be ambiguous).
+func ParseAuthTokens(s string) (map[string]string, error) {
+	tokens := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, token, ok := strings.Cut(pair, "=")
+		if !ok || name == "" || token == "" {
+			return nil, fmt.Errorf("bad auth token entry %q (want name=token)", pair)
+		}
+		if prev, dup := tokens[token]; dup {
+			return nil, fmt.Errorf("token for %q duplicates the one for %q", name, prev)
+		}
+		tokens[token] = name
+	}
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("auth token list is empty")
+	}
+	return tokens, nil
+}
+
+// identityKey carries the authenticated client identity in the request
+// context, from the auth wrapper to the submit handler (budget owner).
+type ctxKey int
+
+const identityKey ctxKey = iota
+
+// clientID returns the request's authenticated identity: the token's
+// name in token mode, the remote host in open mode.
+func clientID(r *http.Request) string {
+	if id, ok := r.Context().Value(identityKey).(string); ok && id != "" {
+		return id
+	}
+	return "anonymous"
+}
+
+// authenticate resolves a request to a client identity. In token mode a
+// missing or unknown bearer token fails; tokens are compared in constant
+// time so the map's contents cannot be probed byte-by-byte.
+func (s *Server) authenticate(r *http.Request) (string, bool) {
+	if len(s.opts.AuthTokens) == 0 {
+		host, _, err := net.SplitHostPort(r.RemoteAddr)
+		if err != nil {
+			host = r.RemoteAddr
+		}
+		if host == "" {
+			host = "local"
+		}
+		return host, true
+	}
+	bearer, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if !ok {
+		return "", false
+	}
+	for token, name := range s.opts.AuthTokens {
+		if subtle.ConstantTimeCompare([]byte(token), []byte(bearer)) == 1 {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// rateLimiter is a per-identity token bucket: rate tokens per second,
+// holding at most burst. No dependency beyond the clock.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst <= 0 {
+		burst = 16
+	}
+	return &rateLimiter{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// allow consumes one token for id, reporting how long the client should
+// wait before retrying when the bucket is empty.
+func (l *rateLimiter) allow(id string, now time.Time) (ok bool, retryAfter time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[id]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[id] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	b.last = now
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}

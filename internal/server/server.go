@@ -5,11 +5,22 @@
 // endpoints serve the growing result corpus in the exact bytes the offline
 // cmd/sweep CLI emits. Endpoint reference and examples: docs/HTTP_API.md.
 //
-// Jobs execute one at a time in submission order on a single runner
-// goroutine; the engine's worker pool parallelizes within a job. Because
-// every simulation flows through one memoized Store, a job re-submitting
-// configurations an earlier job (or an earlier process, with a disk store)
-// already simulated costs memo lookups, not simulations.
+// Jobs run concurrently, each on its own goroutine, under one shared
+// simulation budget (sweep.Budget) sized by Options.Workers: the host
+// never runs more simulations at once than the budget holds, and freed
+// slots are granted round-robin across clients, so a giant grid from one
+// submitter cannot starve a small job from another. Because every
+// simulation flows through one memoized Store, overlapping jobs — or a
+// job re-submitting configurations an earlier process already simulated,
+// with a disk store — cost memo lookups, not simulations, and memo hits
+// are never charged against the budget. Per-job output stays
+// byte-identical to a sequential run: results are indexed by config
+// position, so scheduling order never reaches the output bytes.
+//
+// Progress streams over GET /api/v1/jobs/{id}/events (Server-Sent
+// Events); pollers use GET /api/v1/jobs/{id}. With Options.AuthTokens
+// set the server requires bearer tokens and meters fair-share and rate
+// limits per token name; unset, it is open and meters per remote host.
 //
 // A submission may carry a shard spec ("i/n") and a client-supplied name:
 // the server expands the grid, runs only the i-th deterministic
@@ -31,18 +42,23 @@ import (
 	"io"
 	"net/http"
 	"reflect"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"waycache/internal/core"
+	"waycache/internal/resultdb"
 	"waycache/internal/sweep"
 	"waycache/internal/trace"
 	"waycache/internal/tracestore"
 )
 
-// QueueCap bounds jobs waiting behind the running one; submissions beyond
-// it are refused with 503 rather than queued without bound.
+// QueueCap bounds live (non-terminal) jobs; submissions beyond it are
+// refused with 503 rather than admitted without bound. Jobs all run
+// concurrently under the shared budget, so the cap bounds bookkeeping
+// and goroutines, not a waiting line.
 const QueueCap = 256
 
 // MaxGridSize bounds a single submission's expanded configuration count.
@@ -59,9 +75,27 @@ type Options struct {
 	// Open it over resultdb (sweep.OpenDiskStore) to serve — and extend —
 	// a persistent corpus.
 	Store *sweep.Store
-	// Workers bounds concurrent simulations within a job (default:
-	// runtime.NumCPU(), via the sweep engine).
+	// Workers is the host's global simulation budget: the maximum
+	// simulations running at once across ALL jobs (default:
+	// runtime.GOMAXPROCS(0)). Slots are granted fair-share across
+	// clients by a shared sweep.Budget.
 	Workers int
+	// AuthTokens maps bearer token -> client name. Empty means open
+	// mode: no authentication, clients identified by remote host. Build
+	// from an -auth-tokens flag with ParseAuthTokens.
+	AuthTokens map[string]string
+	// RatePerSec, when positive, rate-limits each client's requests with
+	// a token bucket (burst RateBurst, default 16). Applies to every
+	// endpoint except /healthz, in both auth modes.
+	RatePerSec float64
+	RateBurst  int
+	// Compactor, when non-nil, exposes the disk store's log compaction
+	// as POST /api/v1/admin/compact (cmd/waycached passes its
+	// resultdb.DB). Nil — an in-memory store — refuses the endpoint.
+	Compactor Compactor
+	// EventHeartbeat overrides the SSE keep-alive interval (default 15s);
+	// tests shorten it.
+	EventHeartbeat time.Duration
 	// TraceDir, when non-empty, lets jobs replay captured traces (see
 	// sweep.Options.TraceDir). Benchmarks that fall back to the walker are
 	// reported per job (JobStatus.TraceFallbacks), never silently.
@@ -74,17 +108,25 @@ type Options struct {
 	TraceStore *tracestore.Store
 }
 
+// Compactor is the slice of resultdb.DB the admin compaction endpoint
+// needs: trigger a compaction, report reclaimable garbage.
+type Compactor interface {
+	Compact() (resultdb.CompactStats, error)
+	Garbage() int64
+}
+
 // Server implements the HTTP API. Create with New, serve with net/http,
 // stop with Close.
 type Server struct {
-	opts  Options
-	store *sweep.Store
-	mux   *http.ServeMux
+	opts    Options
+	store   *sweep.Store
+	mux     *http.ServeMux
+	budget  *sweep.Budget // shared simulation budget across all jobs
+	limiter *rateLimiter  // nil when RatePerSec == 0
 
 	ctx    context.Context // parent of every job context; cancelled on Close
 	cancel context.CancelFunc
-	queue  chan *job
-	stopWG sync.WaitGroup
+	stopWG sync.WaitGroup // one count per live job goroutine
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -99,20 +141,26 @@ type Server struct {
 	corpusLen int
 }
 
-// New creates a server and starts its job runner.
+// New creates a server with its shared simulation budget.
 func New(opts Options) *Server {
 	if opts.Store == nil {
 		opts.Store = sweep.NewStore()
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:   opts,
 		store:  opts.Store,
 		mux:    http.NewServeMux(),
+		budget: sweep.NewBudget(opts.Workers),
 		ctx:    ctx,
 		cancel: cancel,
-		queue:  make(chan *job, QueueCap),
 		jobs:   make(map[string]*job),
+	}
+	if opts.RatePerSec > 0 {
+		s.limiter = newRateLimiter(opts.RatePerSec, opts.RateBurst)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
@@ -122,6 +170,8 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleJobDelete)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/results", s.handleJobResults)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/export", s.handleJobExport)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("POST /api/v1/admin/compact", s.handleAdminCompact)
 	s.mux.HandleFunc("GET /api/v1/traces", s.handleTraceList)
 	s.mux.HandleFunc("GET /api/v1/traces/{hash}", s.handleTraceGet)
 	s.mux.HandleFunc("PUT /api/v1/traces/{hash}", s.handleTracePut)
@@ -129,38 +179,48 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /api/v1/aggregate", s.handleAggregate)
 	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
 
-	s.stopWG.Add(1)
-	go s.runner()
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler: authentication and rate limiting
+// wrap every route except the /healthz liveness probe.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	id, ok := s.authenticate(r)
+	if !ok {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="waycached"`)
+		writeError(w, http.StatusUnauthorized, errors.New("missing or unknown bearer token"))
+		return
+	}
+	if s.limiter != nil {
+		if ok, retry := s.limiter.allow(id, time.Now()); !ok {
+			w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)+1))
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Errorf("client %q exceeded %g requests/sec; retry later", id, s.opts.RatePerSec))
+			return
+		}
+	}
+	s.mux.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), identityKey, id)))
+}
 
-// Close stops the runner, cancelling any running job (it reaches the
-// terminal "cancelled" state) and leaving queued jobs queued forever.
-// In-store results are unaffected.
+// Close cancels every live job (each reaches the terminal "cancelled"
+// state) and waits for their goroutines. In-store results are unaffected.
 func (s *Server) Close() {
 	s.cancel()
 	s.stopWG.Wait()
 }
 
-// runner executes queued jobs sequentially until Close.
-func (s *Server) runner() {
-	defer s.stopWG.Done()
-	for {
-		select {
-		case <-s.ctx.Done():
-			return
-		case j := <-s.queue:
-			s.runJob(j)
-		}
-	}
-}
-
+// runJob executes one job on its own goroutine. Concurrency across jobs
+// is governed by the shared budget, not by job count: every actual
+// simulation acquires a slot under the submitting client's identity, so
+// admission is fair-share per client no matter how many jobs each one
+// has in flight.
 func (s *Server) runJob(j *job) {
-	// A job cancelled while queued is already terminal: skip it without
-	// simulating, so one mistyped grid cannot starve the runner.
+	// A job cancelled before this goroutine got scheduled is already
+	// terminal: skip it without simulating.
 	if !j.setRunning() {
 		return
 	}
@@ -170,13 +230,16 @@ func (s *Server) runJob(j *job) {
 	}
 	// A fresh engine per job gives it a private progress feed and trace
 	// fallback report; the shared store still deduplicates simulations
-	// across jobs and processes.
+	// across jobs and processes, and the shared budget meters the ones
+	// that actually run.
 	eng := sweep.New(sweep.Options{
 		Workers:    s.opts.Workers,
 		Store:      s.store,
 		TraceDir:   s.opts.TraceDir,
 		TraceStore: s.opts.TraceStore,
 		Progress:   j.setProgress,
+		Budget:     s.budget,
+		Owner:      j.owner,
 	})
 	results, err := eng.RunConfigs(j.ctx, cfgs)
 	j.finish(cfgs, results, eng.TraceFallbacks(), err)
@@ -184,9 +247,10 @@ func (s *Server) runJob(j *job) {
 
 // job is one submitted grid (or grid shard) and its lifecycle.
 type job struct {
-	id   string
-	name string // optional client-supplied identity
-	grid sweep.Grid
+	id    string
+	name  string // optional client-supplied identity
+	owner string // authenticated submitter: the fair-share budget identity
+	grid  sweep.Grid
 	// shardN > 0 selects sweep.Shard(cfgs, shardI, shardN) of the
 	// expanded grid.
 	shardI, shardN int
@@ -209,6 +273,23 @@ type job struct {
 	fallbacks map[string]string
 	exports   []ExportEntry // canonical key+payload per config, job order
 	sweep     *sweep.Sweep
+	changed   chan struct{} // closed and replaced on every status change
+}
+
+// notifyLocked wakes every event stream watching the job. Call with
+// j.mu held, after any change a watcher should see.
+func (j *job) notifyLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// statusWatch snapshots the status together with the channel that closes
+// on the next change, so a watcher that sends the snapshot and then
+// waits on the channel cannot miss an update in between.
+func (j *job) statusWatch() (JobStatus, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked(), j.changed
 }
 
 // JobStatus is the wire form of a job's state, also returned by the
@@ -238,12 +319,14 @@ func (j *job) setRunning() bool {
 		return false
 	}
 	j.state = "running"
+	j.notifyLocked()
 	return true
 }
 
 func (j *job) setProgress(done, total int) {
 	j.mu.Lock()
 	j.done = done
+	j.notifyLocked()
 	j.mu.Unlock()
 }
 
@@ -258,10 +341,12 @@ func (j *job) requestCancel() (JobStatus, bool) {
 	case "queued":
 		j.state = "cancelled"
 		j.cancel()
+		j.notifyLocked()
 		return j.statusLocked(), true
 	case "running":
 		j.cancelled = true
 		j.cancel()
+		j.notifyLocked()
 		return j.statusLocked(), true
 	default:
 		return j.statusLocked(), false
@@ -290,6 +375,7 @@ func (j *job) finish(cfgs []core.Config, results []*core.Result, fallbacks map[s
 	default:
 		j.state, j.err = "failed", err.Error()
 	}
+	j.notifyLocked()
 	j.mu.Unlock()
 	j.cancel() // release the context; terminal states never simulate again
 }
@@ -460,28 +546,38 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Bound live jobs: each costs a goroutine and retained bookkeeping.
+	live := 0
+	for _, id := range s.order {
+		if !s.jobs[id].terminal() {
+			live++
+		}
+	}
+	if live >= QueueCap {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("%d jobs live (limit %d); retry later", live, QueueCap))
+		return
+	}
 	s.nextID++
 	jctx, jcancel := context.WithCancel(s.ctx)
 	j := &job{
 		id: fmt.Sprintf("job-%d", s.nextID), name: req.Name,
-		grid: g, shardI: shardI, shardN: shardN,
+		owner: clientID(r),
+		grid:  g, shardI: shardI, shardN: shardN,
 		total: total, state: "queued",
 		exportable: req.Name != "" || shardN > 0,
 		ctx:        jctx, cancel: jcancel,
+		changed: make(chan struct{}),
 	}
-	select {
-	case s.queue <- j:
-		s.jobs[j.id] = j
-		s.order = append(s.order, j.id)
-		s.mu.Unlock()
-	default:
-		s.nextID--
-		s.mu.Unlock()
-		jcancel()
-		writeError(w, http.StatusServiceUnavailable,
-			fmt.Errorf("job queue full (%d queued); retry later", QueueCap))
-		return
-	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.stopWG.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.stopWG.Done()
+		s.runJob(j)
+	}()
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
@@ -770,11 +866,36 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"entries": s.store.Len(),
 		},
 		"jobs": jc,
+		"scheduler": map[string]any{
+			"budget":  s.opts.Workers,
+			"waiting": s.budget.Waiting(),
+		},
+	}
+	if c := s.opts.Compactor; c != nil {
+		resp["garbageBytes"] = c.Garbage()
 	}
 	if err := s.store.BackendErr(); err != nil {
 		resp["storeError"] = err.Error()
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAdminCompact triggers an online compaction of the disk-backed
+// result log (resultdb.Compact): live records are preserved
+// byte-for-byte while tombstoned garbage is reclaimed, with the store
+// serving reads and writes throughout.
+func (s *Server) handleAdminCompact(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Compactor == nil {
+		writeError(w, http.StatusConflict,
+			errors.New("this host has no disk store to compact (start waycached with -store)"))
+		return
+	}
+	stats, err := s.opts.Compactor.Compact()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
 }
 
 // queryRecords returns the request's filtered view of the corpus, in

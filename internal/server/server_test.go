@@ -420,11 +420,12 @@ const bigGridJSON = `{
   "Insts": 4000000
 }`
 
-// TestCancelReachesTerminalStateAndUnblocksQueue is the job-control
-// acceptance test: a mistyped long grid must be cancellable — queued or
-// running — reach the terminal "cancelled" state, and leave the runner
-// free for subsequent jobs.
-func TestCancelReachesTerminalStateAndUnblocksQueue(t *testing.T) {
+// TestCancelReachesTerminalStateAndFreesBudget is the job-control
+// acceptance test under the concurrent scheduler: two long jobs run at
+// the same time under the shared budget, each must be cancellable to the
+// terminal "cancelled" state, and cancelled work frees the budget for
+// subsequent jobs.
+func TestCancelReachesTerminalStateAndFreesBudget(t *testing.T) {
 	srv := New(Options{Workers: 2})
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() { ts.Close(); srv.Close() })
@@ -433,11 +434,13 @@ func TestCancelReachesTerminalStateAndUnblocksQueue(t *testing.T) {
 	if a.Name != "big" {
 		t.Errorf("submitted name = %q, want big", a.Name)
 	}
-	b := submit(t, ts.URL, testGridJSON) // queued behind a
+	b := submit(t, ts.URL, strings.Replace(bigGridJSON, `"big"`, `"big2"`, 1))
 
+	// Both long jobs run concurrently — the sequential runner is gone.
 	pollRunning(t, ts.URL, a.ID)
+	pollRunning(t, ts.URL, b.ID)
 
-	// Running and queued jobs cannot be evicted or exported.
+	// Running jobs cannot be evicted or exported.
 	if resp := del(t, ts.URL+"/api/v1/jobs/"+a.ID); resp.StatusCode != http.StatusConflict {
 		t.Errorf("DELETE running job = %d, want 409", resp.StatusCode)
 	}
@@ -445,26 +448,21 @@ func TestCancelReachesTerminalStateAndUnblocksQueue(t *testing.T) {
 		t.Errorf("export of unfinished job = %d, want 409", resp.StatusCode)
 	}
 
-	// Cancelling a queued job is terminal immediately.
-	resp, st := post(t, ts.URL+"/api/v1/jobs/"+b.ID+"/cancel")
-	if resp.StatusCode != http.StatusOK || st.State != "cancelled" {
-		t.Errorf("cancel queued = %d %q, want 200 cancelled", resp.StatusCode, st.State)
+	// Cancelling running jobs unwinds each to "cancelled".
+	for _, id := range []string{b.ID, a.ID} {
+		if resp, _ := post(t, ts.URL+"/api/v1/jobs/"+id+"/cancel"); resp.StatusCode != http.StatusOK {
+			t.Errorf("cancel running %s = %d, want 200", id, resp.StatusCode)
+		}
+	}
+	for _, id := range []string{b.ID, a.ID} {
+		if st := pollTerminal(t, ts.URL, id); st.State != "cancelled" {
+			t.Errorf("job %s terminal state = %q, want cancelled", id, st.State)
+		}
 	}
 
-	// Cancelling the running job unwinds it to "cancelled".
-	if resp, _ := post(t, ts.URL+"/api/v1/jobs/"+a.ID+"/cancel"); resp.StatusCode != http.StatusOK {
-		t.Errorf("cancel running = %d, want 200", resp.StatusCode)
-	}
-	if st := pollTerminal(t, ts.URL, a.ID); st.State != "cancelled" {
-		t.Errorf("big job terminal state = %q, want cancelled", st.State)
-	}
-
-	// The runner is free: a new job completes.
+	// The budget is free again: a new job completes.
 	c := submit(t, ts.URL, testGridJSON)
 	pollDone(t, ts.URL, c.ID)
-	if st := pollTerminal(t, ts.URL, b.ID); st.State != "cancelled" {
-		t.Errorf("queued-cancelled job state = %q after runner drained it", st.State)
-	}
 
 	// Cancelling terminal jobs conflicts.
 	if resp, _ := post(t, ts.URL+"/api/v1/jobs/"+a.ID+"/cancel"); resp.StatusCode != http.StatusConflict {
@@ -590,9 +588,12 @@ func TestNamedSubmissionIdempotent(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() { ts.Close(); srv.Close() })
 
-	a := submit(t, ts.URL, bigGridJSON) // occupies the runner
-	x1 := submit(t, ts.URL, `{"Benchmarks":["gcc"],"Insts":5000,"name":"x"}`)
-	x2 := submit(t, ts.URL, `{"Benchmarks":["gcc"],"Insts":5000,"name":"x"}`)
+	// "x" must still be live when its name is re-submitted, and jobs are
+	// no longer serialized behind one runner — so "x" is itself a long
+	// grid (cancelled at the end), not a quick one parked in a queue.
+	longX := strings.Replace(bigGridJSON, `"big"`, `"x"`, 1)
+	x1 := submit(t, ts.URL, longX)
+	x2 := submit(t, ts.URL, longX)
 	if x1.ID != x2.ID {
 		t.Errorf("re-submitted name %q got a new job: %s then %s", "x", x1.ID, x2.ID)
 	}
@@ -617,7 +618,7 @@ func TestNamedSubmissionIdempotent(t *testing.T) {
 	if resp.StatusCode != http.StatusConflict {
 		t.Errorf("name collision over different grid = %d, want 409", resp.StatusCode)
 	}
-	post(t, ts.URL+"/api/v1/jobs/"+a.ID+"/cancel")
+	post(t, ts.URL+"/api/v1/jobs/"+x1.ID+"/cancel")
 }
 
 // TestExportRequiresNamedOrShardJob: anonymous whole-grid jobs do not

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"waycache/internal/sweep"
+)
+
+// TestMultiClientStress is the multi-tenant acceptance test: several
+// authenticated clients concurrently submit overlapping grids; every job
+// completes, each unique configuration is simulated exactly once across
+// the whole fleet of jobs (memoization dedupe), no budget waiters leak,
+// and every job's output is byte-identical to an offline serial run of
+// the same grid.
+func TestMultiClientStress(t *testing.T) {
+	const clients = 4
+	spec := "alice=tok-0,bob=tok-1,carol=tok-2,dave=tok-3"
+	tokens, err := ParseAuthTokens(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := sweep.NewStore()
+	srv := New(Options{Workers: 4, Store: store, AuthTokens: tokens})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	// Overlapping but distinct grids: every client shares the gcc and
+	// swim cells; each adds one private benchmark. Union of unique
+	// configs: (2 shared + 4 private benchmarks) x 2 policies x 2 ways.
+	private := []string{"li", "perl", "go", "vortex"}
+	grid := func(i int) string {
+		return fmt.Sprintf(`{"Benchmarks":["gcc","swim",%q],"DPolicies":["parallel","seldm+waypred"],"DWays":[2,4],"Insts":5000,"name":"client-%d"}`, private[i], i)
+	}
+	uniqueConfigs := (2 + clients) * 2 * 2
+
+	submitAs := func(token, body string) (JobStatus, error) {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/jobs", strings.NewReader(body))
+		if err != nil {
+			return JobStatus{}, err
+		}
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		defer resp.Body.Close()
+		var st JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return JobStatus{}, err
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return st, fmt.Errorf("submit = %d", resp.StatusCode)
+		}
+		return st, nil
+	}
+	// The shared helpers in server_test.go are unauthenticated; this
+	// server requires tokens, so the test carries its own authed GET.
+	getAs := func(token, url string) ([]byte, *http.Response) {
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatalf("reading %s: %v", url, err)
+		}
+		return buf.Bytes(), resp
+	}
+	pollTerminalAs := func(token, id string) JobStatus {
+		deadline := time.Now().Add(2 * time.Minute)
+		for time.Now().Before(deadline) {
+			body, resp := getAs(token, ts.URL+"/api/v1/jobs/"+id)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("poll %s = %d: %s", id, resp.StatusCode, body)
+			}
+			var st JobStatus
+			if err := json.Unmarshal(body, &st); err != nil {
+				t.Fatal(err)
+			}
+			switch st.State {
+			case "done", "failed", "cancelled":
+				return st
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("job %s never reached a terminal state", id)
+		return JobStatus{}
+	}
+
+	var wg sync.WaitGroup
+	ids := make([]string, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := submitAs(fmt.Sprintf("tok-%d", i), grid(i))
+			ids[i], errs[i] = st.ID, err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	for i, id := range ids {
+		if st := pollTerminalAs(fmt.Sprintf("tok-%d", i), id); st.State != "done" {
+			t.Fatalf("client %d job %s ended %q (%s), want done", i, id, st.State, st.Error)
+		}
+	}
+
+	// Memoization dedupe: the overlapping cells were simulated once for
+	// the whole fleet, not once per client.
+	if got := store.Misses(); got != int64(uniqueConfigs) {
+		t.Errorf("store simulated %d configs, want %d (one per unique config)", got, uniqueConfigs)
+	}
+
+	// Byte-identical to serial: each job's served output equals a fresh
+	// one-worker offline run of its grid, both JSON and CSV.
+	for i, id := range ids {
+		var g sweep.Grid
+		if err := json.Unmarshal([]byte(grid(i)), &g); err != nil {
+			t.Fatal(err)
+		}
+		ng, err := g.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sweep.New(sweep.Options{Workers: 1}).Run(t.Context(), ng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, format := range []string{"json", "csv"} {
+			got, resp := getAs("tok-0", ts.URL+"/api/v1/jobs/"+id+"/results?format="+format)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("results(%s) = %d", format, resp.StatusCode)
+			}
+			var buf bytes.Buffer
+			if format == "json" {
+				want.WriteJSON(&buf)
+			} else {
+				want.WriteCSV(&buf)
+			}
+			if !bytes.Equal(got, buf.Bytes()) {
+				t.Errorf("client %d %s output differs from serial offline run", i, format)
+			}
+		}
+	}
+
+	var stats struct {
+		Scheduler struct {
+			Waiting int `json:"waiting"`
+		} `json:"scheduler"`
+	}
+	body, _ := getAs("tok-0", ts.URL+"/api/v1/stats")
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scheduler.Waiting != 0 {
+		t.Errorf("%d budget waiters leaked after all jobs finished", stats.Scheduler.Waiting)
+	}
+}
+
+// TestCancelEvictRaces hammers the lifecycle edges the concurrent
+// scheduler introduced: double-cancels, cancel racing completion, and
+// eviction racing cancellation must all converge — every job terminal,
+// every eviction eventually 200, nothing wedged.
+func TestCancelEvictRaces(t *testing.T) {
+	srv := New(Options{Workers: 2})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	const rounds = 12
+	for i := 0; i < rounds; i++ {
+		// Large enough to usually still be running at cancel time, small
+		// enough that the "cancel lost to completion" branch also occurs.
+		st := submit(t, ts.URL, fmt.Sprintf(`{"Benchmarks":["gcc"],"DWays":[1,2,4],"Insts":200000,"name":"race-%d"}`, i))
+
+		var wg sync.WaitGroup
+		for c := 0; c < 2; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// 200 (we won), 409 (already terminal) and 404 (the racing
+				// evict already removed a terminal job) are all legal;
+				// anything else is a lifecycle bug.
+				resp, _ := post(t, ts.URL+"/api/v1/jobs/"+st.ID+"/cancel")
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusConflict, http.StatusNotFound:
+				default:
+					t.Errorf("racing cancel = %d", resp.StatusCode)
+				}
+			}()
+		}
+		// Eviction races the cancels: 409 while live, 200 once terminal.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				resp := del(t, ts.URL+"/api/v1/jobs/"+st.ID)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					return
+				case http.StatusConflict:
+					if time.Now().After(deadline) {
+						t.Error("job never became evictable")
+						return
+					}
+					time.Sleep(2 * time.Millisecond)
+				default:
+					t.Errorf("racing evict = %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+		wg.Wait()
+
+		// The job is gone; the server still answers.
+		if _, resp := fetch(t, ts.URL+"/api/v1/jobs/"+st.ID); resp.StatusCode != http.StatusNotFound {
+			t.Errorf("round %d: evicted job still present (%d)", i, resp.StatusCode)
+		}
+	}
+
+	// The scheduler survived: a fresh job runs to completion.
+	final := submit(t, ts.URL, testGridJSON)
+	pollDone(t, ts.URL, final.ID)
+}

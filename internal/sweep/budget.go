@@ -1,0 +1,142 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Budget is a shared simulation-worker budget with per-owner fair-share
+// scheduling. It hands out up to its capacity in concurrent slots; when
+// the budget is exhausted, waiters queue per owner and freed slots are
+// granted round-robin across owners (FIFO within an owner). One Budget
+// shared by every job on a host is what turns a pile of independent
+// sweeps into a multi-tenant service: a giant grid can queue thousands
+// of simulations without starving a two-cell job from another client,
+// because each released slot visits every waiting owner in turn.
+//
+// The budget deliberately meters simulations, not lookups: the Store's
+// gated path (ResultGated) acquires a slot only when it is about to run
+// core.Run, so memo hits, in-flight joins and disk recalls cost nothing
+// against the budget and overlapping grids dedupe at full speed.
+type Budget struct {
+	mu     sync.Mutex
+	free   int
+	queues map[string][]chan struct{} // per-owner FIFO of waiters
+	ring   []string                   // owners with waiters, round-robin order
+	next   int                        // ring cursor: next owner to grant to
+}
+
+// NewBudget returns a budget of n concurrent slots. n must be positive.
+func NewBudget(n int) *Budget {
+	if n <= 0 {
+		panic(fmt.Sprintf("sweep: budget capacity %d, want > 0", n))
+	}
+	return &Budget{free: n, queues: make(map[string][]chan struct{})}
+}
+
+// Acquire obtains one slot for owner, blocking while the budget is
+// exhausted. It returns ctx.Err() — without a slot — when ctx is
+// cancelled first. Every successful Acquire must be paired with exactly
+// one Release.
+func (b *Budget) Acquire(ctx context.Context, owner string) error {
+	b.mu.Lock()
+	if b.free > 0 {
+		b.free--
+		b.mu.Unlock()
+		return nil
+	}
+	w := make(chan struct{})
+	if len(b.queues[owner]) == 0 {
+		b.ring = append(b.ring, owner)
+	}
+	b.queues[owner] = append(b.queues[owner], w)
+	b.mu.Unlock()
+
+	select {
+	case <-w:
+		return nil
+	case <-ctx.Done():
+		b.mu.Lock()
+		select {
+		case <-w:
+			// The grant raced the cancellation and the slot is already
+			// ours; hand it straight back so it is not leaked.
+			b.releaseLocked()
+		default:
+			b.removeWaiterLocked(owner, w)
+		}
+		b.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot, granting it to the next waiter in fair-share
+// order (or freeing it when no one waits).
+func (b *Budget) Release() {
+	b.mu.Lock()
+	b.releaseLocked()
+	b.mu.Unlock()
+}
+
+func (b *Budget) releaseLocked() {
+	if len(b.ring) == 0 {
+		b.free++
+		return
+	}
+	if b.next >= len(b.ring) {
+		b.next = 0
+	}
+	owner := b.ring[b.next]
+	q := b.queues[owner]
+	w := q[0]
+	if len(q) == 1 {
+		// Owner's queue drained: drop it from the ring. The cursor stays
+		// put — the element that shifts into this position is the next
+		// owner in ring order, so fairness is preserved.
+		delete(b.queues, owner)
+		b.ring = append(b.ring[:b.next], b.ring[b.next+1:]...)
+	} else {
+		b.queues[owner] = q[1:]
+		b.next++
+	}
+	close(w) // the slot transfers directly to the waiter
+}
+
+// removeWaiterLocked drops an abandoned (cancelled) waiter from its
+// owner's queue, pruning the owner from the ring when the queue empties.
+func (b *Budget) removeWaiterLocked(owner string, w chan struct{}) {
+	q := b.queues[owner]
+	for i, cand := range q {
+		if cand == w {
+			q = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(q) > 0 {
+		b.queues[owner] = q
+		return
+	}
+	delete(b.queues, owner)
+	for i, o := range b.ring {
+		if o == owner {
+			b.ring = append(b.ring[:i], b.ring[i+1:]...)
+			if b.next > i {
+				b.next--
+			}
+			break
+		}
+	}
+}
+
+// Waiting reports how many acquisitions are currently queued (all
+// owners). Intended for stats endpoints and tests.
+func (b *Budget) Waiting() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, q := range b.queues {
+		n += len(q)
+	}
+	return n
+}

@@ -1,0 +1,207 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// acquireAsync queues one acquisition and reports its grant through got.
+func acquireAsync(t *testing.T, b *Budget, owner string, got chan<- string) context.CancelFunc {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		if err := b.Acquire(ctx, owner); err == nil {
+			got <- owner
+		}
+	}()
+	return cancel
+}
+
+func waitWaiting(t *testing.T, b *Budget, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Waiting() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("budget never reached %d waiters (have %d)", n, b.Waiting())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBudgetRoundRobinAcrossOwners: with one slot and a deep queue from a
+// greedy owner, grants must alternate owners — the no-head-of-line
+// starvation property the concurrent scheduler is built on.
+func TestBudgetRoundRobinAcrossOwners(t *testing.T) {
+	b := NewBudget(1)
+	if err := b.Acquire(context.Background(), "seed"); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan string, 16)
+	// Owner A queues 6 waiters before B queues 2: strict FIFO would make
+	// B wait behind all of A.
+	for i := 0; i < 6; i++ {
+		defer acquireAsync(t, b, "A", got)()
+	}
+	waitWaiting(t, b, 6)
+	for i := 0; i < 2; i++ {
+		defer acquireAsync(t, b, "B", got)()
+	}
+	waitWaiting(t, b, 8)
+
+	var order []string
+	for i := 0; i < 8; i++ {
+		b.Release() // returns the previous grant's slot
+		select {
+		case o := <-got:
+			order = append(order, o)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("grant %d never arrived (order so far %v)", i, order)
+		}
+	}
+	// Round-robin over {A, B}: B's two waiters are served within the
+	// first four grants, not behind A's six.
+	bSeen := 0
+	for i, o := range order[:4] {
+		_ = i
+		if o == "B" {
+			bSeen++
+		}
+	}
+	if bSeen != 2 {
+		t.Errorf("owner B got %d of the first 4 grants, want 2 (order %v)", bSeen, order)
+	}
+}
+
+// TestBudgetCancelledWaiterDoesNotLeakSlot: cancelling a queued waiter
+// must neither consume a slot nor wedge the ring; a grant racing the
+// cancellation is handed back.
+func TestBudgetCancelledWaiterDoesNotLeakSlot(t *testing.T) {
+	b := NewBudget(1)
+	if err := b.Acquire(context.Background(), "hold"); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- b.Acquire(ctx, "victim") }()
+	waitWaiting(t, b, 1)
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled Acquire returned %v, want context.Canceled", err)
+	}
+	waitWaiting(t, b, 0)
+
+	// The held slot releases into thin air (no waiters) and is then
+	// immediately acquirable.
+	b.Release()
+	done := make(chan error, 1)
+	go func() { done <- b.Acquire(context.Background(), "next") }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("slot leaked: post-cancel Acquire blocked")
+	}
+	b.Release()
+}
+
+// TestBudgetCapsConcurrency: under heavy concurrent load from several
+// owners, in-flight holders never exceed capacity and every acquisition
+// completes.
+func TestBudgetCapsConcurrency(t *testing.T) {
+	const cap, owners, each = 3, 4, 25
+	b := NewBudget(cap)
+	var inflight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for o := 0; o < owners; o++ {
+		owner := string(rune('A' + o))
+		for i := 0; i < each; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := b.Acquire(context.Background(), owner); err != nil {
+					t.Error(err)
+					return
+				}
+				n := inflight.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				inflight.Add(-1)
+				b.Release()
+			}()
+		}
+	}
+	wg.Wait()
+	if p := peak.Load(); p > cap {
+		t.Errorf("peak concurrency %d exceeded budget %d", p, cap)
+	}
+	if w := b.Waiting(); w != 0 {
+		t.Errorf("%d waiters left after drain", w)
+	}
+}
+
+// TestEngineSharedBudgetIsDeterministic: two engines racing overlapping
+// grids under one tight budget produce results identical to unbudgeted
+// serial runs, and the shared store still simulates each unique config
+// once.
+func TestEngineSharedBudgetIsDeterministic(t *testing.T) {
+	grid := Grid{
+		Benchmarks: []string{"gcc", "swim"},
+		DWays:      []int{1, 2, 4},
+		Insts:      2_000,
+	}
+	cfgs := grid.Configs()
+
+	budget := NewBudget(2)
+	store := NewStore()
+	var wg sync.WaitGroup
+	sweeps := make([]*Sweep, 2)
+	errs := make([]error, 2)
+	for i := range sweeps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eng := New(Options{Workers: 4, Store: store, Budget: budget, Owner: string(rune('A' + i))})
+			sweeps[i], errs[i] = eng.Run(context.Background(), grid)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("engine %d: %v", i, err)
+		}
+	}
+
+	ref := New(Options{Workers: 1})
+	want, err := ref.Run(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sw := range sweeps {
+		if len(sw.Records) != len(want.Records) {
+			t.Fatalf("engine %d: %d records, want %d", i, len(sw.Records), len(want.Records))
+		}
+		for k := range sw.Records {
+			if sw.Records[k] != want.Records[k] {
+				t.Errorf("engine %d record %d differs from serial run", i, k)
+			}
+		}
+	}
+	if got := store.Misses(); got != int64(len(cfgs)) {
+		t.Errorf("shared store simulated %d configs, want %d (one per unique config)", got, len(cfgs))
+	}
+	if w := budget.Waiting(); w != 0 {
+		t.Errorf("%d budget waiters left after both sweeps", w)
+	}
+}

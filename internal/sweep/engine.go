@@ -52,6 +52,16 @@ type Options struct {
 	// to the walker when the benchmark has one, with the reason reported
 	// through TraceFallbacks.
 	TraceStore *tracestore.Store
+	// Budget, when non-nil, is a shared simulation-admission budget:
+	// every actual simulation (never a memo hit or disk recall) acquires
+	// one slot under Owner before running. Several engines sharing one
+	// Budget — the waycached concurrent scheduler — collectively respect
+	// its capacity with per-owner fair-share scheduling; Workers then
+	// only bounds this engine's concurrency ceiling.
+	Budget *Budget
+	// Owner is the fair-share identity slots are acquired under (e.g.
+	// the submitting client). Meaningful only with Budget.
+	Owner string
 }
 
 // Engine executes sweeps on a bounded worker pool.
@@ -61,6 +71,8 @@ type Engine struct {
 	progress Progress
 	progMu   sync.Mutex
 	traces   *traceResolver
+	budget   *Budget
+	owner    string
 }
 
 // New creates an engine.
@@ -74,6 +86,7 @@ func New(o Options) *Engine {
 	return &Engine{
 		workers: o.Workers, store: o.Store, progress: o.Progress,
 		traces: newTraceResolver(o.TraceDir, o.TraceStore),
+		budget: o.Budget, owner: o.Owner,
 	}
 }
 
@@ -92,7 +105,25 @@ func (e *Engine) TraceFallbacks() map[string]string { return e.traces.fallbackRe
 // Result simulates (or recalls) a single configuration through the store,
 // replaying a captured trace when the engine's trace directory has one.
 func (e *Engine) Result(cfg core.Config) (*core.Result, error) {
-	return e.store.Result(e.traces.resolve(cfg))
+	return e.result(context.Background(), cfg)
+}
+
+// result is the budget-aware lookup every worker uses: without a budget
+// it is a plain store lookup; with one, an actual simulation first
+// acquires a slot under the engine's owner, waiting its fair-share turn.
+// Cancelling ctx abandons the wait (the store treats the denial as
+// never-happened for other callers).
+func (e *Engine) result(ctx context.Context, cfg core.Config) (*core.Result, error) {
+	cfg = e.traces.resolve(cfg)
+	if e.budget == nil {
+		return e.store.Result(cfg)
+	}
+	return e.store.ResultGated(cfg, func() (func(), error) {
+		if err := e.budget.Acquire(ctx, e.owner); err != nil {
+			return nil, err
+		}
+		return e.budget.Release, nil
+	})
 }
 
 // RunConfigs simulates every config on the worker pool and returns results
@@ -134,7 +165,7 @@ func (e *Engine) RunConfigs(ctx context.Context, cfgs []core.Config) ([]*core.Re
 				// After cancellation jobs drain without simulating, but
 				// still count toward the terminal progress event.
 				if runCtx.Err() == nil {
-					res, err := e.store.Result(e.traces.resolve(cfgs[i]))
+					res, err := e.result(runCtx, cfgs[i])
 					if err != nil {
 						errOnce.Do(func() { runErr = err; cancel() })
 					} else {

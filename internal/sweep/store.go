@@ -29,9 +29,10 @@ type Store struct {
 }
 
 type entry struct {
-	done chan struct{}
-	res  *core.Result
-	err  error
+	done    chan struct{}
+	res     *core.Result
+	err     error
+	gateErr error // admission denied: entry is void, waiters must retry
 }
 
 // NewStore returns a store memoizing into a fresh in-memory backend.
@@ -51,59 +52,106 @@ func NewStoreOn(b Backend) *Store {
 // across all concurrent callers. Configs driving a custom trace Source
 // have no canonical key and bypass the store entirely.
 func (s *Store) Result(cfg core.Config) (*core.Result, error) {
+	return s.ResultGated(cfg, nil)
+}
+
+// Gate admits one simulation: it blocks until the caller may run (e.g.
+// acquiring a slot from a shared Budget) and returns the paired release.
+// A gate error means the caller was denied — typically cancelled while
+// waiting — and no simulation happened.
+type Gate func() (release func(), err error)
+
+// ResultGated is Result with simulation admission control: gate is
+// invoked only when the store is actually about to simulate — memo hits,
+// in-flight joins and backend recalls bypass it entirely, so a shared
+// Budget meters real simulation work, not lookups. A gate denial is
+// returned to the caller but never memoized (it says nothing about the
+// config), and concurrent callers that were waiting on the denied
+// attempt retry under their own gate rather than inheriting the denial.
+func (s *Store) ResultGated(cfg core.Config, gate Gate) (*core.Result, error) {
 	key, ok := cfg.Key()
 	if !ok {
 		return core.Run(cfg)
 	}
-	s.mu.Lock()
-	if err, found := s.errs[key]; found {
-		s.hits++
+	for {
+		s.mu.Lock()
+		if err, found := s.errs[key]; found {
+			s.hits++
+			s.mu.Unlock()
+			return nil, err
+		}
+		if e, found := s.inflight[key]; found {
+			s.mu.Unlock()
+			<-e.done
+			if e.gateErr != nil {
+				// The worker this caller joined was denied admission
+				// (its job was cancelled mid-wait); that denial is not
+				// ours to inherit. Retry from scratch under our gate.
+				continue
+			}
+			s.mu.Lock()
+			s.hits++
+			s.mu.Unlock()
+			return e.res, e.err
+		}
+		e := &entry{done: make(chan struct{})}
+		s.inflight[key] = e
 		s.mu.Unlock()
-		return nil, err
-	}
-	if e, found := s.inflight[key]; found {
-		s.hits++
+
+		// The backend lookup happens inside the in-flight window, so a slow
+		// disk read is also deduplicated across racing callers.
+		res, found, berr := s.backend.Get(key)
+		if berr != nil {
+			s.noteBackendErr(berr)
+		}
+		switch {
+		case found:
+			e.res = res
+		case gate != nil:
+			release, gerr := gate()
+			if gerr != nil {
+				e.gateErr = gerr
+			} else {
+				e.res, e.err = s.simulate(cfg, key)
+				release()
+			}
+		default:
+			e.res, e.err = s.simulate(cfg, key)
+		}
+		close(e.done)
+
+		s.mu.Lock()
+		delete(s.inflight, key)
+		switch {
+		case e.gateErr != nil:
+			// Nothing ran and nothing was learned: no accounting.
+		case e.err != nil:
+			s.errs[key] = e.err
+			s.misses++
+		case found:
+			s.hits++
+		default:
+			s.misses++
+		}
 		s.mu.Unlock()
-		<-e.done
+		if e.gateErr != nil {
+			return nil, e.gateErr
+		}
 		return e.res, e.err
 	}
-	e := &entry{done: make(chan struct{})}
-	s.inflight[key] = e
-	s.mu.Unlock()
+}
 
-	// The backend lookup happens inside the in-flight window, so a slow
-	// disk read is also deduplicated across racing callers.
-	res, found, berr := s.backend.Get(key)
-	if berr != nil {
-		s.noteBackendErr(berr)
-	}
-	if found {
-		e.res = res
-	} else {
-		e.res, e.err = core.Run(cfg)
-		if e.err == nil {
-			if perr := s.backend.Put(key, e.res); perr != nil {
-				// The simulation is good; losing the write costs future
-				// processes a re-simulation, not this caller its result.
-				s.noteBackendErr(perr)
-			}
+// simulate runs cfg and persists a successful result to the backend.
+func (s *Store) simulate(cfg core.Config, key string) (*core.Result, error) {
+	res, err := core.Run(cfg)
+	if err == nil {
+		if perr := s.backend.Put(key, res); perr != nil {
+			// The simulation is good; losing the write costs future
+			// processes a re-simulation, not this caller its result.
+			s.noteBackendErr(perr)
 		}
 	}
-	close(e.done)
-
-	s.mu.Lock()
-	delete(s.inflight, key)
-	switch {
-	case e.err != nil:
-		s.errs[key] = e.err
-		s.misses++
-	case found:
-		s.hits++
-	default:
-		s.misses++
-	}
-	s.mu.Unlock()
-	return e.res, e.err
+	return res, err
 }
 
 func (s *Store) noteBackendErr(err error) {

@@ -1,20 +1,26 @@
 #!/usr/bin/env bash
-# Smoke test for the waycached HTTP service: start a server over a fresh
-# on-disk store, submit a small grid, poll it to completion, and require
-# the served record bytes (JSON and CSV) to be identical to what the
-# offline cmd/sweep CLI emits for the same grid. Run from the repo root;
-# CI runs it on every push.
+# Smoke test for the waycached HTTP service over real binaries: start a
+# multi-tenant server (-workers 4, bearer auth) over a fresh on-disk
+# store, submit three overlapping jobs concurrently, stream one to
+# completion over SSE, and require the served record bytes (JSON and
+# CSV) to be identical to what the offline cmd/sweep CLI emits
+# *serially* (-workers 1) for the same grid — the determinism contract
+# at any budget. Also checks auth enforcement and online log compaction.
+# Run from the repo root; CI runs it on every push.
 set -euo pipefail
 
 ADDR=127.0.0.1:18080
 BASE="http://$ADDR"
+TOKEN="smoke-secret"
+AUTH=(-H "Authorization: Bearer $TOKEN")
 WORK=$(mktemp -d)
 trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 go build -o "$WORK/waycached" ./cmd/waycached
 go build -o "$WORK/sweep" ./cmd/sweep
 
-"$WORK/waycached" -addr "$ADDR" -store "$WORK/store" >"$WORK/server.log" 2>&1 &
+"$WORK/waycached" -addr "$ADDR" -store "$WORK/store" -workers 4 \
+  -auth-tokens "ci=$TOKEN" >"$WORK/server.log" 2>&1 &
 SERVER_PID=$!
 
 for i in $(seq 1 50); do
@@ -27,37 +33,92 @@ for i in $(seq 1 50); do
   sleep 0.2
 done
 
-JOB=$(curl -sf -X POST "$BASE/api/v1/jobs" -d '{
+# Auth is enforced: no token is 401 with a Bearer challenge, while
+# /healthz stays open for probes (verified above).
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/api/v1/jobs")
+[ "$CODE" = 401 ] || { echo "unauthenticated request = $CODE, want 401" >&2; exit 1; }
+
+submit() {
+  local body=$1
+  local resp id
+  resp=$(curl -sf "${AUTH[@]}" -X POST "$BASE/api/v1/jobs" -d "$body")
+  id=$(echo "$resp" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+  [ -n "$id" ] || { echo "no job id in: $resp" >&2; exit 1; }
+  echo "$id"
+}
+
+# Three overlapping jobs submitted back to back run concurrently under
+# the shared 4-slot budget (one per "client" would need three tokens;
+# shared fairness across clients is asserted by TestMultiClientStress —
+# here the concurrency itself and the byte contract are on trial).
+ID1=$(submit '{
   "Benchmarks": ["gcc", "swim"],
   "DPolicies": ["parallel", "seldm+waypred"],
   "DWays": [2, 4],
   "Insts": 20000
 }')
-ID=$(echo "$JOB" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
-[ -n "$ID" ] || { echo "no job id in: $JOB" >&2; exit 1; }
+ID2=$(submit '{
+  "Benchmarks": ["gcc", "perl"],
+  "DPolicies": ["parallel", "seldm+waypred"],
+  "DWays": [2, 4],
+  "Insts": 20000
+}')
+ID3=$(submit '{
+  "Benchmarks": ["swim", "li"],
+  "DPolicies": ["parallel", "seldm+waypred"],
+  "DWays": [2, 4],
+  "Insts": 20000
+}')
 
-for i in $(seq 1 300); do
-  STATE=$(curl -sf "$BASE/api/v1/jobs/$ID" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
-  case "$STATE" in
-    done) break ;;
-    failed) echo "job failed:" >&2; curl -s "$BASE/api/v1/jobs/$ID" >&2; exit 1 ;;
-  esac
-  if [ "$i" = 300 ]; then echo "job $ID stuck in state $STATE" >&2; exit 1; fi
-  sleep 1
-done
+# The scheduler reports the configured budget.
+curl -sf "${AUTH[@]}" "$BASE/api/v1/stats" | grep -q '"budget": 4' || {
+  echo "stats missing scheduler budget:" >&2
+  curl -s "${AUTH[@]}" "$BASE/api/v1/stats" >&2
+  exit 1
+}
 
-curl -sf "$BASE/api/v1/jobs/$ID/results" >"$WORK/served.json"
-curl -sf "$BASE/api/v1/jobs/$ID/results?format=csv" >"$WORK/served.csv"
+# Job 1 is tracked over the SSE events stream — no polling — which must
+# end with a terminal status event.
+timeout 300 curl -sfN "${AUTH[@]}" "$BASE/api/v1/jobs/$ID1/events" >"$WORK/events.log" || {
+  echo "events stream for $ID1 failed:" >&2
+  cat "$WORK/events.log" >&2
+  exit 1
+}
+tail -n 5 "$WORK/events.log" | grep -q '"state":"done"' || {
+  echo "events stream did not end in a done event:" >&2
+  tail -n 5 "$WORK/events.log" >&2
+  exit 1
+}
 
-# Offline reference over its own disk store, run twice: the first run
-# simulates and persists, the second must recall everything ("0
-# simulated") with byte-identical output — the incremental -store
-# acceptance property, exercised on the real CLI.
+poll_done() {
+  local id=$1
+  for i in $(seq 1 300); do
+    STATE=$(curl -sf "${AUTH[@]}" "$BASE/api/v1/jobs/$id" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+    case "$STATE" in
+      done) return 0 ;;
+      failed) echo "job $id failed:" >&2; curl -s "${AUTH[@]}" "$BASE/api/v1/jobs/$id" >&2; exit 1 ;;
+    esac
+    if [ "$i" = 300 ]; then echo "job $id stuck in state $STATE" >&2; exit 1; fi
+    sleep 1
+  done
+}
+poll_done "$ID2"
+poll_done "$ID3"
+
+curl -sf "${AUTH[@]}" "$BASE/api/v1/jobs/$ID1/results" >"$WORK/served.json"
+curl -sf "${AUTH[@]}" "$BASE/api/v1/jobs/$ID1/results?format=csv" >"$WORK/served.csv"
+
+# Offline *serial* reference (-workers 1) over its own disk store, run
+# twice: the first run simulates and persists, the second must recall
+# everything ("0 simulated") with byte-identical output — the
+# incremental -store acceptance property, exercised on the real CLI.
+# Diffing the concurrent server's bytes against a serial run is the
+# any-budget determinism gate.
 "$WORK/sweep" -benchmarks gcc,swim -dpolicies parallel,seldm+waypred \
-  -dways 2,4 -insts 20000 -progress=false -store "$WORK/clistore" \
+  -dways 2,4 -insts 20000 -workers 1 -progress=false -store "$WORK/clistore" \
   -out "$WORK/offline.json" 2>"$WORK/sweep1.log"
 "$WORK/sweep" -benchmarks gcc,swim -dpolicies parallel,seldm+waypred \
-  -dways 2,4 -insts 20000 -progress=false -store "$WORK/clistore" \
+  -dways 2,4 -insts 20000 -workers 1 -progress=false -store "$WORK/clistore" \
   -out "$WORK/offline2.json" 2>"$WORK/sweep2.log"
 grep -q ' 0 simulated, 8 memo hits' "$WORK/sweep2.log" || {
   echo "second -store run was not served from disk:" >&2
@@ -66,15 +127,24 @@ grep -q ' 0 simulated, 8 memo hits' "$WORK/sweep2.log" || {
 }
 cmp "$WORK/offline.json" "$WORK/offline2.json" || { echo "-store replay changed sweep output" >&2; exit 1; }
 "$WORK/sweep" -benchmarks gcc,swim -dpolicies parallel,seldm+waypred \
-  -dways 2,4 -insts 20000 -progress=false -store "$WORK/clistore" \
+  -dways 2,4 -insts 20000 -workers 1 -progress=false -store "$WORK/clistore" \
   -format csv -out "$WORK/offline.csv" 2>"$WORK/sweep3.log"
 grep -q ' 0 simulated,' "$WORK/sweep3.log" || { echo "CSV -store run re-simulated" >&2; exit 1; }
 
-cmp "$WORK/served.json" "$WORK/offline.json" || { echo "served JSON differs from cmd/sweep output" >&2; exit 1; }
-cmp "$WORK/served.csv" "$WORK/offline.csv" || { echo "served CSV differs from cmd/sweep output" >&2; exit 1; }
+cmp "$WORK/served.json" "$WORK/offline.json" || { echo "served JSON differs from serial cmd/sweep output" >&2; exit 1; }
+cmp "$WORK/served.csv" "$WORK/offline.csv" || { echo "served CSV differs from serial cmd/sweep output" >&2; exit 1; }
 
-# The corpus query over the disk store must serve the same records too.
-curl -sf "$BASE/api/v1/results" >"$WORK/corpus.json"
-cmp "$WORK/corpus.json" "$WORK/offline.json" || { echo "corpus query differs from cmd/sweep output" >&2; exit 1; }
+# Online compaction answers with stats (a fresh store has no garbage to
+# reclaim) and must not disturb the served corpus.
+COMPACT=$(curl -sf "${AUTH[@]}" -X POST "$BASE/api/v1/admin/compact")
+echo "$COMPACT" | grep -q '"reclaimedBytes"' || {
+  echo "compact response missing stats: $COMPACT" >&2
+  exit 1
+}
+curl -sf "${AUTH[@]}" "$BASE/api/v1/jobs/$ID1/results" >"$WORK/served-after-compact.json"
+cmp "$WORK/served.json" "$WORK/served-after-compact.json" || {
+  echo "compaction changed served results" >&2
+  exit 1
+}
 
-echo "waycached smoke test: OK (job $ID, served bytes identical to cmd/sweep)"
+echo "waycached smoke test: OK (jobs $ID1 $ID2 $ID3 concurrent at budget 4, served bytes identical to serial cmd/sweep)"
