@@ -39,6 +39,9 @@
 //	GET    /api/v1/aggregate            group-by summaries over the corpus
 //	GET    /api/v1/stats                store and job counters
 //	GET    /healthz                     liveness
+//	GET    /debug/pprof/                live net/http/pprof profiles
+//	                                    (bearer-authed when -auth-tokens
+//	                                    is set, like the API)
 //
 // Jobs from any number of clients run concurrently under one fair-share
 // simulation budget (-workers slots total): freed slots rotate across

@@ -105,11 +105,11 @@ func TestICacheFetchZeroAllocs(t *testing.T) {
 		pcs[i] = uint64(0x400000 + (i*4096)%(1<<17))
 	}
 	for _, pc := range pcs {
-		ic.Fetch(pc, 0, true, SrcSAWP)
+		ic.Fetch(pc, WayPred{Way: 0, OK: true, Source: SrcSAWP})
 	}
 	var pos int
 	if avg := testing.AllocsPerRun(2000, func() {
-		ic.Fetch(pcs[pos], 1, true, SrcBTB)
+		ic.Fetch(pcs[pos], WayPred{Way: 1, OK: true, Source: SrcBTB})
 		pos = (pos + 1) % len(pcs)
 	}); avg != 0 {
 		t.Errorf("ICache.Fetch allocates %.2f/op, want 0", avg)

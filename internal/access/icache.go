@@ -95,6 +95,16 @@ type IStats struct {
 	Misses   int64
 }
 
+// WayPred is a way prediction handed from the front end to the i-cache on
+// a fetch: the predicted way, whether a prediction exists at all, and which
+// structure supplied it (for the Figure 10 breakdown). The zero value is
+// "no prediction": a parallel access.
+type WayPred struct {
+	Way    int
+	OK     bool
+	Source WaySource
+}
+
 // ICache is the i-cache access controller.
 type ICache struct {
 	Policy IPolicy
@@ -133,12 +143,13 @@ func NewICache(cfg IConfig, hier *cache.Hierarchy) *ICache {
 // Stats returns a copy of the counters.
 func (c *ICache) Stats() IStats { return c.stats }
 
-// Fetch accesses the i-cache block containing pc. predWay/predOK carry the
-// way prediction assembled by the fetch unit from the BTB, RAS or SAWP
-// (source says which); under IParallel the prediction is ignored. It
+// Fetch accesses the i-cache block containing pc. pred carries the way
+// prediction assembled by the fetch unit from the BTB, RAS or SAWP
+// (pred.Source says which); under IParallel the prediction is ignored. It
 // returns the access latency, the breakdown class, and the true way the
 // block resides in after the access (for training the predictors).
-func (c *ICache) Fetch(pc uint64, predWay int, predOK bool, source WaySource) (latency int, class IClass, trueWay int) {
+func (c *ICache) Fetch(pc uint64, pred WayPred) (latency int, class IClass, trueWay int) {
+	predWay, predOK, source := pred.Way, pred.OK, pred.Source
 	c.stats.Fetches++
 	if c.Policy == IParallel {
 		predOK = false

@@ -18,11 +18,11 @@ func newI(policy IPolicy) *ICache {
 
 func TestIFetchMissThenCorrectPrediction(t *testing.T) {
 	c := newI(IWayPred)
-	lat, class, way := c.Fetch(0x400000, 0, false, SrcNone)
+	lat, class, way := c.Fetch(0x400000, WayPred{Way: 0, OK: false, Source: SrcNone})
 	if class != IClassMiss || lat <= 1 {
 		t.Fatalf("cold fetch: lat=%d class=%v", lat, class)
 	}
-	lat, class, got := c.Fetch(0x400000, way, true, SrcSAWP)
+	lat, class, got := c.Fetch(0x400000, WayPred{Way: way, OK: true, Source: SrcSAWP})
 	if class != IClassTableCorrect || lat != 1 || got != way {
 		t.Fatalf("predicted fetch: lat=%d class=%v way=%d", lat, class, got)
 	}
@@ -30,9 +30,9 @@ func TestIFetchMissThenCorrectPrediction(t *testing.T) {
 
 func TestIFetchMispredictionPenalty(t *testing.T) {
 	c := newI(IWayPred)
-	_, _, way := c.Fetch(0x400000, 0, false, SrcNone)
+	_, _, way := c.Fetch(0x400000, WayPred{Way: 0, OK: false, Source: SrcNone})
 	wrong := (way + 1) % 4
-	lat, class, got := c.Fetch(0x400000, wrong, true, SrcBTB)
+	lat, class, got := c.Fetch(0x400000, WayPred{Way: wrong, OK: true, Source: SrcBTB})
 	if class != IClassMispred || lat != 2 || got != way {
 		t.Fatalf("mispredicted fetch: lat=%d class=%v way=%d", lat, class, got)
 	}
@@ -43,8 +43,8 @@ func TestIFetchMispredictionPenalty(t *testing.T) {
 
 func TestIFetchNoPredictionIsParallel(t *testing.T) {
 	c := newI(IWayPred)
-	c.Fetch(0x400000, 0, false, SrcNone)
-	lat, class, _ := c.Fetch(0x400000, 0, false, SrcNone)
+	c.Fetch(0x400000, WayPred{Way: 0, OK: false, Source: SrcNone})
+	lat, class, _ := c.Fetch(0x400000, WayPred{Way: 0, OK: false, Source: SrcNone})
 	if class != IClassNoPred || lat != 1 {
 		t.Fatalf("unpredicted fetch: lat=%d class=%v", lat, class)
 	}
@@ -55,8 +55,8 @@ func TestIFetchNoPredictionIsParallel(t *testing.T) {
 
 func TestIParallelIgnoresPredictions(t *testing.T) {
 	c := newI(IParallel)
-	_, _, way := c.Fetch(0x400000, 0, false, SrcNone)
-	lat, class, _ := c.Fetch(0x400000, way, true, SrcBTB)
+	_, _, way := c.Fetch(0x400000, WayPred{Way: 0, OK: false, Source: SrcNone})
+	lat, class, _ := c.Fetch(0x400000, WayPred{Way: way, OK: true, Source: SrcBTB})
 	if class != IClassNoPred || lat != 1 {
 		t.Fatalf("parallel policy: lat=%d class=%v", lat, class)
 	}
@@ -70,10 +70,10 @@ func TestIParallelIgnoresPredictions(t *testing.T) {
 
 func TestIClassBTBvsSAWPAttribution(t *testing.T) {
 	c := newI(IWayPred)
-	_, _, way := c.Fetch(0x400000, 0, false, SrcNone)
-	c.Fetch(0x400000, way, true, SrcBTB)
-	c.Fetch(0x400000, way, true, SrcRAS)
-	c.Fetch(0x400000, way, true, SrcSAWP)
+	_, _, way := c.Fetch(0x400000, WayPred{Way: 0, OK: false, Source: SrcNone})
+	c.Fetch(0x400000, WayPred{Way: way, OK: true, Source: SrcBTB})
+	c.Fetch(0x400000, WayPred{Way: way, OK: true, Source: SrcRAS})
+	c.Fetch(0x400000, WayPred{Way: way, OK: true, Source: SrcSAWP})
 	st := c.Stats()
 	if st.ByClass[IClassBTBCorrect] != 2 {
 		t.Fatalf("BTB-correct = %d, want 2 (BTB + RAS)", st.ByClass[IClassBTBCorrect])
@@ -96,7 +96,7 @@ func TestIFetchEnergyOrdering(t *testing.T) {
 			for b := uint64(0); b < 64; b++ {
 				pc := 0x400000 + b*32
 				w, ok := ways[pc]
-				_, _, trueWay := c.Fetch(pc, w, predict && ok, SrcSAWP)
+				_, _, trueWay := c.Fetch(pc, WayPred{Way: w, OK: predict && ok, Source: SrcSAWP})
 				ways[pc] = trueWay
 			}
 		}
@@ -113,7 +113,7 @@ func TestIStatsClassSum(t *testing.T) {
 	c := newI(IWayPred)
 	n := 200
 	for i := 0; i < n; i++ {
-		c.Fetch(uint64(0x400000+(i%100)*32), i%4, i%3 == 0, SrcSAWP)
+		c.Fetch(uint64(0x400000+(i%100)*32), WayPred{Way: i % 4, OK: i%3 == 0, Source: SrcSAWP})
 	}
 	var sum int64
 	for _, v := range c.Stats().ByClass {

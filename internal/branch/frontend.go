@@ -29,11 +29,51 @@ const (
 // the paper's Figure 3 — way fields in the BTB and RAS, and the SAWP — are
 // all here; the fetch unit in the pipeline composes them into next-PC +
 // next-way predictions.
+//
+// Way training is deferred by one fetch group: the structure that predicted
+// (or should have predicted) a block's way can only be trained once the
+// i-cache reports the true way at the next access. NoteBTB and NoteSAWP
+// queue that pending update; TrainWays applies it. At most one of each is
+// pending at a time — exactly the handoff the pipeline's fetch unit needs.
 type FrontEnd struct {
 	Dir  *TwoLevel
 	BTB  *BTB
 	RAS  *RAS
 	SAWP *SAWP
+
+	btbPend struct {
+		valid  bool
+		pc     uint64
+		target uint64
+	}
+	sawpPend struct {
+		valid bool
+		block uint64
+	}
+}
+
+// NoteBTB queues BTB way training for the branch at pc targeting target:
+// the entry is installed by TrainWays once the target's true way is known.
+func (fe *FrontEnd) NoteBTB(pc, target uint64) {
+	fe.btbPend.valid, fe.btbPend.pc, fe.btbPend.target = true, pc, target
+}
+
+// NoteSAWP queues SAWP training for the sequential transition out of block.
+func (fe *FrontEnd) NoteSAWP(block uint64) {
+	fe.sawpPend.valid, fe.sawpPend.block = true, block
+}
+
+// TrainWays applies the queued way updates with the true way the i-cache
+// just reported for the current fetch group's block.
+func (fe *FrontEnd) TrainWays(trueWay int) {
+	if fe.btbPend.valid {
+		fe.BTB.Update(fe.btbPend.pc, fe.btbPend.target, trueWay, true)
+		fe.btbPend.valid = false
+	}
+	if fe.sawpPend.valid {
+		fe.SAWP.Update(fe.sawpPend.block, trueWay)
+		fe.sawpPend.valid = false
+	}
 }
 
 // NewFrontEnd builds the default front end (2-level hybrid predictor,

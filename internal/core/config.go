@@ -187,7 +187,7 @@ func (c Config) source() (src trace.Source, name string, finish func() error, er
 		if name == "" {
 			name = "custom"
 		}
-		return trace.NewLimit(c.Source, c.Insts), name, nil, nil
+		return trace.NewLimit(trace.Windowed(c.Source, sourceWindow), c.Insts), name, nil, nil
 	}
 	if c.Trace != "" {
 		return c.traceSource()
@@ -199,8 +199,15 @@ func (c Config) source() (src trace.Source, name string, finish func() error, er
 	if err != nil {
 		return nil, "", nil, err
 	}
-	return trace.NewLimit(p.NewWalker(), c.Insts), p.Name, nil, nil
+	return trace.NewLimit(trace.Windowed(p.NewWalker(), sourceWindow), c.Insts), p.Name, nil, nil
 }
+
+// sourceWindow is the generate-ahead buffer (in instructions) put in front
+// of non-window sources — live walkers and custom streams — so every run
+// feeds the pipeline's batch fetch path. Replayed captures window natively
+// and bypass it. 512 instructions is ~36KB: far past the fetch stride, far
+// below any cache budget that matters.
+const sourceWindow = 512
 
 // traceSource resolves the captured trace named by c.Trace through the
 // process-wide arena — each file is decoded once and every run replays the

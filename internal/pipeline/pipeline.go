@@ -9,8 +9,22 @@
 // simulated — their timing effect, the fetch bubble, is). Loads access the
 // d-cache when they issue; stores access it at commit through a write
 // buffer. The i-cache is accessed once per fetch group with the way
-// prediction assembled from the BTB, RAS, and SAWP per Section 2.3 of the
+// prediction assembled from the BTB, RAS and SAWP per Section 2.3 of the
 // paper.
+//
+// The core is event-driven: Run steps commit/issue/fetch cycle by cycle
+// while work exists, but a dead cycle — commit blocked on an in-flight
+// completion, no instruction ready to issue, fetch gated by the i-cache
+// port timer or a full ROB — fast-forwards the clock straight to the next
+// cycle anything can happen (the earliest pending completion, or the fetch
+// timer), instead of iterating through the stall. Fast-forward is
+// observationally equivalent to cycle stepping: every Stats counter,
+// including Cycles, is exactly what the cycle-by-cycle loop produces (the
+// differential oracle in oracle_test.go and the byte-identical golden
+// fixtures in CI enforce this). The ROB is laid out structure-of-arrays so
+// the commit/issue scans and the next-event search walk dense typed
+// slices, and sources that expose in-memory windows (trace.WindowSource)
+// feed fetch whole block strides without a per-instruction copy.
 //
 // Simplifications, all orthogonal to the energy techniques under study and
 // applied identically to baselines and techniques: perfect memory
@@ -20,6 +34,7 @@ package pipeline
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 
 	"waycache/internal/access"
@@ -83,20 +98,23 @@ func (s Stats) IPC() float64 {
 	return float64(s.Committed) / float64(s.Cycles)
 }
 
-// robEntry keeps the fields the per-cycle issue scan reads (issued, done,
-// doneAt, producers) at the front of the struct, so scanning a stalled ROB
-// touches the leading cache line of each entry and not the instruction
-// payload behind it.
-type robEntry struct {
-	issued  bool
-	done    bool
-	mispred bool // control instruction that redirects fetch at resolution
-	doneAt  int64
-	prod1   int64 // producer sequence numbers, -1 when none
-	prod2   int64
-	seq     int64
-	inst    trace.Inst
-}
+// notDone is the doneAt sentinel for a dispatched-but-not-issued entry. It
+// keeps the per-entry state to one comparison: doneAt[i] <= cycle means
+// completed, == notDone means not yet issued, anything else is a scheduled
+// completion — and the next-event search needs no flag checks at all.
+const notDone = int64(math.MaxInt64)
+
+// ROB entry flag bits.
+const (
+	// flagMispred marks a control instruction that redirects fetch at
+	// resolution.
+	flagMispred uint8 = 1 << iota
+	// flagSrc1, flagSrc2, flagDst record which register operands exist,
+	// so the issue-time stat counts read one byte instead of the payload.
+	flagSrc1
+	flagSrc2
+	flagDst
+)
 
 // Pipeline wires a trace source to the cache controllers and front end.
 type Pipeline struct {
@@ -109,14 +127,49 @@ type Pipeline struct {
 	stats Stats
 	cycle int64
 
-	// ROB as a ring of power-of-two length (>= ROBSize, so seq & robMask
-	// is injective over any window of ROBSize in-flight entries): entries
-	// [seq & robMask] valid for head <= seq < tail. Capacity checks still
-	// use the configured ROBSize.
-	rob     []robEntry
-	robMask int64
-	head    int64
-	tail    int64
+	// ROB as a structure-of-arrays ring of power-of-two length
+	// (>= ROBSize, so seq & robMask is injective over any window of
+	// ROBSize in-flight entries): index [seq & robMask] valid for
+	// head <= seq < tail. Capacity checks still use the configured
+	// ROBSize. The per-seq timing state lives in dense parallel slices —
+	// doneAt (with the notDone sentinel), flags, producer seqs — so the
+	// commit/issue scans and the next-event min search walk contiguous
+	// typed memory; the 72-byte instruction payloads sit apart in insts
+	// and are touched only when an entry actually issues or commits.
+	doneAt []int64    // completion cycle; notDone until issued
+	flags  []uint8    // flagMispred | flagSrc1 | flagSrc2 | flagDst
+	kinds  []isa.Kind // instruction kind, mirrored out of the payload
+	dsts   []isa.Reg  // destination register, mirrored out of the payload
+	prod1  []int64    // producer sequence numbers, -1 when none
+	prod2  []int64
+	insts  []trace.Inst // dispatched instruction payloads; the commit and
+	// issue scans touch it only for memory ops (the d-cache needs the
+	// address fields) — everything they need per ALU op lives in the
+	// single-byte arrays above, one cache line per 64 entries
+	// unissued is a bitmap over ring slots (bit idx set = dispatched, not
+	// yet issued); the issue cursor advances over its clear prefix a word
+	// at a time. scannable is the subset the issue scan actually visits:
+	// entries whose producers have all been scheduled (or retired). An
+	// entry with an unissued producer is in neither scan — it hangs off
+	// that producer's waiter list (waiters/nextWaiter, an intrusive
+	// per-slot chain) and is woken when the producer issues, either onto
+	// its other pending producer's list or into the scannable set with
+	// wakeAt = the latest producer completion time. The scan's whole
+	// ready check is then wakeAt[i] <= cycle: exactly the old per-producer
+	// probe, precomputed once per wake instead of re-derived every cycle.
+	unissued   []uint64
+	scannable  []uint64
+	wakeAt     []int64
+	waiters    []int64
+	nextWaiter []int64
+	// inflight over-approximates the slots holding a scheduled future
+	// completion: set at issue, cleared lazily by the next-event rescan
+	// once the completion is in the past. The rescan pops its set bits
+	// instead of probing every doneAt slot in the window.
+	inflight []uint64
+	robMask  int64
+	head     int64
+	tail     int64
 	// issueCursor trails the first non-issued entry: every entry below it
 	// has issued, so the per-cycle issue scan never revisits the completed
 	// prefix of a long-stalled ROB. It only ever advances (entries never
@@ -124,29 +177,28 @@ type Pipeline struct {
 	issueCursor int64
 	lsq         int // mem ops currently in the ROB
 
+	// nextDoneAt is the stall fast-forward's next-event tracker: a value t
+	// such that no in-flight completion lies in (cycle, t), maintained at
+	// issue time by folding in every scheduled doneAt. Once the clock
+	// reaches it the tracker is stale, and the next stall recomputes it
+	// exactly with one min-scan of the doneAt window.
+	nextDoneAt int64
+
 	regProducer [isa.NumRegs]int64 // seq of last in-flight writer, -1 if none
 
 	// Fetch state.
-	pending     trace.Inst // lookahead instruction
+	pending     trace.Inst // lookahead instruction (non-window sources)
 	pendingOK   bool
+	batch       trace.WindowSource // non-nil when src exposes windows
+	win         []trace.Inst       // unconsumed prefix of the current window
+	winUsed     int                // consumed insts not yet reported to Advance
 	exhausted   bool
 	fetchableAt int64  // next cycle fetch may run
 	waitBranch  int64  // seq of unresolved mispredicted control, -1 if none
 	icBlockMask uint64 // ^(i-cache block bytes - 1), hoisted off the fetch path
 
-	// Way-prediction plumbing between consecutive fetch groups.
-	nextWay    int
-	nextWayOK  bool
-	nextWaySrc access.WaySource
-	trainBTB   struct {
-		valid  bool
-		pc     uint64
-		target uint64
-	}
-	trainSAWP struct {
-		valid bool
-		block uint64
-	}
+	// Way prediction handed to the next i-cache access.
+	nextWay access.WayPred
 }
 
 // New builds a pipeline. dc and ic must be freshly constructed controllers;
@@ -159,13 +211,28 @@ func New(cfg Config, src trace.Source, dc access.DController, ic *access.ICache,
 	ringSize := 1 << bits.Len(uint(cfg.ROBSize-1)) // next power of two >= ROBSize
 	p := &Pipeline{
 		cfg: cfg, src: src, dc: dc, ic: ic, fe: fe,
-		rob:         make([]robEntry, ringSize),
+		doneAt:      make([]int64, ringSize),
+		unissued:    make([]uint64, (ringSize+63)/64),
+		scannable:   make([]uint64, (ringSize+63)/64),
+		inflight:    make([]uint64, (ringSize+63)/64),
+		wakeAt:      make([]int64, ringSize),
+		waiters:     make([]int64, ringSize),
+		nextWaiter:  make([]int64, ringSize),
+		flags:       make([]uint8, ringSize),
+		kinds:       make([]isa.Kind, ringSize),
+		dsts:        make([]isa.Reg, ringSize),
+		prod1:       make([]int64, ringSize),
+		prod2:       make([]int64, ringSize),
+		insts:       make([]trace.Inst, ringSize),
 		robMask:     int64(ringSize - 1),
 		waitBranch:  -1,
 		icBlockMask: ^uint64(ic.L1.BlockBytes() - 1),
 	}
 	for i := range p.regProducer {
 		p.regProducer[i] = -1
+	}
+	if ws, ok := src.(trace.WindowSource); ok {
+		p.batch = ws
 	}
 	return p
 }
@@ -175,47 +242,118 @@ func (p *Pipeline) Stats() Stats { return p.stats }
 
 // Run simulates until MaxInsts instructions commit or the source drains,
 // and returns the final statistics.
+//
+// The loop body is the classic commit/issue/fetch cycle step, but a dead
+// cycle — one in which nothing committed, issued or fetched — jumps the
+// clock to stallTarget() instead of incrementing it, skipping the stall's
+// remaining dead cycles in O(1). The livelock safety net therefore bounds
+// loop iterations, not cycles: every iteration either performs work
+// (bounded by the instruction budget) or advances the clock past a stall,
+// so a legitimate multi-million-cycle memory stall cannot trip it the way
+// a cycle cap would.
 func (p *Pipeline) Run() Stats {
-	limit := p.cfg.MaxInsts*200 + 1_000_000 // safety net against livelock bugs
-	for p.stats.Committed < p.cfg.MaxInsts && p.cycle < limit {
+	limit := p.cfg.MaxInsts*200 + 1_000_000
+	for iters := int64(0); p.stats.Committed < p.cfg.MaxInsts; {
+		if iters++; iters > limit {
+			panic("pipeline: iteration limit exceeded — livelock")
+		}
+		c0, i0, f0 := p.stats.Committed, p.stats.Issued, p.stats.FetchGroups
 		p.commit()
 		p.issue()
 		p.fetch()
-		p.cycle++
-		p.stats.Cycles = p.cycle
+		if p.stats.Committed != c0 || p.stats.Issued != i0 || p.stats.FetchGroups != f0 {
+			p.cycle++
+		} else {
+			// Dead cycle: fast-forward. The target is exactly the first
+			// cycle the stepping loop could have done anything, so the
+			// clock (and every derived counter) stays bit-identical.
+			p.cycle = p.stallTarget()
+			p.stats.Cycles = p.cycle
+		}
 		if p.exhausted && p.head == p.tail {
 			break
 		}
 	}
-	if p.cycle >= limit {
-		panic("pipeline: cycle limit exceeded — livelock")
-	}
+	p.stats.Cycles = p.cycle
 	return p.stats
 }
 
-func (p *Pipeline) entry(seq int64) *robEntry {
-	return &p.rob[seq&p.robMask]
+// stallTarget returns the next cycle at which any stage can make progress,
+// given that the current cycle did none. Commit is blocked until the head's
+// completion and issue until some producer's completion — both bounded
+// below by the next pending completion. Fetch can additionally wake on its
+// port timer, but only when the timer is its sole gate: a branch stall
+// clears at issue time and a full ROB/LSQ at commit time, which the
+// completion bound already covers.
+func (p *Pipeline) stallTarget() int64 {
+	next := p.nextEvent()
+	if !p.exhausted && p.waitBranch < 0 && p.fetchableAt > p.cycle &&
+		p.fetchableAt < next && !p.robFull() && p.lsq < p.cfg.LSQSize {
+		next = p.fetchableAt
+	}
+	if next == notDone {
+		// No known event: the source just drained or is about to. Step a
+		// single cycle, exactly as the stepping loop would.
+		return p.cycle + 1
+	}
+	return next
+}
+
+// nextEvent returns the earliest in-flight completion strictly after the
+// current cycle, or notDone when there is none. It serves the tracker's
+// value when still ahead of the clock and otherwise recomputes it by
+// popping the inflight bitmap — only slots that ever had a scheduled
+// completion are probed, and slots whose completion has passed drop out of
+// the bitmap here, so repeated stalls don't re-probe them. (A popped slot
+// recycled by a not-yet-issued entry reads notDone: harmless to the min,
+// and re-marked at issue anyway.)
+func (p *Pipeline) nextEvent() int64 {
+	if p.nextDoneAt > p.cycle {
+		return p.nextDoneAt
+	}
+	min := notDone
+	for wi, w := range p.inflight {
+		for w != 0 {
+			j := bits.TrailingZeros64(w)
+			w &= w - 1
+			if d := p.doneAt[wi<<6+j]; d > p.cycle {
+				if d < min {
+					min = d
+				}
+			} else {
+				p.inflight[wi] &^= 1 << uint(j)
+			}
+		}
+	}
+	p.nextDoneAt = min
+	return min
 }
 
 func (p *Pipeline) commit() {
-	for n := 0; n < p.cfg.CommitWidth && p.head < p.tail &&
+	// Locals keep the ring state in registers across the store interface
+	// call (see issue for the same pattern). Only stores touch the payload;
+	// kind and destination come from the byte arrays.
+	doneAt, kinds, dsts, mask := p.doneAt, p.kinds, p.dsts, p.robMask
+	cycle, tail := p.cycle, p.tail
+	for n := 0; n < p.cfg.CommitWidth && p.head < tail &&
 		p.stats.Committed < p.cfg.MaxInsts; n++ {
-		e := p.entry(p.head)
-		if !e.done || e.doneAt > p.cycle {
+		idx := p.head & mask
+		if doneAt[idx] > cycle { // covers not-issued: notDone
 			return
 		}
-		if e.inst.Kind == isa.KindStore {
+		kind := kinds[idx]
+		if kind == isa.KindStore {
 			// Stores probe the tag array and write the matching way at
 			// commit; the write buffer hides the latency.
-			p.dc.Store(&e.inst)
+			p.dc.Store(&p.insts[idx])
 			p.lsq--
 		}
-		if e.inst.Kind == isa.KindLoad {
+		if kind == isa.KindLoad {
 			p.lsq--
 		}
 		// Free the architectural register mapping if this is still the
 		// newest producer.
-		if d := e.inst.Dst; !d.IsZero() && p.regProducer[d] == e.seq {
+		if d := dsts[idx]; !d.IsZero() && p.regProducer[d] == p.head {
 			p.regProducer[d] = -1
 		}
 		p.head++
@@ -223,92 +361,225 @@ func (p *Pipeline) commit() {
 	}
 }
 
-// ready reports whether the producer identified by seq has finished.
-func (p *Pipeline) producerDone(seq int64) bool {
-	if seq < p.head { // covers -1 (no producer): head is never negative
-		return true // retired: value lives in the register file
+// wake reprocesses the waiter chain of a producer that just issued. Each
+// waiter either re-chains onto its other still-unissued producer or enters
+// the scannable set with wakeAt set to its latest producer completion — a
+// time now fully known, since every remaining producer is scheduled. A
+// producer below head has retired (its value committed in the past) and
+// contributes nothing.
+func (p *Pipeline) wake(wseq int64) {
+	doneAt, mask, head := p.doneAt, p.robMask, p.head
+	for wseq >= 0 {
+		wi := wseq & mask
+		next := p.nextWaiter[wi]
+		if pr := p.prod1[wi]; pr >= head && doneAt[pr&mask] == notDone {
+			p.nextWaiter[wi] = p.waiters[pr&mask]
+			p.waiters[pr&mask] = wseq
+		} else if pr := p.prod2[wi]; pr >= head && doneAt[pr&mask] == notDone {
+			p.nextWaiter[wi] = p.waiters[pr&mask]
+			p.waiters[pr&mask] = wseq
+		} else {
+			wa := int64(0)
+			if pr := p.prod1[wi]; pr >= head {
+				wa = doneAt[pr&mask]
+			}
+			if pr := p.prod2[wi]; pr >= head {
+				if d := doneAt[pr&mask]; d > wa {
+					wa = d
+				}
+			}
+			p.wakeAt[wi] = wa
+			p.scannable[wi>>6] |= 1 << uint(wi&63)
+		}
+		wseq = next
 	}
-	e := p.entry(seq)
-	return e.done && e.doneAt <= p.cycle
 }
 
 func (p *Pipeline) issue() {
 	issued := 0
 	ports := p.cfg.DCachePorts
-	// Advance the cursor over the contiguous issued prefix once, instead
-	// of rescanning it every cycle while the ROB drains a long stall.
-	if p.issueCursor < p.head {
-		p.issueCursor = p.head
-	}
-	for p.issueCursor < p.tail && p.entry(p.issueCursor).issued {
-		p.issueCursor++
-	}
-	for seq := p.issueCursor; seq < p.tail && issued < p.cfg.IssueWidth; seq++ {
-		e := p.entry(seq)
-		if e.issued {
-			continue
-		}
-		if !p.producerDone(e.prod1) || !p.producerDone(e.prod2) {
-			continue
-		}
-		kind := e.inst.Kind
-		if kind == isa.KindLoad && ports == 0 {
-			continue
-		}
+	width := p.cfg.IssueWidth
+	// Hoist the hot ring state into locals: slice headers and loop bounds
+	// stay in registers across the d-cache interface calls below, which
+	// would otherwise force a reload of every field on each iteration.
+	doneAt, unissued, scannable, mask := p.doneAt, p.unissued, p.scannable, p.robMask
+	head, tail, cycle := p.head, p.tail, p.cycle
+	ringSize := mask + 1
 
-		lat := kind.Latency()
-		switch kind {
-		case isa.KindLoad:
-			ports--
-			p.stats.Loads++
-			cacheLat, _ := p.dc.Load(&e.inst)
-			lat += cacheLat - 1 // the cache latency includes the access cycle
-		case isa.KindStore:
-			p.stats.Stores++
-			// Address generation only; the write happens at commit.
-		case isa.KindIntALU, isa.KindIntMul:
-			p.stats.IntOps++
-		case isa.KindFPALU, isa.KindFPMul, isa.KindFPDiv:
-			p.stats.FPOps++
+	// Advance the cursor to the first unissued seq, word-wise over the
+	// unissued bitmap. The cursor only moves forward, so the whole-run cost
+	// is one pass over the issued prefix — amortized O(1) per instruction —
+	// and the scan below never revisits the completed prefix of a
+	// long-stalled ROB. (The cursor tracks unissued, not scannable: a
+	// chain-stalled entry below the first scannable bit must stay inside
+	// the scanned range for the cycle its producer wakes it.)
+	cursor := p.issueCursor
+	if cursor < head {
+		cursor = head
+	}
+	for cursor < tail {
+		idx := cursor & mask
+		w := unissued[idx>>6] >> uint(idx&63)
+		span := 64 - idx&63
+		if r := ringSize - idx; r < span {
+			span = r // ring wraps mid-word (ring smaller than one word)
 		}
-		e.issued = true
-		e.done = true
-		e.doneAt = p.cycle + int64(lat)
-		issued++
-		p.stats.Issued++
-		if !e.inst.Src1.IsZero() {
-			p.stats.RegReads++
+		if r := tail - cursor; r < span {
+			span = r
 		}
-		if !e.inst.Src2.IsZero() {
-			p.stats.RegReads++
+		if span < 64 {
+			w &= 1<<uint(span) - 1
 		}
-		if !e.inst.Dst.IsZero() {
-			p.stats.RegWrites++
+		if w != 0 {
+			cursor += int64(bits.TrailingZeros64(w))
+			break
 		}
+		cursor += span
+	}
+	p.issueCursor = cursor
 
-		// A mispredicted control instruction restarts fetch one cycle
-		// after it resolves.
-		if e.mispred && p.waitBranch == e.seq {
-			p.fetchableAt = e.doneAt + 1
-			p.waitBranch = -1
+	// The in-order window scan, over set bits of the scannable bitmap only:
+	// issued-but-uncommitted holes and chain-stalled entries — the bulk of
+	// a wide window — cost nothing at all. The outer loop takes the window
+	// a word-chunk at a time (clipped to the word, the ring edge, and
+	// tail); the inner loop pops candidate entries in seq order. A bit set
+	// by a mid-scan wake lands in a later chunk or next call; either way
+	// its wakeAt is past the current cycle, so nothing issuable is missed.
+	for seq := cursor; seq < tail && issued < width; {
+		idx := seq & mask
+		w := scannable[idx>>6] >> uint(idx&63)
+		span := 64 - idx&63
+		if r := ringSize - idx; r < span {
+			span = r
 		}
+		if r := tail - seq; r < span {
+			span = r
+		}
+		if span < 64 {
+			w &= 1<<uint(span) - 1
+		}
+		for w != 0 && issued < width {
+			j := int64(bits.TrailingZeros64(w))
+			w &= w - 1
+			s := seq + j
+			i2 := idx + j
+			// One precomputed comparison stands in for the old per-producer
+			// probes: wakeAt is the latest producer completion, fixed when
+			// the last producer was scheduled.
+			if p.wakeAt[i2] > cycle {
+				continue
+			}
+			kind := p.kinds[i2]
+			if kind == isa.KindLoad && ports == 0 {
+				continue
+			}
+
+			lat := kind.Latency()
+			switch kind {
+			case isa.KindLoad:
+				ports--
+				p.stats.Loads++
+				cacheLat, _ := p.dc.Load(&p.insts[i2])
+				lat += cacheLat - 1 // the cache latency includes the access cycle
+			case isa.KindStore:
+				p.stats.Stores++
+				// Address generation only; the write happens at commit.
+			case isa.KindIntALU, isa.KindIntMul:
+				p.stats.IntOps++
+			case isa.KindFPALU, isa.KindFPMul, isa.KindFPDiv:
+				p.stats.FPOps++
+			}
+			done := cycle + int64(lat)
+			doneAt[i2] = done
+			unissued[i2>>6] &^= 1 << uint(i2&63)
+			scannable[i2>>6] &^= 1 << uint(i2&63)
+			p.inflight[i2>>6] |= 1 << uint(i2&63)
+			if done < p.nextDoneAt {
+				p.nextDoneAt = done
+			}
+			// This entry's completion is now scheduled: release anything
+			// chained on it.
+			if wseq := p.waiters[i2]; wseq >= 0 {
+				p.waiters[i2] = -1
+				p.wake(wseq)
+			}
+			issued++
+			p.stats.Issued++
+			f := p.flags[i2]
+			if f&flagSrc1 != 0 {
+				p.stats.RegReads++
+			}
+			if f&flagSrc2 != 0 {
+				p.stats.RegReads++
+			}
+			if f&flagDst != 0 {
+				p.stats.RegWrites++
+			}
+
+			// A mispredicted control instruction restarts fetch one cycle
+			// after it resolves.
+			if f&flagMispred != 0 && p.waitBranch == s {
+				p.fetchableAt = done + 1
+				p.waitBranch = -1
+			}
+		}
+		seq += span
 	}
 }
 
-// peek fills p.pending from the source.
-func (p *Pipeline) peek() bool {
+// peekInst returns the lookahead instruction without consuming it, pulling
+// from the source's window when it has one (no copy) and through the
+// single-instruction pending buffer otherwise.
+func (p *Pipeline) peekInst() (*trace.Inst, bool) {
+	if p.batch != nil {
+		if len(p.win) == 0 && !p.refillWindow() {
+			return nil, false
+		}
+		return &p.win[0], true
+	}
 	if p.pendingOK {
-		return true
+		return &p.pending, true
 	}
 	if p.exhausted {
-		return false
+		return nil, false
 	}
 	if !p.src.Next(&p.pending) {
 		p.exhausted = true
-		return false
+		return nil, false
 	}
 	p.pendingOK = true
+	return &p.pending, true
+}
+
+// refillWindow reports the consumed prefix to the source in one Advance
+// call and pulls the next window — the whole remaining trace for an
+// arena-backed replay — so steady-state fetch makes no per-instruction
+// source calls at all.
+func (p *Pipeline) refillWindow() bool {
+	if p.exhausted {
+		return false
+	}
+	if p.winUsed > 0 {
+		p.batch.Advance(p.winUsed)
+		p.winUsed = 0
+	}
+	p.win = p.batch.Window()
+	if len(p.win) == 0 {
+		p.exhausted = true
+		return false
+	}
 	return true
+}
+
+// consumeInst consumes the instruction peekInst returned. The returned
+// pointer stays valid until the next peekInst call.
+func (p *Pipeline) consumeInst() {
+	if p.batch != nil {
+		p.win = p.win[1:]
+		p.winUsed++
+		return
+	}
+	p.pendingOK = false
 }
 
 func (p *Pipeline) robFull() bool {
@@ -316,13 +587,62 @@ func (p *Pipeline) robFull() bool {
 }
 
 func (p *Pipeline) dispatch(in *trace.Inst, mispred bool) {
-	e := p.entry(p.tail)
-	*e = robEntry{inst: *in, seq: p.tail, prod1: -1, prod2: -1, mispred: mispred}
+	idx := p.tail & p.robMask
+	p.insts[idx] = *in
+	p.doneAt[idx] = notDone
+	p.unissued[idx>>6] |= 1 << uint(idx&63)
+	p.kinds[idx] = in.Kind
+	p.dsts[idx] = in.Dst
+	var f uint8
+	if mispred {
+		f = flagMispred
+	}
+	// Record only producers that are still incomplete: completion is
+	// monotone (doneAt never un-passes the clock), so a producer that has
+	// already finished is dropped here once instead of being re-checked by
+	// every issue scan until this entry issues.
+	pr1, pr2 := int64(-1), int64(-1)
 	if !in.Src1.IsZero() {
-		e.prod1 = p.regProducer[in.Src1]
+		f |= flagSrc1
+		if pr := p.regProducer[in.Src1]; pr >= 0 && p.doneAt[pr&p.robMask] > p.cycle {
+			pr1 = pr
+		}
 	}
 	if !in.Src2.IsZero() {
-		e.prod2 = p.regProducer[in.Src2]
+		f |= flagSrc2
+		if pr := p.regProducer[in.Src2]; pr >= 0 && p.doneAt[pr&p.robMask] > p.cycle {
+			pr2 = pr
+		}
+	}
+	if !in.Dst.IsZero() {
+		f |= flagDst
+	}
+	p.flags[idx] = f
+	p.prod1[idx], p.prod2[idx] = pr1, pr2
+	p.waiters[idx] = -1
+	// Classify the entry for the issue scan. An unissued producer means the
+	// entry's ready time is unknowable: chain it on that producer's waiter
+	// list (wake re-examines it when the producer issues). Otherwise every
+	// remaining producer has a scheduled completion, so the ready time is
+	// simply their max — precompute it and make the entry scannable.
+	if pr1 >= 0 && p.doneAt[pr1&p.robMask] == notDone {
+		p.nextWaiter[idx] = p.waiters[pr1&p.robMask]
+		p.waiters[pr1&p.robMask] = p.tail
+	} else if pr2 >= 0 && p.doneAt[pr2&p.robMask] == notDone {
+		p.nextWaiter[idx] = p.waiters[pr2&p.robMask]
+		p.waiters[pr2&p.robMask] = p.tail
+	} else {
+		wa := int64(0)
+		if pr1 >= 0 {
+			wa = p.doneAt[pr1&p.robMask]
+		}
+		if pr2 >= 0 {
+			if d := p.doneAt[pr2&p.robMask]; d > wa {
+				wa = d
+			}
+		}
+		p.wakeAt[idx] = wa
+		p.scannable[idx>>6] |= 1 << uint(idx&63)
 	}
 	if !in.Dst.IsZero() {
 		p.regProducer[in.Dst] = p.tail
@@ -339,33 +659,32 @@ func (p *Pipeline) dispatch(in *trace.Inst, mispred bool) {
 
 // fetch runs one fetch group: a single i-cache access plus up to FetchWidth
 // instructions from the same cache block, ending early at a taken (or
-// mispredicted) control instruction.
+// mispredicted) control instruction. With a window source the whole
+// block stride is read in place from the source's memory.
 func (p *Pipeline) fetch() {
 	if p.cycle < p.fetchableAt || p.waitBranch >= 0 {
 		return
 	}
-	if !p.peek() {
+	var in *trace.Inst
+	if len(p.win) != 0 {
+		in = &p.win[0]
+	} else if pk, ok := p.peekInst(); ok {
+		in = pk
+	} else {
 		return
 	}
 	if p.robFull() || p.lsq >= p.cfg.LSQSize {
 		return
 	}
 
-	block := p.pending.PC & p.icBlockMask
+	block := in.PC & p.icBlockMask
 
-	lat, _, trueWay := p.ic.Fetch(p.pending.PC, p.nextWay, p.nextWayOK, p.nextWaySrc)
+	lat, _, trueWay := p.ic.Fetch(in.PC, p.nextWay)
 	p.stats.FetchGroups++
 
 	// Train the structures that predicted (or should predict) this block's
 	// way, now that the true way is known.
-	if p.trainBTB.valid {
-		p.fe.BTB.Update(p.trainBTB.pc, p.trainBTB.target, trueWay, true)
-		p.trainBTB.valid = false
-	}
-	if p.trainSAWP.valid {
-		p.fe.SAWP.Update(p.trainSAWP.block, trueWay)
-		p.trainSAWP.valid = false
-	}
+	p.fe.TrainWays(trueWay)
 
 	// Defaults for the next access: sequential transition predicted by the
 	// SAWP, trained on this block.
@@ -374,16 +693,23 @@ func (p *Pipeline) fetch() {
 		if p.robFull() || p.lsq >= p.cfg.LSQSize {
 			break
 		}
-		if !p.peek() {
+		// Window fast path, inline: most iterations take an instruction
+		// straight out of the current window; peekInst (not inlinable) is
+		// only reached at window boundaries and on non-window sources.
+		var in *trace.Inst
+		if len(p.win) != 0 {
+			in = &p.win[0]
+		} else if pk, ok := p.peekInst(); ok {
+			in = pk
+		} else {
 			break
 		}
-		if p.pending.PC&p.icBlockMask != block {
+		if in.PC&p.icBlockMask != block {
 			break
 		}
-		// Consume the lookahead in place: p.pending stays intact until the
-		// next peek, so dispatch/fetchControl can read it without a copy.
-		in := &p.pending
-		p.pendingOK = false
+		// Consume the lookahead in place: in stays valid until the next
+		// peek, so dispatch/fetchControl can read it without a copy.
+		p.consumeInst()
 
 		if !in.Kind.IsControl() {
 			p.dispatch(in, false)
@@ -401,9 +727,8 @@ func (p *Pipeline) fetch() {
 		// Sequential (or not-taken-branch) transition into the next block:
 		// the SAWP predicts and is trained on it.
 		way, ok := p.fe.SAWP.Lookup(block)
-		p.nextWay, p.nextWayOK, p.nextWaySrc = way, ok, access.SrcSAWP
-		p.trainSAWP.valid = true
-		p.trainSAWP.block = block
+		p.nextWay = access.WayPred{Way: way, OK: ok, Source: access.SrcSAWP}
+		p.fe.NoteSAWP(block)
 	}
 
 	// The i-cache occupies the port for lat cycles on misses and way
@@ -429,25 +754,21 @@ func (p *Pipeline) fetchControl(in *trace.Inst, block uint64, blockWay int) bool
 		}
 		if in.Taken {
 			// Train the BTB with the target's way at the next access.
-			p.trainBTB = struct {
-				valid  bool
-				pc     uint64
-				target uint64
-			}{true, in.PC, in.Target}
+			fe.NoteBTB(in.PC, in.Target)
 		}
 		p.dispatch(in, mispred)
 		if mispred {
 			// Fetch stalls until resolution; the restart fetch has no way
 			// prediction (parallel access), per the paper.
-			p.nextWay, p.nextWayOK, p.nextWaySrc = 0, false, access.SrcNone
+			p.nextWay = access.WayPred{}
 			return true
 		}
 		if in.Taken {
 			_, way, wayOK, hit := fe.BTB.Lookup(in.PC)
 			if hit && wayOK {
-				p.nextWay, p.nextWayOK, p.nextWaySrc = way, true, access.SrcBTB
+				p.nextWay = access.WayPred{Way: way, OK: true, Source: access.SrcBTB}
 			} else {
-				p.nextWay, p.nextWayOK, p.nextWaySrc = 0, false, access.SrcNone
+				p.nextWay = access.WayPred{}
 			}
 			return true
 		}
@@ -458,15 +779,11 @@ func (p *Pipeline) fetchControl(in *trace.Inst, block uint64, blockWay int) bool
 		p.stats.Branches++
 		_, way, wayOK, hit := fe.BTB.Lookup(in.PC)
 		if hit && wayOK {
-			p.nextWay, p.nextWayOK, p.nextWaySrc = way, true, access.SrcBTB
+			p.nextWay = access.WayPred{Way: way, OK: true, Source: access.SrcBTB}
 		} else {
-			p.nextWay, p.nextWayOK, p.nextWaySrc = 0, false, access.SrcNone
+			p.nextWay = access.WayPred{}
 		}
-		p.trainBTB = struct {
-			valid  bool
-			pc     uint64
-			target uint64
-		}{true, in.PC, in.Target}
+		fe.NoteBTB(in.PC, in.Target)
 		if in.Kind == isa.KindCall {
 			// Push the return address; its block is usually the current
 			// one, whose way we know right now.
@@ -487,13 +804,13 @@ func (p *Pipeline) fetchControl(in *trace.Inst, block uint64, blockWay int) bool
 		}
 		p.dispatch(in, mispred)
 		if mispred {
-			p.nextWay, p.nextWayOK, p.nextWaySrc = 0, false, access.SrcNone
+			p.nextWay = access.WayPred{}
 			return true
 		}
 		if wayOK {
-			p.nextWay, p.nextWayOK, p.nextWaySrc = way, true, access.SrcRAS
+			p.nextWay = access.WayPred{Way: way, OK: true, Source: access.SrcRAS}
 		} else {
-			p.nextWay, p.nextWayOK, p.nextWaySrc = 0, false, access.SrcNone
+			p.nextWay = access.WayPred{}
 		}
 		return true
 	}

@@ -89,6 +89,27 @@ func TestBearerAuth(t *testing.T) {
 	}
 }
 
+// TestPprofBehindAuth: the /debug/pprof/ routes ride the same wrapper as
+// the API — profiles of an authenticated service must not leak openly.
+func TestPprofBehindAuth(t *testing.T) {
+	tokens, err := ParseAuthTokens("alice=s3cret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{Workers: 2, AuthTokens: tokens})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	if resp := authedGet(t, ts.URL+"/debug/pprof/", ""); resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("pprof index without token = %d, want 401", resp.StatusCode)
+	}
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/goroutine"} {
+		if resp := authedGet(t, ts.URL+path, "s3cret"); resp.StatusCode != http.StatusOK {
+			t.Errorf("authed %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
 // TestRateLimiter exercises the token bucket directly with synthetic
 // clocks: burst, deny, refill, and per-identity isolation.
 func TestRateLimiter(t *testing.T) {

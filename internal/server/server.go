@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"reflect"
 	"runtime"
 	"strconv"
@@ -178,6 +179,17 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /api/v1/results", s.handleResults)
 	s.mux.HandleFunc("GET /api/v1/aggregate", s.handleAggregate)
 	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+
+	// Live profiling of the serving process (go tool pprof against
+	// /debug/pprof/profile, /heap, /goroutine, ...). Registered on the
+	// service mux, not http.DefaultServeMux, so the routes sit behind the
+	// same bearer-auth and rate-limit wrapper as the API: with
+	// -auth-tokens set, profiles require a valid token.
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 
 	return s
 }

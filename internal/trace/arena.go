@@ -289,6 +289,19 @@ func (m *MemSource) Next(out *Inst) bool {
 	return true
 }
 
+// Window implements WindowSource: the entire unconsumed remainder of the
+// decoded trace, straight out of the shared arena slice — the batch fetch
+// path reads fetch strides from it without any per-instruction copy.
+func (m *MemSource) Window() []Inst {
+	if m.pos >= len(m.insts) {
+		return nil
+	}
+	return m.insts[m.pos:]
+}
+
+// Advance implements WindowSource.
+func (m *MemSource) Advance(n int) { m.pos += n }
+
 // Header returns the file header of the backing trace.
 func (m *MemSource) Header() Header { return m.h }
 

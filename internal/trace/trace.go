@@ -78,6 +78,26 @@ type Source interface {
 	Next(out *Inst) bool
 }
 
+// WindowSource is an optional Source extension for in-memory streams: the
+// consumer may inspect a contiguous prefix of the remaining instructions
+// without copying them and consume any leading part of it in one step.
+// Batch consumers (the pipeline's front end) read whole fetch strides
+// straight out of the window instead of pulling one 72-byte record per
+// Next call.
+//
+// Window returns a non-empty contiguous prefix of the remaining stream, or
+// an empty slice when the source is drained; it does not consume anything.
+// Advance consumes the first n instructions of the most recent Window.
+// The returned slice is valid until the next Window or Next call, and must
+// not be modified. Interleaving Next with Window/Advance is allowed; both
+// views observe the same position. A WindowSource must yield exactly the
+// instruction sequence its Next method would.
+type WindowSource interface {
+	Source
+	Window() []Inst
+	Advance(n int)
+}
+
 // SliceSource replays a fixed slice of instructions. It is primarily a test
 // helper but is also useful for user-supplied traces.
 type SliceSource struct {
@@ -97,6 +117,17 @@ func (s *SliceSource) Next(out *Inst) bool {
 
 // Reset rewinds the source to the beginning.
 func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Window implements WindowSource: the unconsumed tail of the slice.
+func (s *SliceSource) Window() []Inst {
+	if s.pos >= len(s.Insts) {
+		return nil
+	}
+	return s.Insts[s.pos:]
+}
+
+// Advance implements WindowSource.
+func (s *SliceSource) Advance(n int) { s.pos += n }
 
 // Repeat replays a fixed slice of instructions Times times (0 means
 // forever). Because the PCs repeat, caches and predictors warm up after the
@@ -127,6 +158,85 @@ func (r *Repeat) Next(out *Inst) bool {
 	return true
 }
 
+// Window implements WindowSource: the remainder of the current pass. A new
+// pass begins — and the Times budget is charged — exactly when Next would
+// have wrapped.
+func (r *Repeat) Window() []Inst {
+	if len(r.Insts) == 0 {
+		return nil
+	}
+	if r.pos >= len(r.Insts) {
+		r.pos = 0
+		r.done++
+		if r.Times > 0 && r.done >= r.Times {
+			return nil
+		}
+	}
+	return r.Insts[r.pos:]
+}
+
+// Advance implements WindowSource.
+func (r *Repeat) Advance(n int) { r.pos += n }
+
+// Buffered adapts a plain Source into a WindowSource by generating ahead
+// into a fixed buffer: Window exposes the buffered run, and a drained
+// buffer refills with one batch of Next calls. Live generators (workload
+// walkers) produce their stream independently of the consumer's timing, so
+// buffering ahead yields the identical sequence — it just lets the
+// pipeline's batch fetch path read it in place instead of pulling one
+// record per call.
+type Buffered struct {
+	Src Source
+
+	buf []Inst
+	pos int
+	n   int
+}
+
+// NewBuffered wraps src with a window buffer of cap instructions.
+func NewBuffered(src Source, cap int) *Buffered {
+	return &Buffered{Src: src, buf: make([]Inst, cap)}
+}
+
+// Windowed returns a WindowSource view of src: src itself when it already
+// exposes windows, otherwise src behind a window buffer of cap
+// instructions.
+func Windowed(src Source, cap int) WindowSource {
+	if ws, ok := src.(WindowSource); ok {
+		return ws
+	}
+	return NewBuffered(src, cap)
+}
+
+// Next implements Source.
+func (b *Buffered) Next(out *Inst) bool {
+	if b.pos >= b.n && !b.refill() {
+		return false
+	}
+	*out = b.buf[b.pos]
+	b.pos++
+	return true
+}
+
+// Window implements WindowSource.
+func (b *Buffered) Window() []Inst {
+	if b.pos >= b.n && !b.refill() {
+		return nil
+	}
+	return b.buf[b.pos:b.n]
+}
+
+// Advance implements WindowSource.
+func (b *Buffered) Advance(n int) { b.pos += n }
+
+func (b *Buffered) refill() bool {
+	b.pos, b.n = 0, 0
+	for b.n < len(b.buf) && b.Src.Next(&b.buf[b.n]) {
+		b.n++
+	}
+	return b.n > 0
+}
+
 // Limit wraps a Source and stops after n instructions.
 type Limit struct {
 	Src Source
@@ -136,7 +246,13 @@ type Limit struct {
 }
 
 // NewLimit returns a Source that yields at most n instructions from src.
-func NewLimit(src Source, n int64) *Limit {
+// When src is a WindowSource the returned limiter is one too, exposing the
+// underlying windows truncated to the remaining budget — wrapping an
+// in-memory replay in a Limit keeps the batch fetch path intact.
+func NewLimit(src Source, n int64) Source {
+	if ws, ok := src.(WindowSource); ok {
+		return &WindowLimit{Limit: Limit{Src: src, N: n}, ws: ws}
+	}
 	return &Limit{Src: src, N: n}
 }
 
@@ -150,4 +266,30 @@ func (l *Limit) Next(out *Inst) bool {
 	}
 	l.seen++
 	return true
+}
+
+// WindowLimit is a Limit over a WindowSource: windows come straight from
+// the underlying source, cut to the instructions the budget still allows.
+// NewLimit constructs it automatically; both views share one position.
+type WindowLimit struct {
+	Limit
+	ws WindowSource
+}
+
+// Window implements WindowSource.
+func (l *WindowLimit) Window() []Inst {
+	if l.seen >= l.N {
+		return nil
+	}
+	w := l.ws.Window()
+	if rem := l.N - l.seen; int64(len(w)) > rem {
+		w = w[:rem]
+	}
+	return w
+}
+
+// Advance implements WindowSource.
+func (l *WindowLimit) Advance(n int) {
+	l.ws.Advance(n)
+	l.seen += int64(n)
 }

@@ -49,6 +49,17 @@ cmp "$tmp/walk1.json" "$tmp/replay1.json" ||
 cmp "$tmp/walk1.csv" "$tmp/replay1.csv" ||
     { echo "determinism gate: replay CSV differs from walker CSV" >&2; exit 1; }
 
+# Parallel-worker legs: a -workers 4 sweep must produce byte-identical
+# output to the serial one, in both source modes — results are ordered by
+# grid position, never by completion. (walk1 is byte-compared against the
+# golden fixtures below, so these legs are transitively golden-checked.)
+run_sweep json "$tmp/walk_w4.json" -workers 4
+cmp "$tmp/walk1.json" "$tmp/walk_w4.json" ||
+    { echo "determinism gate: -workers 4 walker sweep differs from serial" >&2; exit 1; }
+run_sweep json "$tmp/replay_w4.json" -workers 4 -trace "$tmp/traces"
+cmp "$tmp/walk1.json" "$tmp/replay_w4.json" ||
+    { echo "determinism gate: -workers 4 replay sweep differs from serial" >&2; exit 1; }
+
 if [ "${GOLDEN:-}" = "regen" ]; then
     cp "$tmp/walk1.json" testdata/golden_sweep.json
     cp "$tmp/walk1.csv" testdata/golden_sweep.csv
@@ -61,4 +72,4 @@ cmp testdata/golden_sweep.json "$tmp/walk1.json" ||
 cmp testdata/golden_sweep.csv "$tmp/walk1.csv" ||
     { echo "determinism gate: sweep CSV drifted from golden fixture" >&2; exit 1; }
 
-echo "determinism gate: OK (walker == replay == golden, twice)"
+echo "determinism gate: OK (walker == replay == golden, serial and 4 workers, twice)"
