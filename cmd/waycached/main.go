@@ -65,6 +65,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"waycache/internal/server"
@@ -86,18 +87,29 @@ func run() error {
 	traceDir := flag.String("trace", "", "directory of captured traces (<benchmark>.wct) to replay")
 	traceStoreDir := flag.String("tracestore", "", "content-addressed trace store directory: serves /api/v1/traces and resolves trace:// job references")
 	authTokens := flag.String("auth-tokens", "", "comma-separated name=token bearer credentials; empty runs the service open")
+	authTokensFile := flag.String("auth-tokens-file", "", "file of name=token lines (#-comments allowed); reloaded on SIGHUP and on mtime change, so tokens rotate without a restart")
 	rate := flag.Float64("rate", 0, "per-client request rate limit in requests/sec (0: unlimited)")
 	burst := flag.Int("burst", 0, "rate-limit burst size (default 16)")
 	flag.Parse()
 
 	opts := server.Options{Workers: *workers, TraceDir: *traceDir, RatePerSec: *rate, RateBurst: *burst}
-	if *authTokens != "" {
+	switch {
+	case *authTokens != "" && *authTokensFile != "":
+		return fmt.Errorf("-auth-tokens and -auth-tokens-file are mutually exclusive")
+	case *authTokens != "":
 		tokens, err := server.ParseAuthTokens(*authTokens)
 		if err != nil {
 			return err
 		}
 		opts.AuthTokens = tokens
 		fmt.Fprintf(os.Stderr, "waycached: bearer auth enabled for %d clients\n", len(tokens))
+	case *authTokensFile != "":
+		tokens, err := server.ParseAuthTokensFile(*authTokensFile)
+		if err != nil {
+			return err
+		}
+		opts.AuthTokens = tokens
+		fmt.Fprintf(os.Stderr, "waycached: bearer auth enabled for %d clients (rotatable via %s)\n", len(tokens), *authTokensFile)
 	}
 	if *traceStoreDir != "" {
 		ts, err := tracestore.Open(*traceStoreDir)
@@ -130,6 +142,9 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *authTokensFile != "" {
+		go watchAuthTokens(ctx, srv, *authTokensFile)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "waycached: listening on %s\n", *addr)
@@ -148,4 +163,56 @@ func run() error {
 	}
 	fmt.Fprintln(os.Stderr, "waycached: shut down")
 	return nil
+}
+
+// watchAuthTokens hot-reloads the -auth-tokens-file on SIGHUP and on
+// mtime change (polled every few seconds, for operators whose process
+// manager cannot signal). A file that fails to parse is logged and the
+// previous token set stays live — rotation can never lock the fleet out
+// by a half-written file. In-flight jobs keep the fair-share identity
+// captured at submission regardless of rotations.
+func watchAuthTokens(ctx context.Context, srv *server.Server, path string) {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+
+	lastMod := time.Time{}
+	if st, err := os.Stat(path); err == nil {
+		lastMod = st.ModTime()
+	}
+	tick := time.NewTicker(3 * time.Second)
+	defer tick.Stop()
+
+	reload := func(why string) {
+		tokens, err := server.ParseAuthTokensFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "waycached: token reload (%s) failed, keeping previous tokens: %v\n", why, err)
+			return
+		}
+		if err := srv.SetAuthTokens(tokens); err != nil {
+			fmt.Fprintf(os.Stderr, "waycached: token reload (%s) rejected: %v\n", why, err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "waycached: rotated bearer tokens (%s): %d clients\n", why, len(tokens))
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-hup:
+			reload("SIGHUP")
+		case <-tick.C:
+			st, err := os.Stat(path)
+			if err != nil {
+				// Transient (an atomic rename mid-swap): keep serving the
+				// current tokens and check again next tick.
+				continue
+			}
+			if mod := st.ModTime(); !mod.Equal(lastMod) {
+				lastMod = mod
+				reload("mtime change")
+			}
+		}
+	}
 }

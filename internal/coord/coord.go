@@ -3,27 +3,44 @@
 // results into output byte-identical to a single-host run.
 //
 // The grid is expanded exactly once, conceptually, by the deterministic
-// sweep.Grid order: the coordinator splits it into n contiguous
-// sweep.Shard slices by index arithmetic alone (no local expansion) and
-// submits each shard as a named shard job ({"shard": "i/n"}) to a remote
-// waycached instance. Each shard is tracked to completion over the
-// host's Server-Sent Events progress stream (GET
-// /api/v1/jobs/{id}/events) — one connection, push-based progress —
-// falling back to the status poll loop when the stream cannot be
-// established or breaks; a shard whose host dies — network error, 5xx,
-// vanished process — is reassigned to a surviving host, and a host that
-// fails is retired for the rest of the run. Finished shards are exported in canonical core.EncodeResult form
-// (GET /api/v1/jobs/{id}/export), optionally bulk-ingested into a local
-// result store, and concatenated in shard order, so the merged JSON/CSV
-// is byte-identical to what cmd/sweep emits for the whole grid on one
-// machine.
+// sweep.Grid order; the coordinator never materializes it. Work moves
+// through three shapes:
+//
+//   - A *unit* is a contiguous config-index span [lo, hi) waiting to
+//     run. The initial units are the sweep.SpanOf partition of the grid;
+//     failures and steals re-split them into smaller spans.
+//   - A *flight* is one attempt to run a unit as a named span job
+//     ({"span": "lo-hi"}) on one host, tracked to a terminal state over
+//     the host's SSE events stream with a poll fallback.
+//   - A *piece* is a completed, exported span: canonical
+//     core.EncodeResult payloads covering [lo, hi). Pieces tile the full
+//     grid exactly once; the merge sorts them by lo and concatenates.
+//
+// Elasticity comes from three mechanisms on top of that model. A host
+// whose flight stalls (no progress for StallAfter) can be *stolen* from:
+// an idle worker exports the victim job's finished prefix — the server's
+// partial-progress watermark guarantees the prefix is complete and
+// canonical — banks it as a piece, cancels the victim, and requeues the
+// remainder span. In the tail, when the queue is empty, idle hosts
+// *speculate*: they duplicate a stalled in-flight span outright; the
+// first full export wins and the loser is cancelled, which determinism
+// makes free — both copies would produce identical bytes. And membership
+// is *elastic*: a HostsFile is watched for changes, added hosts receive
+// the grid's traces and a worker mid-run, removed hosts drain (finish
+// their current flight, take no more).
+//
+// Every request — submit, poll, export, trace distribution — runs under
+// one RetryPolicy: capped exponential backoff with deterministic seeded
+// jitter, retrying transport faults and 5xx while failing fast on
+// deterministic job failures and 4xx (see retry.go).
 //
 // Determinism contract: Grid.Configs order depends only on the grid;
-// Shard slices are contiguous and concatenate to the full expansion
-// (property-tested in internal/sweep); records are pure functions of
-// results. Therefore merge order — and the merged bytes — cannot depend
-// on which host ran what, how shards interleaved, or how many retries
-// happened. Protocol and failure semantics: docs/DISTRIBUTED.md.
+// spans are contiguous index ranges of that order, so pieces concatenate
+// to the full expansion no matter how they were split, stolen, or
+// duplicated; records are pure functions of results. Therefore merge
+// order — and the merged bytes — cannot depend on which host ran what,
+// how spans were re-split, or which duplicate won. Protocol and failure
+// semantics: docs/DISTRIBUTED.md.
 package coord
 
 import (
@@ -36,6 +53,8 @@ import (
 	"hash/fnv"
 	"io"
 	"net/http"
+	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -49,48 +68,77 @@ import (
 // Options configures a distributed run.
 type Options struct {
 	// Hosts lists waycached base URLs (e.g. "http://10.0.0.1:8080").
-	// Required, at least one.
+	// Required unless HostsFile is set.
 	Hosts []string
-	// Shards is how many contiguous grid shards to create (default:
-	// len(Hosts)). More shards than hosts gives finer-grained
-	// reassignment when a host dies mid-run.
+	// HostsFile, when non-empty, names a file of host URLs (one per
+	// line, #-comments allowed) that is read for initial membership and
+	// then watched for changes: hosts added to the file join the run
+	// mid-sweep (they receive the grid's traces first), hosts removed
+	// from it drain — they finish their current flight and take no more
+	// work. Hosts passed in Hosts directly are never drained by file
+	// edits.
+	HostsFile string
+	// Shards is how many contiguous spans the grid is initially split
+	// into (default: the host count). More spans than hosts gives the
+	// scheduler finer-grained units; stealing re-splits them further as
+	// needed either way.
 	Shards int
 	// Client issues every request (default: a plain http.Client; each
 	// request is additionally bounded by RequestTimeout).
 	Client *http.Client
 	// RequestTimeout bounds each control request — submit, poll, cancel,
 	// evict — so a host that hangs (accepts connections but never
-	// answers) is retired like one that errors, instead of blocking its
-	// shard forever. Export streams, which carry whole shards, get ten
-	// times this budget. Default 30s.
+	// answers) fails over like one that errors. Export streams, which
+	// carry whole spans, get ten times this budget. Default 30s.
 	RequestTimeout time.Duration
-	// PollInterval is the per-shard status poll cadence (default 250ms).
+	// PollInterval is the status poll cadence and the scheduler's idle
+	// re-scan tick (default 250ms).
 	PollInterval time.Duration
-	// MaxAttempts bounds submissions per shard across host reassignments
-	// (default 3). A shard failing on its last attempt fails the run.
+	// MaxAttempts bounds submissions per span of work across host
+	// reassignments (default 3). Work failing on its last attempt fails
+	// the run. Request-level retries are separate — see Retry.
 	MaxAttempts int
+	// Retry shapes the per-request retry/backoff schedule shared by
+	// every coordinator request (zero value: 4 attempts, 100ms base,
+	// 5s cap). Jitter is deterministic, derived from Seed.
+	Retry RetryPolicy
+	// Seed keys the deterministic backoff jitter (default: a hash of the
+	// run name). Two runs with the same seed back off on the same
+	// schedule — what makes chaos tests reproducible.
+	Seed uint64
+	// StallAfter is how long a flight may go without progress before
+	// idle workers may steal its remainder or speculate a duplicate
+	// (default 10s). Raise it for grids with slow individual configs;
+	// lower it in tests.
+	StallAfter time.Duration
+	// MinSteal is the minimum finished-prefix watermark worth stealing
+	// (default 1). A stalled flight with less banked progress is left to
+	// speculation, which duplicates instead of cancelling.
+	MinSteal int
+	// NoSpeculate disables tail speculation (stealing still happens).
+	NoSpeculate bool
 	// Backend, when non-nil, receives every remotely-computed result in
-	// canonical encoded form (sweep.PutEncoded) as shards are merged —
+	// canonical encoded form (sweep.PutEncoded) as pieces are merged —
 	// pass a resultdb.DB to build one local corpus from a distributed
 	// run.
 	Backend sweep.Backend
 	// TraceStore, when non-nil, is the coordinator's local
 	// content-addressed trace store: the source of truth for pushing the
-	// grid's trace://<hash> references to hosts that lack them before any
-	// shard is submitted (see distributeTraces). Nil is fine even for
-	// trace:// grids — as long as every referenced hash already exists on
-	// at least one host, the coordinator relays it through an ephemeral
-	// store.
+	// grid's trace://<hash> references to hosts that lack them before
+	// any span is submitted, and to late-joining hosts. Nil is fine even
+	// for trace:// grids — as long as every referenced hash already
+	// exists on at least one host, the coordinator relays it through an
+	// ephemeral store.
 	TraceStore *tracestore.Store
 	// Progress, when non-nil, receives aggregated done/total config
-	// counts across all shards. Calls are serialized.
+	// counts across all flights and banked pieces. Calls are serialized.
 	Progress sweep.Progress
-	// Logf, when non-nil, receives coordinator events: shard
-	// assignments, host failures, reassignments.
+	// Logf, when non-nil, receives coordinator events: span assignments,
+	// host failures, steals, speculations, membership changes.
 	Logf func(format string, args ...any)
-	// Name tags the run's jobs ("<name>-shard-<i>") so operators can read
-	// host job lists, and so resubmissions after a lost response are
-	// idempotent. Default: a hash of the grid and shard count.
+	// Name tags the run's jobs ("<name>-u<lo>-<hi>") so operators can
+	// read host job lists, and so resubmissions after a lost response
+	// are idempotent. Default: a hash of the grid and shard count.
 	Name string
 	// Token, when non-empty, is sent as "Authorization: Bearer <token>"
 	// on every request — job control, events streams, exports, and trace
@@ -99,19 +147,41 @@ type Options struct {
 	Token string
 }
 
-// ShardReport is one shard's provenance in the merged output: which host
-// finally ran it, under which job, at which attempt. Reports let a caller
-// audit exactly where every contiguous record range came from.
+// ShardReport is one piece's provenance in the merged output: which span
+// of the grid it covers, which host ran it, under which job, at which
+// attempt, and whether stealing or speculation was involved. Reports are
+// in merge (span) order and tile [0, grid size) exactly.
 type ShardReport struct {
-	Index    int    // shard index, also the merge position
-	Host     string // host that completed the shard
+	Index    int    // merge position
+	Lo, Hi   int    // config-index span [Lo, Hi) this piece covers
+	Host     string // host that computed the piece
 	JobID    string // job id on that host
-	Configs  int    // configurations in the shard
-	Attempts int    // submissions needed (1 = no reassignment)
+	Configs  int    // configurations in the piece (Hi - Lo)
+	Attempts int    // submissions this span of work needed (1 = clean)
+	// Stolen marks a straggler's finished prefix banked by a steal;
+	// Speculative marks a piece won by a tail duplicate.
+	Stolen      bool
+	Speculative bool
 	// TraceFallbacks relays the remote engine's walker-fallback report
 	// (benchmark -> reason) so a distributed -trace run that re-simulated
 	// somewhere is visible at the coordinator.
 	TraceFallbacks map[string]string
+	// Warnings carries non-fatal anomalies touching this span: abandoned
+	// jobs that could not be confirmed stopped, superseded duplicates,
+	// and the like.
+	Warnings []string
+}
+
+// HostReport is one host's participation summary.
+type HostReport struct {
+	Host         string
+	State        string // "active", "retired", "draining", "drained"
+	Joined       bool   // joined mid-run via the hosts file
+	Pieces       int    // pieces banked from this host
+	Configs      int    // configurations those pieces hold
+	Flights      int    // span jobs launched on this host
+	Steals       int    // steals this host performed on stragglers
+	Speculations int    // speculative duplicates this host launched
 }
 
 // Result is a completed distributed run.
@@ -119,10 +189,14 @@ type Result struct {
 	// Sweep holds the merged records in grid order — byte-identical to a
 	// single-host run of the same grid.
 	Sweep *sweep.Sweep
-	// Shards reports per-shard provenance, in shard order.
+	// Shards reports per-piece provenance, in merge order.
 	Shards []ShardReport
+	// Hosts reports per-host participation, sorted by URL.
+	Hosts []HostReport
 	// Ingested counts results written to Options.Backend.
 	Ingested int
+	// Warnings aggregates every non-fatal anomaly of the run.
+	Warnings []string
 }
 
 // jobFailedError marks a deterministic remote failure (the job itself
@@ -132,22 +206,25 @@ type jobFailedError struct{ msg string }
 
 func (e *jobFailedError) Error() string { return e.msg }
 
-// shardOutput is what one completed shard hands the merger.
-type shardOutput struct {
-	entries []server.ExportEntry // canonical key+payload, shard order
-	results []*core.Result       // decoded payloads, same order
-}
+// errSuperseded marks a flight that ended "cancelled" because the
+// coordinator itself stole or out-speculated it — expected, not a fault.
+var errSuperseded = errors.New("flight superseded by a steal or duplicate")
+
+// Host lifecycle states.
+const (
+	hostActive   = "active"
+	hostDraining = "draining"
+	hostDrained  = "drained"
+	hostRetired  = "retired"
+)
 
 // Run executes the grid across the hosts and returns the merged result.
 // The grid must expand within the hosts' job size limit
 // (server.MaxGridSize); cancellation of ctx aborts the run promptly.
 func Run(ctx context.Context, g sweep.Grid, o Options) (*Result, error) {
-	if len(o.Hosts) == 0 {
-		return nil, errors.New("coord: no hosts")
-	}
-	nShards := o.Shards
-	if nShards <= 0 {
-		nShards = len(o.Hosts)
+	initial, fileHosts, err := initialHosts(o)
+	if err != nil {
+		return nil, err
 	}
 	client := o.Client
 	if client == nil {
@@ -165,76 +242,105 @@ func Run(ctx context.Context, g sweep.Grid, o Options) (*Result, error) {
 	if maxAttempts <= 0 {
 		maxAttempts = 3
 	}
+	stall := o.StallAfter
+	if stall <= 0 {
+		stall = 10 * time.Second
+	}
+	minSteal := o.MinSteal
+	if minSteal <= 0 {
+		minSteal = 1
+	}
 	logf := o.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	// Normalize exactly as the server will (an empty benchmark list means
-	// the full suite, trace references validate): shard-size accounting
+	// the full suite, trace references validate): span-size accounting
 	// and the grid equality behind idempotent named re-submission must
 	// both see the grid the hosts execute.
-	g, err := g.Normalize()
+	g, err = g.Normalize()
 	if err != nil {
 		return nil, err
 	}
-	// Push every referenced trace to every host that lacks it before any
-	// shard lands; hosts that cannot be brought up to date leave the run
-	// here, like hosts that die mid-run.
-	hosts, err := distributeTraces(ctx, g, o.Hosts, client, reqTimeout, o.TraceStore, o.Token, logf)
+	name := o.Name
+	if name == "" {
+		name = defaultName(g, o.Shards)
+	}
+	seed := o.Seed
+	if seed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		seed = h.Sum64()
+	}
+	retry := newRetrier(o.Retry, seed)
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// The distributor outlives the initial push: late joiners get the
+	// same traces before their worker starts. Its ephemeral relay store
+	// (when no local one was given) lives until the run ends.
+	dist, distCleanup, err := newDistributor(g, client, reqTimeout, o.TraceStore, o.Token, retry, logf)
+	if err != nil {
+		return nil, err
+	}
+	defer distCleanup()
+	hosts, err := dist.init(runCtx, initial)
 	if err != nil {
 		return nil, err
 	}
 	if len(hosts) == 0 {
 		return nil, errors.New("coord: no host can serve the grid's trace references")
 	}
-	name := o.Name
-	if name == "" {
-		name = defaultName(g, nShards)
-	}
-	total := g.Size()
 
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	total := g.Size()
+	nShards := o.Shards
+	if nShards <= 0 {
+		nShards = len(hosts)
+	}
 
 	c := &run{
 		client: client, grid: g, name: name, token: o.Token,
-		nShards: nShards, total: total, poll: poll, reqTimeout: reqTimeout,
-		progress:  o.Progress,
-		logf:      logf,
-		outputs:   make([]shardOutput, nShards),
-		reports:   make([]ShardReport, nShards),
-		attempts:  make([]int, nShards),
-		shardDone: make([]int, nShards),
-		remaining: nShards,
-		liveHosts: len(hosts),
-		pending:   make(chan int, nShards),
-		allDone:   make(chan struct{}),
-		cancel:    cancel,
+		total: total, poll: poll, reqTimeout: reqTimeout, stall: stall,
+		minSteal: minSteal, maxAttempts: maxAttempts, speculate: !o.NoSpeculate,
+		retry: retry, dist: dist,
+		progress: o.Progress, logf: logf, cancel: cancel,
+		wake:  make(chan struct{}),
+		done:  make(chan struct{}),
+		idle:  make(chan struct{}),
+		hosts: make(map[string]*hostState),
 	}
 	for i := 0; i < nShards; i++ {
-		c.pending <- i
+		lo, hi := sweep.SpanOf(total, i, nShards)
+		if hi > lo {
+			c.queue = append(c.queue, &unit{lo: lo, hi: hi})
+		}
+	}
+	if total == 0 {
+		// Degenerate but well-defined: nothing to run, nothing to merge.
+		return c.merge(o.Backend)
 	}
 
-	var wg sync.WaitGroup
-	for _, host := range hosts {
-		wg.Add(1)
-		go func(host string) {
-			defer wg.Done()
-			c.hostWorker(runCtx, host, maxAttempts)
-		}(host)
+	c.mu.Lock()
+	for _, h := range hosts {
+		c.hosts[h] = &hostState{url: h, state: hostActive, workerLive: true}
+		c.liveWorkers++
 	}
-	workersIdle := make(chan struct{})
-	go func() { wg.Wait(); close(workersIdle) }()
+	c.mu.Unlock()
+	for _, h := range hosts {
+		go c.hostWorker(runCtx, h)
+	}
+	if o.HostsFile != "" {
+		go c.watchHosts(runCtx, o.HostsFile, fileHosts)
+	}
 
 	select {
-	case <-c.allDone:
-	case <-workersIdle:
-		// Every worker exited without completing the run: a fatal error
-		// or all hosts dead.
+	case <-c.done:
+	case <-c.idle: // every worker exited with work outstanding
 	case <-ctx.Done():
 	}
 	cancel()
-	<-workersIdle
+	<-c.idle // bounded: abandon budgets cap straggling workers
 
 	c.mu.Lock()
 	err = c.fatal
@@ -242,8 +348,8 @@ func Run(ctx context.Context, g sweep.Grid, o Options) (*Result, error) {
 	if err == nil {
 		err = ctx.Err()
 	}
-	if err == nil && c.remainingShards() > 0 {
-		err = errors.New("coord: run stopped with unfinished shards")
+	if err == nil && !c.finished() {
+		err = errors.New("coord: run stopped with unfinished spans")
 	}
 	if err != nil {
 		return nil, err
@@ -251,38 +357,149 @@ func Run(ctx context.Context, g sweep.Grid, o Options) (*Result, error) {
 	return c.merge(o.Backend)
 }
 
+// initialHosts resolves the starting membership: Hosts plus the hosts
+// file's current contents, deduplicated in order. fileHosts records which
+// came from the file (only those are drainable by later file edits).
+func initialHosts(o Options) (hosts []string, fileHosts map[string]bool, err error) {
+	fileHosts = make(map[string]bool)
+	seen := make(map[string]bool)
+	for _, h := range o.Hosts {
+		if h != "" && !seen[h] {
+			seen[h] = true
+			hosts = append(hosts, h)
+		}
+	}
+	if o.HostsFile != "" {
+		data, err := os.ReadFile(o.HostsFile)
+		if err != nil {
+			return nil, nil, fmt.Errorf("coord: reading hosts file: %w", err)
+		}
+		for _, h := range parseHostsFile(data) {
+			fileHosts[h] = true
+			if !seen[h] {
+				seen[h] = true
+				hosts = append(hosts, h)
+			}
+		}
+	}
+	if len(hosts) == 0 {
+		return nil, nil, errors.New("coord: no hosts")
+	}
+	return hosts, fileHosts, nil
+}
+
+// parseHostsFile extracts host URLs: one per line, blank lines and
+// #-comments ignored.
+func parseHostsFile(data []byte) []string {
+	var hosts []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		hosts = append(hosts, line)
+	}
+	return hosts
+}
+
+// unit is a contiguous span of grid work waiting to run.
+type unit struct {
+	lo, hi    int
+	attempts  int       // submissions so far (incremented when pulled)
+	notBefore time.Time // backoff gate after a failure
+}
+
+// flight is one in-progress execution of a span on a host.
+type flight struct {
+	lo, hi int
+	host   string
+	jobID  string // set once the submit succeeds
+	unit   *unit
+	spec   bool // speculative duplicate of another live flight
+
+	start        time.Time
+	lastProgress time.Time // last time done advanced; stall detector input
+	done         int       // configs finished, from status events
+
+	stealing   bool // a thief is currently probing/banking this flight
+	noSteal    bool // a steal attempt failed; don't retry stealing it
+	stolen     bool // its prefix was banked and the job cancelled
+	superseded bool // a duplicate's full export already covered its span
+}
+
+// piece is a completed, banked span of canonical results.
+type piece struct {
+	lo, hi    int
+	entries   []server.ExportEntry
+	results   []*core.Result
+	host      string
+	jobID     string
+	attempts  int
+	stolen    bool
+	spec      bool
+	fallbacks map[string]string
+}
+
+// hostState tracks one host's lifecycle and counters.
+type hostState struct {
+	url        string
+	state      string
+	joined     bool // added mid-run via the hosts file
+	workerLive bool
+
+	pieces, configs, flights, steals, specs int
+}
+
+type spanWarning struct {
+	lo, hi int
+	msg    string
+}
+
 // run is the mutable state of one distributed execution.
 type run struct {
-	client     *http.Client
-	grid       sweep.Grid
-	name       string
-	token      string
-	nShards    int
-	total      int
-	poll       time.Duration
-	reqTimeout time.Duration
+	client      *http.Client
+	grid        sweep.Grid
+	name, token string
+	total       int
 
+	poll, reqTimeout, stall time.Duration
+	minSteal, maxAttempts   int
+	speculate               bool
+
+	retry    *retrier
+	dist     *distributor
 	progress sweep.Progress
 	logf     func(string, ...any)
 	cancel   context.CancelFunc
 
-	pending chan int
-	allDone chan struct{}
+	done chan struct{} // closed when every config is banked
+	idle chan struct{} // closed when no worker is live or joining
 
-	mu        sync.Mutex
-	outputs   []shardOutput
-	reports   []ShardReport
-	attempts  []int
-	shardDone []int
-	remaining int
-	liveHosts int
-	fatal     error
+	mu          sync.Mutex
+	wake        chan struct{} // closed+replaced on every state change
+	queue       []*unit
+	flights     []*flight
+	pieces      []piece
+	covered     int
+	hosts       map[string]*hostState
+	liveWorkers int
+	joining     int
+	idleClosed  bool
+	doneClosed  bool
+	warnings    []spanWarning
+	fatal       error
 }
 
-func (c *run) remainingShards() int {
+func (c *run) finished() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.remaining
+	return c.covered >= c.total
+}
+
+// bumpLocked broadcasts a state change to every idle worker.
+func (c *run) bumpLocked() {
+	close(c.wake)
+	c.wake = make(chan struct{})
 }
 
 // fail records the first fatal error and aborts the run.
@@ -291,167 +508,716 @@ func (c *run) fail(err error) {
 	if c.fatal == nil {
 		c.fatal = err
 	}
+	c.bumpLocked()
 	c.mu.Unlock()
 	c.cancel()
 }
 
-// noteProgress folds one shard's done count into the aggregate feed.
-func (c *run) noteProgress(shard, done int) {
+// finishLocked closes done once full coverage is reached.
+func (c *run) finishLocked() {
+	if c.covered >= c.total && !c.doneClosed {
+		c.doneClosed = true
+		close(c.done)
+	}
+}
+
+// closeIdleLocked closes idle once no worker is live or pending.
+func (c *run) closeIdleLocked() {
+	if c.liveWorkers == 0 && c.joining == 0 && !c.idleClosed {
+		c.idleClosed = true
+		close(c.idle)
+	}
+}
+
+// noteProgress folds one flight's done count into the aggregate feed and
+// feeds the stall detector.
+func (c *run) noteProgress(f *flight, done int) {
 	c.mu.Lock()
-	c.shardDone[shard] = done
-	sum := 0
-	for _, d := range c.shardDone {
-		sum += d
+	if done > f.done {
+		f.done = done
+		f.lastProgress = time.Now()
 	}
 	if c.progress != nil {
+		sum := c.covered
+		for _, fl := range c.flights {
+			sum += fl.done
+		}
+		if sum > c.total {
+			sum = c.total // speculative duplicates double-count; clamp
+		}
 		c.progress(sum, c.total)
 	}
 	c.mu.Unlock()
 }
 
-// hostWorker pulls shards off the queue and runs their full lifecycle on
-// one host until the host fails (then the in-flight shard is requeued for
-// a surviving host and the worker retires) or the run ends.
-func (c *run) hostWorker(ctx context.Context, host string, maxAttempts int) {
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case i := <-c.pending:
-			c.mu.Lock()
-			c.attempts[i]++
-			attempt := c.attempts[i]
-			c.mu.Unlock()
-			c.logf("coord: shard %d/%d -> %s (attempt %d)", i, c.nShards, host, attempt)
+// noteWarning records a non-fatal anomaly touching [lo, hi).
+func (c *run) noteWarning(lo, hi int, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	c.logf("coord: warning: %s", msg)
+	c.mu.Lock()
+	c.warnings = append(c.warnings, spanWarning{lo: lo, hi: hi, msg: msg})
+	c.mu.Unlock()
+}
 
-			out, jobID, fallbacks, err := c.runShard(ctx, host, i)
-			if err == nil {
-				c.completeShard(i, host, jobID, attempt, len(out.results), fallbacks, out)
-				continue
-			}
-			var jf *jobFailedError
-			if errors.As(err, &jf) {
-				c.fail(fmt.Errorf("coord: shard %d failed deterministically on %s: %w", i, host, err))
-				return
-			}
-			if ctx.Err() != nil {
-				return
-			}
-			// Host-level failure: retire this host and hand the shard to a
-			// survivor, unless the shard is out of attempts or no host is
-			// left to take it.
-			c.logf("coord: host %s failed on shard %d (attempt %d): %v", host, i, attempt, err)
-			if jobID == "" {
-				// The submit itself failed — but its response may have
-				// been lost after the server enqueued the job. Hunt the
-				// deterministic name down so no zombie job survives.
-				c.abandonByName(host, c.shardName(i))
-			}
-			if attempt >= maxAttempts {
-				c.fail(fmt.Errorf("coord: shard %d failed %d times, last on %s: %w", i, attempt, host, err))
-				return
-			}
-			c.mu.Lock()
-			c.liveHosts--
-			dead := c.liveHosts == 0
-			c.mu.Unlock()
-			c.pending <- i
-			if dead {
-				c.fail(fmt.Errorf("coord: all hosts failed; last error from %s: %w", host, err))
-			}
+// uncoveredLocked returns the maximal subranges of [lo, hi) not yet
+// covered by banked pieces, in order.
+func (c *run) uncoveredLocked(lo, hi int) [][2]int {
+	// Collect covering intervals, merge, subtract. Piece counts are small
+	// (a few per host), so the quadratic-ish scan is irrelevant.
+	var cov [][2]int
+	for i := range c.pieces {
+		p := &c.pieces[i]
+		if p.hi > lo && p.lo < hi {
+			cov = append(cov, [2]int{max(p.lo, lo), min(p.hi, hi)})
+		}
+	}
+	sort.Slice(cov, func(i, j int) bool { return cov[i][0] < cov[j][0] })
+	var out [][2]int
+	at := lo
+	for _, iv := range cov {
+		if iv[0] > at {
+			out = append(out, [2]int{at, iv[0]})
+		}
+		if iv[1] > at {
+			at = iv[1]
+		}
+	}
+	if at < hi {
+		out = append(out, [2]int{at, hi})
+	}
+	return out
+}
+
+// bankLocked commits a completed span's output, trimmed to whatever is
+// not already covered (a steal may have banked a prefix; a faster
+// duplicate may have banked everything). Returns configs newly covered.
+func (c *run) bankLocked(p piece) int {
+	added := 0
+	for _, iv := range c.uncoveredLocked(p.lo, p.hi) {
+		sub := piece{
+			lo: iv[0], hi: iv[1],
+			entries: p.entries[iv[0]-p.lo : iv[1]-p.lo],
+			results: p.results[iv[0]-p.lo : iv[1]-p.lo],
+			host:    p.host, jobID: p.jobID, attempts: p.attempts,
+			stolen: p.stolen, spec: p.spec, fallbacks: p.fallbacks,
+		}
+		c.pieces = append(c.pieces, sub)
+		added += iv[1] - iv[0]
+	}
+	c.covered += added
+	if added > 0 {
+		if h := c.hosts[p.host]; h != nil {
+			h.pieces++
+			h.configs += added
+		}
+	}
+	c.finishLocked()
+	c.bumpLocked()
+	return added
+}
+
+func (c *run) removeFlightLocked(f *flight) {
+	for i, fl := range c.flights {
+		if fl == f {
+			c.flights = append(c.flights[:i], c.flights[i+1:]...)
 			return
 		}
 	}
 }
 
-// completeShard records a finished shard and closes allDone on the last.
-func (c *run) completeShard(i int, host, jobID string, attempt, configs int, fallbacks map[string]string, out shardOutput) {
-	c.mu.Lock()
-	c.outputs[i] = out
-	c.reports[i] = ShardReport{
-		Index: i, Host: host, JobID: jobID,
-		Configs: configs, Attempts: attempt,
-		TraceFallbacks: fallbacks,
-	}
-	c.remaining--
-	last := c.remaining == 0
-	c.mu.Unlock()
-	if last {
-		close(c.allDone)
+// --- the scheduler ---
+
+type actionKind int
+
+const (
+	actDone actionKind = iota
+	actRun
+	actSteal
+)
+
+type action struct {
+	kind   actionKind
+	flight *flight // actRun
+	victim *flight // actSteal
+}
+
+// nextWork blocks until the worker for host has something to do: a
+// queued unit to fly, a straggler to steal from, a tail span to
+// speculate on, or nothing ever again (run over, host drained or
+// retired, fatal error). It is the single place scheduling policy lives.
+func (c *run) nextWork(ctx context.Context, host string) action {
+	for {
+		c.mu.Lock()
+		h := c.hosts[host]
+		if ctx.Err() != nil || c.fatal != nil || c.covered >= c.total || h.state != hostActive {
+			c.mu.Unlock()
+			return action{kind: actDone}
+		}
+		now := time.Now()
+
+		// 1. A ready queued unit — earliest span first, for determinism
+		// and because earlier spans gate the export watermark of nothing
+		// (pieces are independent; this is just a stable choice).
+		var next *unit
+		nextIdx := -1
+		backoffWait := time.Duration(-1)
+		for idx, u := range c.queue {
+			if !u.notBefore.After(now) {
+				if next == nil || u.lo < next.lo {
+					next, nextIdx = u, idx
+				}
+			} else if d := u.notBefore.Sub(now); backoffWait < 0 || d < backoffWait {
+				backoffWait = d
+			}
+		}
+		if next != nil {
+			c.queue = append(c.queue[:nextIdx], c.queue[nextIdx+1:]...)
+			next.attempts++
+			f := &flight{
+				lo: next.lo, hi: next.hi, host: host, unit: next,
+				start: now, lastProgress: now,
+			}
+			c.flights = append(c.flights, f)
+			h.flights++
+			c.mu.Unlock()
+			return action{kind: actRun, flight: f}
+		}
+
+		// 2. Steal a stalled flight's remainder.
+		if v := c.stealVictimLocked(host, now); v != nil {
+			v.stealing = true
+			h.steals++
+			c.mu.Unlock()
+			return action{kind: actSteal, victim: v}
+		}
+
+		// 3. Speculate a duplicate of a stalled tail flight.
+		if c.speculate {
+			if v := c.specVictimLocked(host, now); v != nil {
+				f := &flight{
+					lo: v.lo, hi: v.hi, host: host, unit: v.unit, spec: true,
+					start: now, lastProgress: now,
+				}
+				c.flights = append(c.flights, f)
+				h.flights++
+				h.specs++
+				c.mu.Unlock()
+				c.logf("coord: speculating span %s on idle %s (duplicate of %s's flight)",
+					sweep.FormatSpan(f.lo, f.hi), host, v.host)
+				return action{kind: actRun, flight: f}
+			}
+		}
+
+		// Idle: wait for a state change, a backoff gate, or a re-scan
+		// tick (stall ages cross thresholds without any event firing).
+		w := c.wake
+		c.mu.Unlock()
+		d := c.poll
+		if backoffWait >= 0 && backoffWait < d {
+			d = backoffWait
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return action{kind: actDone}
+		case <-w:
+			t.Stop()
+		case <-t.C:
+		}
 	}
 }
 
-// runShard drives one shard's lifecycle on one host: submit, follow the
-// job to a terminal state (events stream, then polling), export
-// canonical results, and (best-effort) evict the remote job. Any
-// transport or server failure is a host-level error; a remote "failed"
-// state is a *jobFailedError.
-func (c *run) runShard(ctx context.Context, host string, i int) (shardOutput, string, map[string]string, error) {
-	st, err := c.submit(ctx, host, i)
-	if err != nil {
-		return shardOutput{}, "", nil, err
+// stalled reports whether a flight has gone StallAfter without progress.
+func (c *run) stalledLocked(f *flight, now time.Time) bool {
+	return now.Sub(f.lastProgress) >= c.stall
+}
+
+// duplicatedLocked reports whether another live flight covers f's span.
+func (c *run) duplicatedLocked(f *flight) bool {
+	for _, o := range c.flights {
+		if o != f && o.lo == f.lo && o.hi == f.hi {
+			return true
+		}
 	}
-	if st, err = c.awaitTerminal(ctx, host, i, st); err != nil {
-		c.abandon(host, st.ID)
-		return shardOutput{}, st.ID, nil, err
+	return false
+}
+
+// stealVictimLocked picks the stalled flight most worth stealing from:
+// submitted, progressing nowhere, not already being stolen or hedged by
+// a duplicate, and not on the asking host. Oldest stall first.
+func (c *run) stealVictimLocked(host string, now time.Time) *flight {
+	var best *flight
+	for _, f := range c.flights {
+		if f.host == host || f.jobID == "" || f.spec ||
+			f.stealing || f.noSteal || f.stolen || f.superseded {
+			continue
+		}
+		// A flight that has not even reached MinSteal progress has nothing
+		// worth banking — don't burn a probe on a host that is likely
+		// frozen solid; speculation handles it without touching the victim.
+		if f.done < c.minSteal {
+			continue
+		}
+		if !c.stalledLocked(f, now) || c.duplicatedLocked(f) {
+			continue
+		}
+		if best == nil || f.lastProgress.Before(best.lastProgress) {
+			best = f
+		}
+	}
+	return best
+}
+
+// specVictimLocked picks a stalled primary flight to duplicate: the
+// queue is already known empty, so an idle worker's time is free — the
+// only gates are the stall threshold and not double-hedging a span.
+func (c *run) specVictimLocked(host string, now time.Time) *flight {
+	var best *flight
+	for _, f := range c.flights {
+		if f.host == host || f.spec || f.stolen || f.superseded || f.stealing {
+			continue
+		}
+		if !c.stalledLocked(f, now) || c.duplicatedLocked(f) {
+			continue
+		}
+		if best == nil || f.lastProgress.Before(best.lastProgress) {
+			best = f
+		}
+	}
+	return best
+}
+
+// hostWorker runs one host's lifecycle: take work, fly it, land or
+// recover, until the run ends or the host leaves it.
+func (c *run) hostWorker(ctx context.Context, host string) {
+	defer c.workerExit(host)
+	for {
+		act := c.nextWork(ctx, host)
+		switch act.kind {
+		case actDone:
+			return
+		case actRun:
+			c.fly(ctx, act.flight)
+		case actSteal:
+			c.stealFrom(ctx, host, act.victim)
+		}
+	}
+}
+
+// workerExit settles a departing worker's host state and, when it was
+// the last one with work outstanding, fails the run.
+func (c *run) workerExit(host string) {
+	c.mu.Lock()
+	h := c.hosts[host]
+	h.workerLive = false
+	if h.state == hostDraining {
+		h.state = hostDrained
+		c.logf("coord: host %s drained", host)
+	}
+	c.liveWorkers--
+	starved := c.liveWorkers == 0 && c.joining == 0 && c.covered < c.total && c.fatal == nil
+	c.closeIdleLocked()
+	c.bumpLocked()
+	c.mu.Unlock()
+	if starved {
+		c.fail(errors.New("coord: no live hosts remain with spans outstanding"))
+	}
+}
+
+// fly runs one flight to completion and routes the outcome: bank the
+// piece, absorb a benign supersede, abort on a deterministic failure, or
+// retire the host and requeue what is still uncovered.
+func (c *run) fly(ctx context.Context, f *flight) {
+	out, fallbacks, err := c.runFlight(ctx, f)
+	if err == nil {
+		c.land(f, out, fallbacks)
+		return
+	}
+	c.mu.Lock()
+	c.removeFlightLocked(f)
+	c.bumpLocked()
+	c.mu.Unlock()
+	if errors.Is(err, errSuperseded) {
+		c.logf("coord: span %s flight on %s superseded", sweep.FormatSpan(f.lo, f.hi), f.host)
+		return
+	}
+	var jf *jobFailedError
+	if errors.As(err, &jf) {
+		c.fail(fmt.Errorf("coord: span %s failed deterministically on %s: %w",
+			sweep.FormatSpan(f.lo, f.hi), f.host, err))
+		return
+	}
+	if ctx.Err() != nil || c.finished() {
+		return
+	}
+	c.flightFailed(f, err)
+}
+
+// land banks a finished flight's output and cancels any duplicate
+// flights its coverage made redundant.
+func (c *run) land(f *flight, out flightOutput, fallbacks map[string]string) {
+	c.mu.Lock()
+	c.removeFlightLocked(f)
+	added := c.bankLocked(piece{
+		lo: f.lo, hi: f.hi, entries: out.entries, results: out.results,
+		host: f.host, jobID: f.jobID, attempts: f.unit.attempts,
+		spec: f.spec, fallbacks: fallbacks,
+	})
+	var rivals []*flight
+	for _, o := range c.flights {
+		if o != f && len(c.uncoveredLocked(o.lo, o.hi)) == 0 && !o.superseded {
+			o.superseded = true
+			if o.jobID != "" {
+				rivals = append(rivals, o)
+			}
+		}
+	}
+	c.mu.Unlock()
+	if added == 0 {
+		c.logf("coord: span %s from %s arrived fully covered; dropped",
+			sweep.FormatSpan(f.lo, f.hi), f.host)
+	}
+	for _, r := range rivals {
+		c.logf("coord: cancelling superseded duplicate of span %s on %s (job %s)",
+			sweep.FormatSpan(r.lo, r.hi), r.host, r.jobID)
+		if outcome, clean := c.abandon(r.host, r.jobID); !clean {
+			c.noteWarning(r.lo, r.hi, "superseded job %s on %s: %s", r.jobID, r.host, outcome)
+		}
+	}
+}
+
+// flightFailed retires the flight's host and requeues whatever part of
+// its span is neither banked nor covered by another live flight, with a
+// backoff gate so a flapping fleet doesn't thrash.
+func (c *run) flightFailed(f *flight, err error) {
+	c.logf("coord: host %s failed on span %s (attempt %d): %v",
+		f.host, sweep.FormatSpan(f.lo, f.hi), f.unit.attempts, err)
+	c.mu.Lock()
+	h := c.hosts[f.host]
+	if h.state == hostActive {
+		h.state = hostRetired
+	}
+	missing := c.uncoveredLocked(f.lo, f.hi)
+	// Subtract spans another live flight is already running (a
+	// speculative duplicate outliving its failed primary, or vice
+	// versa): requeueing those would only manufacture duplicate work.
+	var requeue [][2]int
+	for _, iv := range missing {
+		flown := false
+		for _, o := range c.flights {
+			if o.lo <= iv[0] && o.hi >= iv[1] {
+				flown = true
+				break
+			}
+		}
+		if !flown {
+			requeue = append(requeue, iv)
+		}
+	}
+	if len(requeue) > 0 && f.unit.attempts >= c.maxAttempts {
+		c.mu.Unlock()
+		c.fail(fmt.Errorf("coord: span %s failed %d times, last on %s: %w",
+			sweep.FormatSpan(f.lo, f.hi), f.unit.attempts, f.host, err))
+		return
+	}
+	gate := time.Now().Add(c.retry.policy.delay(c.retry.seed,
+		"requeue "+sweep.FormatSpan(f.lo, f.hi), f.unit.attempts-1))
+	for _, iv := range requeue {
+		c.queue = append(c.queue, &unit{
+			lo: iv[0], hi: iv[1], attempts: f.unit.attempts, notBefore: gate,
+		})
+	}
+	c.bumpLocked()
+	c.mu.Unlock()
+	if f.jobID == "" {
+		// The submit itself failed — but its response may have been lost
+		// after the server enqueued the job. Hunt the deterministic name
+		// down so no zombie job grinds the retired host.
+		if outcome, clean := c.abandonByName(f.host, c.unitName(f.lo, f.hi)); !clean {
+			c.noteWarning(f.lo, f.hi, "lost submission %s on %s: %s",
+				c.unitName(f.lo, f.hi), f.host, outcome)
+		}
+	}
+}
+
+// --- stealing ---
+
+// stealFrom attempts to bank the victim flight's finished prefix and
+// requeue its remainder. Failure is non-destructive: the victim keeps
+// flying, marked so no one retries the steal.
+func (c *run) stealFrom(ctx context.Context, thief string, v *flight) {
+	ok := c.trySteal(ctx, thief, v)
+	c.mu.Lock()
+	v.stealing = false
+	if !ok {
+		v.noSteal = true
+	}
+	c.bumpLocked()
+	c.mu.Unlock()
+}
+
+func (c *run) trySteal(ctx context.Context, thief string, v *flight) bool {
+	st, err := c.pollStatus(ctx, v.host, v.jobID)
+	if err != nil || st.State != "running" {
+		return false // dead or already terminal: the victim's worker handles it
+	}
+	w := st.Watermark
+	span := v.hi - v.lo
+	if w < c.minSteal || w >= span {
+		return false // nothing worth banking, or the victim is about to finish
+	}
+	out, err := c.exportJob(ctx, v.host, v.jobID, w)
+	if err != nil {
+		c.logf("coord: steal of span %s from %s: prefix export failed: %v",
+			sweep.FormatSpan(v.lo, v.hi), v.host, err)
+		return false
+	}
+	c.mu.Lock()
+	if v.stolen || v.superseded {
+		c.mu.Unlock()
+		return false
+	}
+	v.stolen = true
+	c.bankLocked(piece{
+		lo: v.lo, hi: v.lo + w, entries: out.entries, results: out.results,
+		host: v.host, jobID: v.jobID, attempts: v.unit.attempts,
+		stolen: true, fallbacks: st.TraceFallbacks,
+	})
+	// The remainder re-enters the queue as a fresh unit carrying the
+	// victim's attempt count — the thief is awake and idle, so it is the
+	// likely taker, but any worker may claim it.
+	for _, iv := range c.uncoveredLocked(v.lo+w, v.hi) {
+		c.queue = append(c.queue, &unit{lo: iv[0], hi: iv[1], attempts: v.unit.attempts})
+	}
+	c.bumpLocked()
+	c.mu.Unlock()
+	c.logf("coord: %s stole span %s from stalled %s: banked %d-config prefix, requeued remainder %s",
+		thief, sweep.FormatSpan(v.lo, v.hi), v.host, w, sweep.FormatSpan(v.lo+w, v.hi))
+	if outcome, clean := c.abandon(v.host, v.jobID); !clean {
+		c.noteWarning(v.lo, v.hi, "stolen job %s on %s: %s", v.jobID, v.host, outcome)
+	}
+	return true
+}
+
+// --- membership ---
+
+// watchHosts polls the hosts file for membership changes: new hosts join
+// (traces first, then a worker), file-sourced hosts that disappear
+// drain. fileHosts tracks which hosts the file is authoritative for.
+func (c *run) watchHosts(ctx context.Context, path string, fileHosts map[string]bool) {
+	var lastMod time.Time
+	if st, err := os.Stat(path); err == nil {
+		lastMod = st.ModTime()
+	}
+	tick := time.NewTicker(c.poll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			continue // transient (atomic-rename mid-swap); keep current membership
+		}
+		if st.ModTime().Equal(lastMod) {
+			continue
+		}
+		lastMod = st.ModTime()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			c.logf("coord: hosts file %s unreadable (%v); keeping membership", path, err)
+			continue
+		}
+		listed := make(map[string]bool)
+		for _, h := range parseHostsFile(data) {
+			listed[h] = true
+		}
+		c.applyMembership(ctx, listed, fileHosts)
+	}
+}
+
+// applyMembership reconciles the run's hosts with the file's listing.
+func (c *run) applyMembership(ctx context.Context, listed, fileHosts map[string]bool) {
+	c.mu.Lock()
+	var joins []string
+	for h := range listed {
+		fileHosts[h] = true
+		hs, known := c.hosts[h]
+		switch {
+		case !known:
+			joins = append(joins, h)
+		case hs.state == hostDraining:
+			// Re-listed before its worker noticed: cancel the drain.
+			hs.state = hostActive
+			c.logf("coord: host %s re-listed; drain cancelled", h)
+		case !hs.workerLive && (hs.state == hostDrained || hs.state == hostRetired):
+			// A drained or even retired host re-listed by the operator
+			// gets a fresh chance (retired usually means it crashed; the
+			// operator re-adding it asserts it is back).
+			joins = append(joins, h)
+		}
+	}
+	var drains []string
+	for h, hs := range c.hosts {
+		if fileHosts[h] && !listed[h] && hs.state == hostActive {
+			hs.state = hostDraining
+			drains = append(drains, h)
+		}
+	}
+	if len(drains) > 0 {
+		c.bumpLocked()
+	}
+	for _, h := range joins {
+		c.joining++
+		go c.admitHost(ctx, h)
+	}
+	c.mu.Unlock()
+	for _, h := range drains {
+		c.logf("coord: host %s removed from hosts file; draining (finishes its current span, takes no more)", h)
+	}
+}
+
+// admitHost brings a joining host up to date on traces, then starts its
+// worker. Called with c.joining already incremented.
+func (c *run) admitHost(ctx context.Context, host string) {
+	err := c.dist.ensureHost(ctx, host, c.activeHosts())
+	c.mu.Lock()
+	c.joining--
+	if err != nil || ctx.Err() != nil || c.fatal != nil || c.idleClosed {
+		c.closeIdleLocked()
+		c.mu.Unlock()
+		if err != nil {
+			c.logf("coord: host %s cannot join: %v", host, err)
+		}
+		return
+	}
+	hs := c.hosts[host]
+	if hs == nil {
+		hs = &hostState{url: host, joined: true}
+		c.hosts[host] = hs
+	}
+	hs.state = hostActive
+	hs.workerLive = true
+	c.liveWorkers++
+	c.bumpLocked()
+	c.mu.Unlock()
+	c.logf("coord: host %s joined the run", host)
+	go c.hostWorker(ctx, host)
+}
+
+// activeHosts snapshots the URLs of currently active hosts (trace
+// donors for late joiners).
+func (c *run) activeHosts() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for h, hs := range c.hosts {
+		if hs.state == hostActive {
+			out = append(out, h)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- one flight's remote lifecycle ---
+
+// flightOutput is what one completed flight hands the banker.
+type flightOutput struct {
+	entries []server.ExportEntry // canonical key+payload, span order
+	results []*core.Result       // decoded payloads, same order
+}
+
+// runFlight drives one span job on one host: submit, follow it to a
+// terminal state (events stream, then polling), export canonical
+// results, and (best-effort) evict the remote job. Any transport or
+// server failure is a host-level error; a remote "failed" state is a
+// *jobFailedError; a cancellation the coordinator itself caused (steal
+// or supersede) is errSuperseded.
+func (c *run) runFlight(ctx context.Context, f *flight) (flightOutput, map[string]string, error) {
+	st, err := c.submit(ctx, f)
+	if err != nil {
+		return flightOutput{}, nil, err
+	}
+	c.mu.Lock()
+	f.jobID = st.ID
+	c.bumpLocked() // the flight is now stealable
+	c.mu.Unlock()
+
+	if st, err = c.awaitTerminal(ctx, f, st); err != nil {
+		if outcome, clean := c.abandon(f.host, st.ID); !clean {
+			c.noteWarning(f.lo, f.hi, "abandoned job %s on %s: %s", st.ID, f.host, outcome)
+		}
+		return flightOutput{}, nil, err
 	}
 	switch st.State {
 	case "failed":
-		return shardOutput{}, st.ID, nil, &jobFailedError{msg: st.Error}
+		return flightOutput{}, nil, &jobFailedError{msg: st.Error}
 	case "cancelled":
-		// Someone (an operator, or a previous coordinator run's
+		c.mu.Lock()
+		benign := f.stolen || f.superseded
+		c.mu.Unlock()
+		if benign {
+			return flightOutput{}, nil, errSuperseded
+		}
+		// Someone else (an operator, a previous coordinator run's
 		// abandon) cancelled the job out from under us. Unlike a
-		// "failed" job this says nothing about the work itself, so
-		// it is a host-level error: retry the shard elsewhere.
-		return shardOutput{}, st.ID, nil, fmt.Errorf("job %s was cancelled on %s", st.ID, host)
+		// "failed" job this says nothing about the work itself, so it is
+		// a host-level error: retry the span elsewhere.
+		return flightOutput{}, nil, fmt.Errorf("job %s was cancelled on %s", st.ID, f.host)
 	}
-	c.noteProgress(i, st.Done)
+	c.noteProgress(f, st.Done)
 
-	out, err := c.export(ctx, host, st.ID)
+	out, err := c.exportJob(ctx, f.host, st.ID, -1)
 	if err != nil {
-		c.abandon(host, st.ID)
-		return shardOutput{}, st.ID, nil, err
+		if outcome, clean := c.abandon(f.host, st.ID); !clean {
+			c.noteWarning(f.lo, f.hi, "abandoned job %s on %s: %s", st.ID, f.host, outcome)
+		}
+		return flightOutput{}, nil, err
 	}
-	if want := sweep.ShardLen(c.total, i, c.nShards); len(out.results) != want {
-		c.abandon(host, st.ID)
-		return shardOutput{}, st.ID, nil,
-			fmt.Errorf("shard %d export from %s holds %d results, want %d", i, host, len(out.results), want)
+	if want := f.hi - f.lo; len(out.results) != want {
+		return flightOutput{}, nil,
+			fmt.Errorf("span %s export from %s holds %d results, want %d",
+				sweep.FormatSpan(f.lo, f.hi), f.host, len(out.results), want)
 	}
-	// Evict the remote job so completed shards do not pin their results
+	// Evict the remote job so completed spans do not pin their results
 	// in host memory; the host's store keeps the simulations either way.
-	c.evict(ctx, host, st.ID)
-	return out, st.ID, st.TraceFallbacks, nil
+	c.evict(ctx, f.host, st.ID)
+	return out, st.TraceFallbacks, nil
 }
 
 // awaitTerminal follows a submitted job to a terminal state and returns
 // that status. It prefers the host's SSE events stream — one connection,
 // progress pushed the moment it changes — and falls back to the status
 // poll loop when the stream cannot be established or breaks mid-flight
-// (a host predating the endpoint, a buffering proxy, a dropped
-// connection). A broken stream is not by itself a host failure: polling
-// gets a clean shot at the same job before the shard is reassigned. The
-// returned status always carries the job ID, even on error, so the
-// caller can abandon the remote job.
-func (c *run) awaitTerminal(ctx context.Context, host string, i int, st server.JobStatus) (server.JobStatus, error) {
-	if term, err := c.streamStatus(ctx, host, i, st.ID); err == nil {
+// (a host predating the endpoint, a buffering proxy, a dropped or
+// truncated connection). A broken stream is not by itself a host
+// failure: polling gets a clean shot at the same job before the span is
+// reassigned. The returned status always carries the job ID, even on
+// error, so the caller can abandon the remote job.
+func (c *run) awaitTerminal(ctx context.Context, f *flight, st server.JobStatus) (server.JobStatus, error) {
+	if term, err := c.streamStatus(ctx, f, st.ID); err == nil {
 		return term, nil
 	} else if ctx.Err() != nil {
 		return st, ctx.Err()
 	} else {
-		c.logf("coord: events stream for %s on %s failed (%v); polling instead", st.ID, host, err)
+		c.logf("coord: events stream for %s on %s failed (%v); polling instead", st.ID, f.host, err)
 	}
 	for {
 		switch st.State {
 		case "done", "failed", "cancelled":
 			return st, nil
 		}
-		c.noteProgress(i, st.Done)
+		c.noteProgress(f, st.Done)
 		select {
 		case <-ctx.Done():
 			return st, ctx.Err()
 		case <-time.After(c.poll):
 		}
-		next, err := c.pollStatus(ctx, host, st.ID)
+		next, err := c.pollStatus(ctx, f.host, st.ID)
 		if err != nil {
 			return st, err // st keeps the job ID for the caller's abandon
 		}
@@ -462,27 +1228,34 @@ func (c *run) awaitTerminal(ctx context.Context, host string, i int, st server.J
 // streamStatus consumes the job's SSE progress stream until a terminal
 // status event arrives, folding every event into the progress feed. Any
 // setup or mid-stream failure is returned for the caller to fall back
-// on polling. The stream has no overall deadline — a shard runs as long
+// on polling. The stream has no overall deadline — a span runs as long
 // as it runs — but the server heartbeats idle streams, so a connection
 // silent for a full request timeout means a dead or wedged host and
 // trips the watchdog.
-func (c *run) streamStatus(ctx context.Context, host string, i int, id string) (server.JobStatus, error) {
+func (c *run) streamStatus(ctx context.Context, f *flight, id string) (server.JobStatus, error) {
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	req, err := c.newRequest(sctx, http.MethodGet, host+"/api/v1/jobs/"+id+"/events", nil)
+	req, err := c.newRequest(sctx, http.MethodGet, f.host+"/api/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return server.JobStatus{}, err
 	}
+	// The inactivity watchdog arms before the connection is even made: a
+	// frozen host accepts the TCP connection and then never sends
+	// response headers, which would otherwise block here indefinitely.
+	// After setup it re-arms on every received line; the server
+	// heartbeats idle streams, so reqTimeout of total silence means a
+	// dead or wedged host.
+	watchdog := time.AfterFunc(c.reqTimeout, cancel)
+	defer watchdog.Stop()
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return server.JobStatus{}, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return server.JobStatus{}, fmt.Errorf("status %d", resp.StatusCode)
+		return server.JobStatus{}, &httpStatusError{status: resp.StatusCode}
 	}
-	watchdog := time.AfterFunc(c.reqTimeout, cancel)
-	defer watchdog.Stop()
+	watchdog.Reset(c.reqTimeout)
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		watchdog.Reset(c.reqTimeout)
@@ -494,7 +1267,7 @@ func (c *run) streamStatus(ctx context.Context, host string, i int, id string) (
 		if err := json.Unmarshal([]byte(data), &st); err != nil {
 			return server.JobStatus{}, fmt.Errorf("bad event payload: %w", err)
 		}
-		c.noteProgress(i, st.Done)
+		c.noteProgress(f, st.Done)
 		switch st.State {
 		case "done", "failed", "cancelled":
 			return st, nil
@@ -506,145 +1279,185 @@ func (c *run) streamStatus(ctx context.Context, host string, i int, id string) (
 	return server.JobStatus{}, errors.New("stream ended without a terminal status")
 }
 
-// abandon best-effort cancels and evicts a job the coordinator is walking
-// away from — a reassigned shard, a run aborting, Ctrl-C. It uses its own
-// short-lived context because the run context may already be dead, and an
-// abandoned job must still be stopped: left alone it would keep grinding
-// on the host's sequential runner (exactly the starvation cancellation
-// exists to prevent) with its export payloads pinned until eviction. The
-// host may of course be truly dead, in which case nothing is listening
-// and nothing is leaked.
-func (c *run) abandon(host, id string) {
+// abandon best-effort cancels and evicts a job the coordinator is
+// walking away from — a failed flight, a stolen straggler, a superseded
+// duplicate, Ctrl-C. It uses its own short-lived context because the run
+// context may already be dead, and an abandoned job must still be
+// stopped: left alone it would keep grinding on the host with its export
+// payloads pinned until eviction. The returned outcome says what
+// actually happened; clean is false when the job may still be running or
+// pinned, which callers surface as a ShardReport warning instead of
+// silence.
+func (c *run) abandon(host, id string) (outcome string, clean bool) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if req, err := c.newRequest(ctx, http.MethodPost, host+"/api/v1/jobs/"+id+"/cancel", nil); err == nil {
+	cctx, ccancel := context.WithTimeout(ctx, c.reqTimeout)
+	if req, err := c.newRequest(cctx, http.MethodPost, host+"/api/v1/jobs/"+id+"/cancel", nil); err == nil {
 		if resp, err := c.client.Do(req); err == nil {
 			resp.Body.Close()
 		}
 	}
+	ccancel()
 	// Eviction needs a terminal state; a just-cancelled running job
 	// drains first. Poll briefly within the abandon budget rather than
 	// issuing one guaranteed-409 delete.
 	for ctx.Err() == nil {
 		st, err := c.pollStatus(ctx, host, id)
 		if err != nil {
-			return // host unreachable: nothing is running, nothing leaks
+			// Host unreachable: nothing provably running. If the host is
+			// truly dead nothing is leaked either; if it is frozen the
+			// job may thaw later, which the caller should know.
+			return fmt.Sprintf("host unreachable while confirming cancellation (%v)", err), false
 		}
 		switch st.State {
 		case "done", "failed", "cancelled":
 			c.evict(ctx, host, id)
-			return
+			return fmt.Sprintf("reached %q and was evicted", st.State), true
 		}
 		select {
 		case <-ctx.Done():
 		case <-time.After(250 * time.Millisecond):
 		}
 	}
+	return "still running when the abandon budget expired", false
 }
 
 // abandonByName handles the lost-submission case: the submit request
 // errored after the server may have enqueued the job (e.g. a response
-// timeout), leaving the coordinator without a job ID. Shard job names are
-// deterministic, so look the job up by name on the host and abandon it if
-// it exists — otherwise a zombie named job would grind the retired host
-// and pin its export payloads.
-func (c *run) abandonByName(host, name string) {
+// timeout), leaving the coordinator without a job ID. Span job names are
+// deterministic, so look the job up by name on the host and abandon it
+// if it exists — otherwise a zombie named job would grind the retired
+// host and pin its export payloads.
+func (c *run) abandonByName(host, name string) (outcome string, clean bool) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	req, err := c.newRequest(ctx, http.MethodGet, host+"/api/v1/jobs", nil)
 	if err != nil {
-		return
+		return "building the job-list request failed", false
 	}
 	var jobs []server.JobStatus
 	if err := c.doJSON(req, http.StatusOK, &jobs); err != nil {
-		return
+		return fmt.Sprintf("host unreachable while hunting the lost submission (%v)", err), false
 	}
 	for _, st := range jobs {
 		if st.Name == name && st.State != "done" && st.State != "failed" && st.State != "cancelled" {
-			c.abandon(host, st.ID)
-			return
+			return c.abandon(host, st.ID)
 		}
 	}
+	return "no live job carries the lost submission's name", true
 }
 
-// shardName is the deterministic remote job name for shard i.
-func (c *run) shardName(i int) string { return fmt.Sprintf("%s-shard-%d", c.name, i) }
+// unitName is the deterministic remote job name for span [lo, hi).
+func (c *run) unitName(lo, hi int) string {
+	return fmt.Sprintf("%s-u%d-%d", c.name, lo, hi)
+}
 
-func (c *run) submit(ctx context.Context, host string, i int) (server.JobStatus, error) {
+func (c *run) submit(ctx context.Context, f *flight) (server.JobStatus, error) {
+	name := c.unitName(f.lo, f.hi)
 	body, err := json.Marshal(server.JobRequest{
-		Grid:  c.grid,
-		Name:  c.shardName(i),
-		Shard: sweep.FormatShard(i, c.nShards),
+		Grid: c.grid,
+		Name: name,
+		Span: sweep.FormatSpan(f.lo, f.hi),
 	})
 	if err != nil {
 		return server.JobStatus{}, err
 	}
-	// Per-request deadline: a host that hangs instead of erroring must
-	// still fail over, not freeze its shard.
-	rctx, cancel := context.WithTimeout(ctx, c.reqTimeout)
-	defer cancel()
-	req, err := c.newRequest(rctx, http.MethodPost, host+"/api/v1/jobs", bytes.NewReader(body))
-	if err != nil {
-		return server.JobStatus{}, err
-	}
-	req.Header.Set("Content-Type", "application/json")
 	var st server.JobStatus
-	if err := c.doJSON(req, http.StatusAccepted, &st); err != nil {
-		return server.JobStatus{}, fmt.Errorf("submitting shard %d to %s: %w", i, host, err)
+	// Submission is idempotent by name (a resubmission of the same work
+	// gets the live job's status back), so request-level retries after a
+	// lost response are safe.
+	err = c.retry.do(ctx, "submit "+name, func(int) error {
+		rctx, cancel := context.WithTimeout(ctx, c.reqTimeout)
+		defer cancel()
+		req, err := c.newRequest(rctx, http.MethodPost, f.host+"/api/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return c.doJSON(req, http.StatusAccepted, &st)
+	})
+	if err != nil {
+		return server.JobStatus{}, fmt.Errorf("submitting span %s to %s: %w",
+			sweep.FormatSpan(f.lo, f.hi), f.host, err)
 	}
 	return st, nil
 }
 
 func (c *run) pollStatus(ctx context.Context, host, id string) (server.JobStatus, error) {
-	rctx, cancel := context.WithTimeout(ctx, c.reqTimeout)
-	defer cancel()
-	req, err := c.newRequest(rctx, http.MethodGet, host+"/api/v1/jobs/"+id, nil)
-	if err != nil {
-		return server.JobStatus{}, err
-	}
 	var st server.JobStatus
-	if err := c.doJSON(req, http.StatusOK, &st); err != nil {
+	err := c.retry.do(ctx, "poll "+id, func(int) error {
+		rctx, cancel := context.WithTimeout(ctx, c.reqTimeout)
+		defer cancel()
+		req, err := c.newRequest(rctx, http.MethodGet, host+"/api/v1/jobs/"+id, nil)
+		if err != nil {
+			return err
+		}
+		return c.doJSON(req, http.StatusOK, &st)
+	})
+	if err != nil {
 		return server.JobStatus{}, fmt.Errorf("polling %s on %s: %w", id, host, err)
 	}
 	return st, nil
 }
 
-// export streams the job's canonical results and decodes every entry.
-func (c *run) export(ctx context.Context, host, id string) (shardOutput, error) {
-	// A whole shard flows through this response, so it gets a far larger
-	// budget than a control request — but still a bounded one.
-	rctx, cancel := context.WithTimeout(ctx, 10*c.reqTimeout)
-	defer cancel()
-	req, err := c.newRequest(rctx, http.MethodGet, host+"/api/v1/jobs/"+id+"/export", nil)
-	if err != nil {
-		return shardOutput{}, err
+// exportJob streams the job's canonical results and decodes every entry.
+// prefix < 0 exports the finished job whole; prefix >= 0 asks for the
+// first prefix entries of a (possibly still running) job — the partial
+// export behind stealing. The whole request retries under the policy: a
+// truncated stream re-fetches from scratch, which canonical encoding
+// makes safe.
+func (c *run) exportJob(ctx context.Context, host, id string, prefix int) (flightOutput, error) {
+	url := host + "/api/v1/jobs/" + id + "/export"
+	want := -1
+	if prefix >= 0 {
+		url = fmt.Sprintf("%s?prefix=%d", url, prefix)
+		want = prefix
 	}
-	resp, err := c.client.Do(req)
-	if err != nil {
-		return shardOutput{}, fmt.Errorf("exporting %s from %s: %w", id, host, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return shardOutput{}, fmt.Errorf("exporting %s from %s: status %d", id, host, resp.StatusCode)
-	}
-	var out shardOutput
-	dec := json.NewDecoder(bufio.NewReaderSize(resp.Body, 1<<16))
-	for {
-		var e server.ExportEntry
-		if err := dec.Decode(&e); err == io.EOF {
-			break
-		} else if err != nil {
-			return shardOutput{}, fmt.Errorf("decoding export of %s from %s: %w", id, host, err)
-		}
-		if e.Key == "" || len(e.Result) == 0 {
-			return shardOutput{}, fmt.Errorf("export of %s from %s holds an empty entry", id, host)
-		}
-		res, err := core.DecodeResult(e.Result)
+	var out flightOutput
+	err := c.retry.do(ctx, "export "+id, func(int) error {
+		// A whole span flows through this response, so it gets a far
+		// larger budget than a control request — but still a bounded one.
+		rctx, cancel := context.WithTimeout(ctx, 10*c.reqTimeout)
+		defer cancel()
+		req, err := c.newRequest(rctx, http.MethodGet, url, nil)
 		if err != nil {
-			return shardOutput{}, fmt.Errorf("export of %s from %s: %w", id, host, err)
+			return err
 		}
-		out.entries = append(out.entries, e)
-		out.results = append(out.results, res)
+		resp, err := c.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			return &httpStatusError{status: resp.StatusCode, msg: string(bytes.TrimSpace(msg))}
+		}
+		out = flightOutput{}
+		dec := json.NewDecoder(bufio.NewReaderSize(resp.Body, 1<<16))
+		for {
+			var e server.ExportEntry
+			if err := dec.Decode(&e); err == io.EOF {
+				break
+			} else if err != nil {
+				return fmt.Errorf("decoding export: %w", err)
+			}
+			if e.Key == "" || len(e.Result) == 0 {
+				return errors.New("export holds an empty entry")
+			}
+			res, err := core.DecodeResult(e.Result)
+			if err != nil {
+				return err
+			}
+			out.entries = append(out.entries, e)
+			out.results = append(out.results, res)
+		}
+		if want >= 0 && len(out.entries) != want {
+			return fmt.Errorf("prefix export returned %d entries, want %d", len(out.entries), want)
+		}
+		return nil
+	})
+	if err != nil {
+		return flightOutput{}, fmt.Errorf("exporting %s from %s: %w", id, host, err)
 	}
 	return out, nil
 }
@@ -678,6 +1491,8 @@ func (c *run) newRequest(ctx context.Context, method, url string, body io.Reader
 }
 
 // doJSON performs req, requiring status want and decoding the JSON body.
+// Status mismatches surface as *httpStatusError so the retry policy can
+// classify them.
 func (c *run) doJSON(req *http.Request, want int, out any) error {
 	resp, err := c.client.Do(req)
 	if err != nil {
@@ -686,29 +1501,81 @@ func (c *run) doJSON(req *http.Request, want int, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != want {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+		return &httpStatusError{status: resp.StatusCode, msg: string(bytes.TrimSpace(msg))}
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// merge concatenates the shard outputs in shard order into the final
-// sweep, ingesting canonical payloads into the backend along the way.
+// merge verifies the pieces tile the grid exactly, concatenates them in
+// span order into the final sweep, and ingests canonical payloads into
+// the backend along the way.
 func (c *run) merge(backend sweep.Backend) (*Result, error) {
-	res := &Result{Shards: c.reports}
+	c.mu.Lock()
+	pieces := c.pieces
+	warnings := c.warnings
+	hostStates := c.hosts
+	c.mu.Unlock()
+
+	sort.Slice(pieces, func(i, j int) bool { return pieces[i].lo < pieces[j].lo })
+	at := 0
+	for _, p := range pieces {
+		if p.lo != at {
+			return nil, fmt.Errorf("coord: pieces do not tile the grid: gap or overlap at config %d (next piece %s)",
+				at, sweep.FormatSpan(p.lo, p.hi))
+		}
+		at = p.hi
+	}
+	if at != c.total {
+		return nil, fmt.Errorf("coord: pieces cover %d of %d configurations", at, c.total)
+	}
+
+	res := &Result{}
 	records := make([]sweep.Record, 0, c.total)
-	for i := range c.outputs {
-		for k, r := range c.outputs[i].results {
+	for i, p := range pieces {
+		for k, r := range p.results {
 			if backend != nil {
-				e := c.outputs[i].entries[k]
+				e := p.entries[k]
 				if err := sweep.PutEncoded(backend, e.Key, e.Result); err != nil {
-					return nil, fmt.Errorf("coord: ingesting shard %d result: %w", i, err)
+					return nil, fmt.Errorf("coord: ingesting span %s result: %w",
+						sweep.FormatSpan(p.lo, p.hi), err)
 				}
 				res.Ingested++
 			}
 			records = append(records, sweep.NewRecord(r))
 		}
+		rep := ShardReport{
+			Index: i, Lo: p.lo, Hi: p.hi, Host: p.host, JobID: p.jobID,
+			Configs: p.hi - p.lo, Attempts: p.attempts,
+			Stolen: p.stolen, Speculative: p.spec,
+			TraceFallbacks: p.fallbacks,
+		}
+		for _, w := range warnings {
+			if w.hi > p.lo && w.lo < p.hi {
+				rep.Warnings = append(rep.Warnings, w.msg)
+			}
+		}
+		res.Shards = append(res.Shards, rep)
 	}
 	res.Sweep = &sweep.Sweep{Records: records}
+	for _, w := range warnings {
+		res.Warnings = append(res.Warnings, w.msg)
+	}
+	var urls []string
+	for u := range hostStates {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	for _, u := range urls {
+		h := hostStates[u]
+		res.Hosts = append(res.Hosts, HostReport{
+			Host: u, State: h.state, Joined: h.joined,
+			Pieces: h.pieces, Configs: h.configs, Flights: h.flights,
+			Steals: h.steals, Speculations: h.specs,
+		})
+	}
+	if c.progress != nil {
+		c.progress(c.total, c.total)
+	}
 	return res, nil
 }
 

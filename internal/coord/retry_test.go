@@ -1,0 +1,103 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRetryDelayDeterministicAndBounded: the backoff schedule is a pure
+// function of (seed, op, attempt), sits inside (raw/2, raw], and caps
+// at MaxDelay.
+func TestRetryDelayDeterministicAndBounded(t *testing.T) {
+	p := RetryPolicy{}.withDefaults()
+	d1 := p.delay(42, "submit x", 1)
+	if d2 := p.delay(42, "submit x", 1); d2 != d1 {
+		t.Errorf("same (seed, op, attempt) gave %v then %v", d1, d2)
+	}
+	if d3 := p.delay(42, "poll y", 1); d3 == d1 {
+		t.Errorf("distinct ops share the identical jitter %v", d1)
+	}
+	raw := p.BaseDelay << 1 // attempt 1
+	if d1 <= raw/2 || d1 > raw {
+		t.Errorf("attempt-1 delay %v outside jitter window (%v, %v]", d1, raw/2, raw)
+	}
+	for n := 0; n < 64; n++ {
+		if d := p.delay(1, "op", n); d > p.MaxDelay {
+			t.Fatalf("attempt-%d delay %v exceeds cap %v", n, d, p.MaxDelay)
+		}
+	}
+}
+
+// TestRetriableClassification: transport faults and server-side trouble
+// retry; deterministic job failures and client errors do not.
+func TestRetriableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{errors.New("connection reset"), true},
+		{&httpStatusError{status: 500}, true},
+		{&httpStatusError{status: 503}, true},
+		{&httpStatusError{status: 429}, true},
+		{&httpStatusError{status: 408}, true},
+		{&httpStatusError{status: 400}, false},
+		{&httpStatusError{status: 401}, false},
+		{&httpStatusError{status: 404}, false},
+		{&httpStatusError{status: 409}, false},
+		{&jobFailedError{msg: "impossible geometry"}, false},
+	}
+	for _, c := range cases {
+		if got := retriable(c.err); got != c.want {
+			t.Errorf("retriable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// TestRetrierExhaustionAndShortCircuit: a persistent retriable failure
+// burns every attempt and reports exhaustion; a permanent failure stops
+// after one try and comes back unwrapped.
+func TestRetrierExhaustionAndShortCircuit(t *testing.T) {
+	r := newRetrier(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}, 1)
+	slept := 0
+	r.sleep = func(context.Context, time.Duration) error { slept++; return nil }
+
+	calls := 0
+	err := r.do(context.Background(), "op", func(int) error {
+		calls++
+		return errors.New("boom")
+	})
+	if calls != 3 || slept != 2 {
+		t.Errorf("retriable failure: %d calls and %d sleeps, want 3 and 2", calls, slept)
+	}
+	if err == nil || !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Errorf("exhaustion error = %v", err)
+	}
+
+	calls = 0
+	permanent := &httpStatusError{status: 404}
+	err = r.do(context.Background(), "op", func(int) error {
+		calls++
+		return permanent
+	})
+	if calls != 1 {
+		t.Errorf("permanent failure retried: %d calls, want 1", calls)
+	}
+	if !errors.Is(err, permanent) {
+		t.Errorf("permanent error came back wrapped or replaced: %v", err)
+	}
+
+	calls = 0
+	err = r.do(context.Background(), "op", func(attempt int) error {
+		calls++
+		if attempt < 2 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Errorf("eventual success: err=%v after %d calls, want nil after 3", err, calls)
+	}
+}

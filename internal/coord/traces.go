@@ -14,9 +14,9 @@ import (
 	"waycache/internal/tracestore"
 )
 
-// Trace distribution: before any shard job is submitted, every
+// Trace distribution: before any span job is submitted, every
 // trace://<hash> the grid references must be present on every host that
-// will run cells of it — a shard lands on whichever host is free, so a
+// will run cells of it — work lands on whichever host is free, so a
 // trace that exists on only one host would make the others fall back to
 // the walker (observable, but slower and, for imported external
 // workloads, a hard failure). The coordinator closes the gap itself:
@@ -27,39 +27,42 @@ import (
 // no -tracestore, probe errors, failed pushes — are dropped from the
 // run before workers start, exactly like hosts that die mid-run; a
 // hash that exists neither locally nor on any host aborts the run,
-// since no host could replay it. The result: shards may land anywhere,
-// and no host needs a pre-provisioned trace directory.
+// since no host could replay it. The distributor then stays alive for
+// the whole run: hosts joining mid-sweep through the hosts file get the
+// same treatment (ensureHost) before their worker starts. Every
+// transfer runs under the run's shared retry policy. The result: spans
+// may land anywhere at any time, and no host needs a pre-provisioned
+// trace directory.
 
-// distributeTraces returns the hosts that hold (or received) every
-// referenced trace, in input order. A nil local store is replaced by an
-// ephemeral one that lives only for the relay.
-func distributeTraces(ctx context.Context, g sweep.Grid, hosts []string, client *http.Client,
-	reqTimeout time.Duration, local *tracestore.Store, token string, logf func(string, ...any)) ([]string, error) {
-	hashes := referencedHashes(g)
-	if len(hashes) == 0 {
-		return hosts, nil
+// newDistributor builds the run's trace distributor. When the grid
+// references no traces it is inert (init and ensureHost are no-ops).
+// A nil local store is replaced by an ephemeral one that lives until
+// cleanup is called — it must survive the whole run so late joiners can
+// be supplied.
+func newDistributor(g sweep.Grid, client *http.Client, reqTimeout time.Duration,
+	local *tracestore.Store, token string, retry *retrier, logf func(string, ...any)) (*distributor, func(), error) {
+	d := &distributor{
+		client: client, reqTimeout: reqTimeout, store: local,
+		token: token, retry: retry, logf: logf,
+		hashes: referencedHashes(g),
 	}
-	if local == nil {
+	cleanup := func() {}
+	if len(d.hashes) > 0 && d.store == nil {
 		// No local store: relay donor-host objects through a temp store,
 		// which hash-verifies them exactly like a durable one would.
 		dir, err := os.MkdirTemp("", "waycache-coord-traces-")
 		if err != nil {
-			return nil, fmt.Errorf("coord: %w", err)
+			return nil, nil, fmt.Errorf("coord: %w", err)
 		}
-		defer os.RemoveAll(dir)
-		if local, err = tracestore.Open(dir); err != nil {
-			return nil, err
+		store, err := tracestore.Open(dir)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
 		}
+		d.store = store
+		cleanup = func() { os.RemoveAll(dir) }
 	}
-	d := &distributor{client: client, reqTimeout: reqTimeout, store: local, token: token, logf: logf}
-	live := hosts
-	for _, hash := range hashes {
-		var err error
-		if live, err = d.distribute(ctx, hash, live); err != nil {
-			return nil, err
-		}
-	}
-	return live, nil
+	return d, cleanup, nil
 }
 
 // referencedHashes returns the grid's distinct trace hashes, sorted so
@@ -82,7 +85,47 @@ type distributor struct {
 	reqTimeout time.Duration
 	store      *tracestore.Store
 	token      string
+	retry      *retrier
 	logf       func(string, ...any)
+	hashes     []string
+}
+
+// init brings every starting host up to date on every referenced hash
+// and returns the hosts still eligible for the run, preserving order.
+func (d *distributor) init(ctx context.Context, hosts []string) ([]string, error) {
+	live := hosts
+	for _, hash := range d.hashes {
+		var err error
+		if live, err = d.distribute(ctx, hash, live); err != nil {
+			return nil, err
+		}
+	}
+	return live, nil
+}
+
+// ensureHost brings one late-joining host up to date on every referenced
+// hash, fetching from donors (current active hosts) anything the local
+// store lacks. An error means the host must not join the run.
+func (d *distributor) ensureHost(ctx context.Context, host string, donors []string) error {
+	for _, hash := range d.hashes {
+		ok, err := d.has(ctx, host, hash)
+		if err != nil {
+			return fmt.Errorf("probing trace %s: %w", trace.ShortHash(hash), err)
+		}
+		if ok {
+			continue
+		}
+		if !d.store.Has(hash) {
+			if err := d.fetchFromAny(ctx, hash, donors); err != nil {
+				return err
+			}
+		}
+		if err := d.push(ctx, host, hash); err != nil {
+			return fmt.Errorf("pushing trace %s: %w", trace.ShortHash(hash), err)
+		}
+		d.logf("coord: pushed trace %s -> %s", trace.ShortHash(hash), host)
+	}
+	return nil
 }
 
 // newRequest builds one trace-API request, attaching the fleet's bearer
@@ -136,7 +179,7 @@ func (d *distributor) distribute(ctx context.Context, hash string, hosts []strin
 // from a donor host when it does not. A hash that exists nowhere aborts
 // the run: no amount of reassignment could replay it.
 func (d *distributor) ensureLocal(ctx context.Context, hash string, hosts []string, have map[string]bool) error {
-	if d.store.Has(hash) {
+	if d.store != nil && d.store.Has(hash) {
 		return nil
 	}
 	for _, h := range hosts {
@@ -153,73 +196,102 @@ func (d *distributor) ensureLocal(ctx context.Context, hash string, hosts []stri
 		trace.ShortHash(hash))
 }
 
-// has probes one host for one hash without transferring bytes.
+// fetchFromAny pulls hash from the first donor that has it.
+func (d *distributor) fetchFromAny(ctx context.Context, hash string, donors []string) error {
+	for _, h := range donors {
+		ok, err := d.has(ctx, h, hash)
+		if err != nil || !ok {
+			continue
+		}
+		if err := d.fetch(ctx, h, hash); err != nil {
+			d.logf("coord: fetching trace %s from %s: %v", trace.ShortHash(hash), h, err)
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("trace %s is no longer available from any active host", trace.ShortHash(hash))
+}
+
+// has probes one host for one hash without transferring bytes, retrying
+// transport faults under the shared policy.
 func (d *distributor) has(ctx context.Context, host, hash string) (bool, error) {
-	rctx, cancel := context.WithTimeout(ctx, d.reqTimeout)
-	defer cancel()
-	req, err := d.newRequest(rctx, http.MethodHead, host+"/api/v1/traces/"+hash, nil)
-	if err != nil {
-		return false, err
-	}
-	resp, err := d.client.Do(req)
-	if err != nil {
-		return false, err
-	}
-	resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-		return true, nil
-	case http.StatusNotFound:
-		return false, nil
-	default:
-		return false, fmt.Errorf("status %d", resp.StatusCode)
-	}
+	var found bool
+	err := d.retry.do(ctx, "trace-probe "+trace.ShortHash(hash), func(int) error {
+		rctx, cancel := context.WithTimeout(ctx, d.reqTimeout)
+		defer cancel()
+		req, err := d.newRequest(rctx, http.MethodHead, host+"/api/v1/traces/"+hash, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := d.client.Do(req)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			found = true
+			return nil
+		case http.StatusNotFound:
+			found = false
+			return nil
+		default:
+			return &httpStatusError{status: resp.StatusCode}
+		}
+	})
+	return found, err
 }
 
 // fetch pulls hash's bytes from a donor host into the local store, which
 // verifies them against the hash before committing — a corrupt transfer
-// is rejected here, never relayed onward.
+// is rejected here, never relayed onward. The whole transfer retries
+// under the policy; PutExpected makes a torn retry harmless.
 func (d *distributor) fetch(ctx context.Context, host, hash string) error {
-	rctx, cancel := context.WithTimeout(ctx, 10*d.reqTimeout)
-	defer cancel()
-	req, err := d.newRequest(rctx, http.MethodGet, host+"/api/v1/traces/"+hash, nil)
-	if err != nil {
+	return d.retry.do(ctx, "trace-fetch "+trace.ShortHash(hash), func(int) error {
+		rctx, cancel := context.WithTimeout(ctx, 10*d.reqTimeout)
+		defer cancel()
+		req, err := d.newRequest(rctx, http.MethodGet, host+"/api/v1/traces/"+hash, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := d.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return &httpStatusError{status: resp.StatusCode}
+		}
+		_, _, err = d.store.PutExpected(resp.Body, hash)
 		return err
-	}
-	resp, err := d.client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("status %d", resp.StatusCode)
-	}
-	_, _, err = d.store.PutExpected(resp.Body, hash)
-	return err
+	})
 }
 
-// push uploads the local copy of hash to one host.
+// push uploads the local copy of hash to one host. PUT against a
+// content-addressed object is idempotent, so retries are safe.
 func (d *distributor) push(ctx context.Context, host, hash string) error {
-	f, size, err := d.store.Open(hash)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	rctx, cancel := context.WithTimeout(ctx, 10*d.reqTimeout)
-	defer cancel()
-	req, err := d.newRequest(rctx, http.MethodPut, host+"/api/v1/traces/"+hash, f)
-	if err != nil {
-		return err
-	}
-	req.ContentLength = size
-	req.Header.Set("Content-Type", "application/octet-stream")
-	resp, err := d.client.Do(req)
-	if err != nil {
-		return err
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("status %d", resp.StatusCode)
-	}
-	return nil
+	return d.retry.do(ctx, "trace-push "+trace.ShortHash(hash), func(int) error {
+		f, size, err := d.store.Open(hash)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rctx, cancel := context.WithTimeout(ctx, 10*d.reqTimeout)
+		defer cancel()
+		req, err := d.newRequest(rctx, http.MethodPut, host+"/api/v1/traces/"+hash, f)
+		if err != nil {
+			return err
+		}
+		req.ContentLength = size
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := d.client.Do(req)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+			return &httpStatusError{status: resp.StatusCode}
+		}
+		return nil
+	})
 }

@@ -1,0 +1,305 @@
+// Package faultinject is a scriptable fault-injection proxy for chaos
+// testing the distributed sweep stack. A Proxy wraps any http.Handler
+// (typically a real internal/server instance) and perturbs traffic on a
+// deterministic, seeded schedule: dropped connections, truncated
+// responses, latency spikes, 5xx bursts, and whole-host freezes.
+//
+// Determinism is the point. Every probabilistic decision flows through a
+// splitmix64 stream keyed by (seed, rule, match ordinal), so a chaos test
+// that fails replays identically from its seed — no flaky "sometimes the
+// connection drops" tests. Schedules are expressed per rule: After skips
+// the first N matching requests, Every fires on each Nth match after
+// that, Count bounds total firings, Prob gates each firing on the seeded
+// stream. Unmatched (or unfired) requests pass through untouched.
+//
+//	proxy := faultinject.New(backend, 42,
+//	    faultinject.Rule{Method: "GET", Path: "/export", Kind: faultinject.Truncate, After: 1, Count: 2, Bytes: 100},
+//	    faultinject.Rule{Path: "/jobs", Kind: faultinject.Status, Code: 502, Every: 3},
+//	)
+//	ts := httptest.NewServer(proxy)
+//
+// Freezing — a host that accepts connections and then never answers, the
+// way a SIGSTOPped or livelocked process behaves — is both a rule kind
+// (deterministic schedule) and an imperative switch (Freeze/Unfreeze)
+// for tests that choreograph the timeline themselves.
+package faultinject
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind is the failure mode a rule injects.
+type Kind int
+
+const (
+	// Drop severs the connection before any response bytes are written —
+	// the client sees a transport error, not an HTTP status.
+	Drop Kind = iota
+	// Truncate forwards the response but cuts the body after Bytes
+	// bytes and severs the connection — a mid-stream disconnect.
+	Truncate
+	// Delay sleeps Delay before forwarding, then serves normally — a
+	// latency spike (the request still succeeds).
+	Delay
+	// Status short-circuits with an HTTP error response of Code
+	// (default 502) without reaching the backend — a 5xx burst.
+	Status
+	// Freeze holds the request open, never answering, until the proxy
+	// is unfrozen or the client gives up — a wedged host.
+	Freeze
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Drop:
+		return "drop"
+	case Truncate:
+		return "truncate"
+	case Delay:
+		return "delay"
+	case Status:
+		return "status"
+	case Freeze:
+		return "freeze"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Rule matches requests and injects one failure mode on a schedule.
+// Matching is by substring: a request matches when Method equals the
+// request method (empty matches all) and Path is a substring of the URL
+// path (empty matches all).
+type Rule struct {
+	Method string
+	Path   string
+	Kind   Kind
+
+	// Schedule: of the requests this rule matches, skip the first After,
+	// then fire on every Every-th (0 or 1: every one), at most Count
+	// times total (0: unlimited). Prob, when in (0, 1), additionally
+	// gates each would-be firing on the rule's seeded random stream.
+	After int
+	Every int
+	Count int
+	Prob  float64
+
+	// Mode parameters.
+	Delay time.Duration // Delay kind: how long to stall
+	Bytes int           // Truncate kind: body bytes to let through
+	Code  int           // Status kind: response code (default 502)
+}
+
+// Proxy wraps a handler with fault injection. Safe for concurrent use.
+type Proxy struct {
+	inner http.Handler
+	seed  uint64
+
+	mu      sync.Mutex
+	rules   []*ruleState
+	frozen  bool
+	thaw    chan struct{}
+	counts  map[string]int // fired faults by "<kind> <method> <path>"
+	matched int
+}
+
+type ruleState struct {
+	Rule
+	matches int // requests matched so far
+	fired   int // faults injected so far
+	rng     uint64
+}
+
+// New wraps inner with seeded fault rules.
+func New(inner http.Handler, seed uint64, rules ...Rule) *Proxy {
+	p := &Proxy{
+		inner: inner, seed: seed,
+		thaw:   make(chan struct{}),
+		counts: make(map[string]int),
+	}
+	for i, r := range rules {
+		if r.Kind == Status && r.Code == 0 {
+			r.Code = http.StatusBadGateway
+		}
+		// Each rule gets its own deterministic stream, keyed by the proxy
+		// seed and the rule's position.
+		p.rules = append(p.rules, &ruleState{Rule: r, rng: splitmix(seed + uint64(i)*0x9e3779b97f4a7c15 + 1)})
+	}
+	return p
+}
+
+// splitmix advances a splitmix64 state and returns the mixed output.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Freeze makes the proxy hold every subsequent request open without
+// answering, emulating a SIGSTOPped host. Idempotent.
+func (p *Proxy) Freeze() {
+	p.mu.Lock()
+	p.frozen = true
+	p.mu.Unlock()
+}
+
+// Unfreeze releases every held request (they proceed to the backend) and
+// resumes normal service. Idempotent.
+func (p *Proxy) Unfreeze() {
+	p.mu.Lock()
+	if p.frozen {
+		p.frozen = false
+		close(p.thaw)
+		p.thaw = make(chan struct{})
+	}
+	p.mu.Unlock()
+}
+
+// Faults reports how many faults of each kind have fired, keyed
+// "<kind> <method> <path>" by the rule's matcher — a test's evidence
+// that its chaos schedule actually exercised something.
+func (p *Proxy) Faults() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int, len(p.counts))
+	for k, v := range p.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// decide picks the fault (if any) for this request. Separated from
+// ServeHTTP so all state mutation happens under one lock acquisition.
+func (p *Proxy) decide(r *http.Request) (*ruleState, bool, chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.matched++
+	if p.frozen {
+		return nil, true, p.thaw
+	}
+	for _, rs := range p.rules {
+		if rs.Method != "" && rs.Method != r.Method {
+			continue
+		}
+		if rs.Path != "" && !strings.Contains(r.URL.Path, rs.Path) {
+			continue
+		}
+		rs.matches++
+		if rs.matches <= rs.After {
+			continue
+		}
+		if rs.Count > 0 && rs.fired >= rs.Count {
+			continue
+		}
+		if rs.Every > 1 && (rs.matches-rs.After-1)%rs.Every != 0 {
+			continue
+		}
+		if rs.Prob > 0 && rs.Prob < 1 {
+			rs.rng = splitmix(rs.rng)
+			if float64(rs.rng>>11)/float64(1<<53) >= rs.Prob {
+				continue
+			}
+		}
+		rs.fired++
+		p.counts[fmt.Sprintf("%s %s %s", rs.Kind, rs.Method, rs.Path)]++
+		return rs, false, nil
+	}
+	return nil, false, nil
+}
+
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rs, frozen, thaw := p.decide(r)
+	if frozen {
+		// Hold the request open until unfrozen or the client hangs up.
+		select {
+		case <-thaw:
+			p.inner.ServeHTTP(w, r)
+		case <-r.Context().Done():
+		}
+		return
+	}
+	if rs == nil {
+		p.inner.ServeHTTP(w, r)
+		return
+	}
+	switch rs.Kind {
+	case Drop:
+		// net/http aborts the connection without a reply when a handler
+		// panics with ErrAbortHandler — exactly a dropped connection.
+		panic(http.ErrAbortHandler)
+	case Delay:
+		select {
+		case <-time.After(rs.Delay):
+		case <-r.Context().Done():
+			return
+		}
+		p.inner.ServeHTTP(w, r)
+	case Status:
+		http.Error(w, fmt.Sprintf("faultinject: scripted %d", rs.Code), rs.Code)
+	case Truncate:
+		tw := &truncatingWriter{ResponseWriter: w, remaining: rs.Bytes}
+		p.inner.ServeHTTP(tw, r)
+		if tw.truncated {
+			panic(http.ErrAbortHandler) // sever after the partial body
+		}
+	case Freeze:
+		select {
+		case <-thawOf(p):
+			p.inner.ServeHTTP(w, r)
+		case <-r.Context().Done():
+		}
+	default:
+		p.inner.ServeHTTP(w, r)
+	}
+}
+
+// thawOf snapshots the current thaw channel (a scheduled Freeze rule
+// behaves like an imperative freeze for just that request).
+func thawOf(p *Proxy) chan struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.thaw
+}
+
+// truncatingWriter lets Bytes bytes through, then swallows the rest and
+// marks the response for connection abort.
+type truncatingWriter struct {
+	http.ResponseWriter
+	remaining int
+	truncated bool
+}
+
+func (t *truncatingWriter) Write(b []byte) (int, error) {
+	if t.truncated {
+		return len(b), nil // swallow, pretend success so the handler finishes
+	}
+	if len(b) <= t.remaining {
+		t.remaining -= len(b)
+		return t.ResponseWriter.Write(b)
+	}
+	n := t.remaining
+	t.remaining = 0
+	t.truncated = true
+	if n > 0 {
+		if _, err := t.ResponseWriter.Write(b[:n]); err != nil {
+			return 0, err
+		}
+	}
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush() // force the partial body onto the wire before the abort
+	}
+	return len(b), nil
+}
+
+// Flush preserves SSE streaming through the truncating writer.
+func (t *truncatingWriter) Flush() {
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

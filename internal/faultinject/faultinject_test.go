@@ -1,0 +1,200 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func backend() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, strings.Repeat("x", 1000))
+	})
+}
+
+func get(t *testing.T, url string) (int, string, error) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body), err
+}
+
+// TestStatusSchedule: After skips, Every strides, Count bounds.
+func TestStatusSchedule(t *testing.T) {
+	p := New(backend(), 1, Rule{Kind: Status, Code: 503, After: 1, Every: 2, Count: 2})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	var codes []int
+	for i := 0; i < 6; i++ {
+		code, _, err := get(t, ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		codes = append(codes, code)
+	}
+	// Match 1 skipped (After), then every 2nd: matches 2 and 4 fire,
+	// match 6 would but Count=2 exhausted.
+	want := []int{200, 503, 200, 503, 200, 200}
+	for i, c := range codes {
+		if c != want[i] {
+			t.Errorf("request %d -> %d, want %d (all: %v)", i+1, c, want[i], codes)
+		}
+	}
+	if got := p.Faults()["status  "]; got != 2 {
+		t.Errorf("fault count = %d, want 2", got)
+	}
+}
+
+// TestDropSeversConnection: the client must see a transport error, not a
+// status.
+func TestDropSeversConnection(t *testing.T) {
+	p := New(backend(), 1, Rule{Kind: Drop, Count: 1})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	if _, _, err := get(t, ts.URL); err == nil {
+		t.Fatal("dropped request returned a response")
+	}
+	if _, body, err := get(t, ts.URL); err != nil || len(body) != 1000 {
+		t.Fatalf("request after drop: err=%v len=%d, want full body", err, len(body))
+	}
+}
+
+// TestTruncateCutsBody: the client reads exactly Bytes bytes then a
+// broken stream.
+func TestTruncateCutsBody(t *testing.T) {
+	p := New(backend(), 1, Rule{Kind: Truncate, Bytes: 100, Count: 1})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err == nil {
+		t.Error("truncated body read cleanly to EOF")
+	}
+	if len(body) != 100 {
+		t.Errorf("read %d bytes before the cut, want 100", len(body))
+	}
+}
+
+// TestDelayStalls: the request succeeds but not before the spike.
+func TestDelayStalls(t *testing.T) {
+	p := New(backend(), 1, Rule{Kind: Delay, Delay: 150 * time.Millisecond, Count: 1})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	start := time.Now()
+	if code, _, err := get(t, ts.URL); err != nil || code != 200 {
+		t.Fatalf("delayed request: code=%d err=%v", code, err)
+	}
+	if d := time.Since(start); d < 150*time.Millisecond {
+		t.Errorf("request finished in %v, want >= 150ms", d)
+	}
+}
+
+// TestFreezeAndUnfreeze: frozen requests hang; unfreezing releases them.
+func TestFreezeAndUnfreeze(t *testing.T) {
+	p := New(backend(), 1)
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	p.Freeze()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	codeCh := make(chan int, 1)
+	go func() {
+		defer wg.Done()
+		code, _, err := get(t, ts.URL)
+		if err == nil {
+			codeCh <- code
+		}
+	}()
+	select {
+	case <-codeCh:
+		t.Fatal("request completed against a frozen proxy")
+	case <-time.After(100 * time.Millisecond):
+	}
+	p.Unfreeze()
+	wg.Wait()
+	select {
+	case code := <-codeCh:
+		if code != 200 {
+			t.Errorf("thawed request -> %d", code)
+		}
+	default:
+		t.Error("thawed request never completed")
+	}
+}
+
+// TestProbIsDeterministic: the same seed yields the same fault pattern.
+func TestProbIsDeterministic(t *testing.T) {
+	pattern := func(seed uint64) string {
+		p := New(backend(), seed, Rule{Kind: Status, Prob: 0.5})
+		ts := httptest.NewServer(p)
+		defer ts.Close()
+		var b strings.Builder
+		for i := 0; i < 32; i++ {
+			code, _, err := get(t, ts.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if code == 200 {
+				b.WriteByte('.')
+			} else {
+				b.WriteByte('X')
+			}
+		}
+		return b.String()
+	}
+	a, b := pattern(7), pattern(7)
+	if a != b {
+		t.Errorf("same seed, different patterns:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(a, "X") || !strings.Contains(a, ".") {
+		t.Errorf("Prob=0.5 pattern %q fired always or never", a)
+	}
+	if c := pattern(8); c == a {
+		t.Errorf("different seeds produced the identical pattern %q", a)
+	}
+}
+
+// TestMethodAndPathMatch: rules only perturb what they name.
+func TestMethodAndPathMatch(t *testing.T) {
+	p := New(backend(), 1, Rule{Method: "POST", Path: "/jobs", Kind: Status})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	if code, _, _ := get(t, ts.URL+"/jobs"); code != 200 {
+		t.Errorf("GET /jobs -> %d, want pass-through", code)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("POST /jobs -> %d, want injected 502", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/other", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("POST /other -> %d, want pass-through", resp.StatusCode)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -54,6 +55,49 @@ func ParseAuthTokens(s string) (map[string]string, error) {
 	return tokens, nil
 }
 
+// ParseAuthTokensFile parses a token file for -auth-tokens-file: one
+// name=token entry per line, with blank lines and #-comment lines
+// ignored. The same duplicate and emptiness rules as ParseAuthTokens
+// apply. Operators rotate credentials by rewriting this file and sending
+// waycached a SIGHUP (the daemon also polls the file's mtime).
+func ParseAuthTokensFile(path string) (map[string]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		entries = append(entries, line)
+	}
+	tokens, err := ParseAuthTokens(strings.Join(entries, ","))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tokens, nil
+}
+
+// SetAuthTokens atomically replaces the live bearer-token map. Requests
+// already past authentication are unaffected, and jobs keep the
+// fair-share identity captured at submission: rotating a client's token
+// never re-owns or interrupts its in-flight work. Only meaningful on a
+// server constructed in token mode (non-empty Options.AuthTokens); the
+// replacement map must be non-empty, since an empty one would silently
+// flip the server open.
+func (s *Server) SetAuthTokens(tokens map[string]string) error {
+	if len(s.opts.AuthTokens) == 0 {
+		return fmt.Errorf("server was started open (no -auth-tokens); token rotation needs token mode")
+	}
+	if len(tokens) == 0 {
+		return fmt.Errorf("refusing to rotate to an empty token set")
+	}
+	s.tokens.Store(&tokens)
+	return nil
+}
+
 // identityKey carries the authenticated client identity in the request
 // context, from the auth wrapper to the submit handler (budget owner).
 type ctxKey int
@@ -87,7 +131,7 @@ func (s *Server) authenticate(r *http.Request) (string, bool) {
 	if !ok {
 		return "", false
 	}
-	for token, name := range s.opts.AuthTokens {
+	for token, name := range *s.tokens.Load() {
 		if subtle.ConstantTimeCompare([]byte(token), []byte(bearer)) == 1 {
 			return name, true
 		}

@@ -47,6 +47,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"waycache/internal/core"
@@ -125,6 +126,13 @@ type Server struct {
 	budget  *sweep.Budget // shared simulation budget across all jobs
 	limiter *rateLimiter  // nil when RatePerSec == 0
 
+	// tokens holds the live bearer-token map (token -> client name),
+	// swapped atomically by SetAuthTokens so operators can rotate
+	// credentials without a restart. Seeded from Options.AuthTokens; the
+	// auth mode (open vs token) is fixed at construction — rotation
+	// replaces tokens, it never opens or closes the server.
+	tokens atomic.Pointer[map[string]string]
+
 	ctx    context.Context // parent of every job context; cancelled on Close
 	cancel context.CancelFunc
 	stopWG sync.WaitGroup // one count per live job goroutine
@@ -160,6 +168,7 @@ func New(opts Options) *Server {
 		cancel: cancel,
 		jobs:   make(map[string]*job),
 	}
+	s.tokens.Store(&opts.AuthTokens)
 	if opts.RatePerSec > 0 {
 		s.limiter = newRateLimiter(opts.RatePerSec, opts.RateBurst)
 	}
@@ -237,14 +246,17 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	cfgs := j.grid.Configs()
-	if j.shardN > 0 {
+	switch {
+	case j.hasSpan:
+		cfgs = cfgs[j.spanLo:j.spanHi]
+	case j.shardN > 0:
 		cfgs = sweep.Shard(cfgs, j.shardI, j.shardN)
 	}
 	// A fresh engine per job gives it a private progress feed and trace
 	// fallback report; the shared store still deduplicates simulations
 	// across jobs and processes, and the shared budget meters the ones
 	// that actually run.
-	eng := sweep.New(sweep.Options{
+	o := sweep.Options{
 		Workers:    s.opts.Workers,
 		Store:      s.store,
 		TraceDir:   s.opts.TraceDir,
@@ -252,12 +264,19 @@ func (s *Server) runJob(j *job) {
 		Progress:   j.setProgress,
 		Budget:     s.budget,
 		Owner:      j.owner,
-	})
+	}
+	if j.exportable {
+		// Exportable jobs track per-config completion so a running job
+		// can answer partial (watermark-bounded) exports.
+		j.beginPartial(cfgs)
+		o.OnResult = j.noteResult
+	}
+	eng := sweep.New(o)
 	results, err := eng.RunConfigs(j.ctx, cfgs)
 	j.finish(cfgs, results, eng.TraceFallbacks(), err)
 }
 
-// job is one submitted grid (or grid shard) and its lifecycle.
+// job is one submitted grid (or grid shard/span) and its lifecycle.
 type job struct {
 	id    string
 	name  string // optional client-supplied identity
@@ -266,10 +285,16 @@ type job struct {
 	// shardN > 0 selects sweep.Shard(cfgs, shardI, shardN) of the
 	// expanded grid.
 	shardI, shardN int
+	// hasSpan selects cfgs[spanLo:spanHi] of the expanded grid — the
+	// range form shard re-splitting produces (a stolen remainder is an
+	// arbitrary contiguous range, not an i/n slice).
+	spanLo, spanHi int
+	hasSpan        bool
 	total          int
-	// exportable jobs (named or sharded — the coordinator's) retain
-	// their canonical export entries after finishing; anonymous whole
-	// grid jobs keep only their Sweep, the pre-distribution footprint.
+	// exportable jobs (named, sharded or spanned — the coordinator's)
+	// retain their canonical export entries after finishing; anonymous
+	// whole grid jobs keep only their Sweep, the pre-distribution
+	// footprint.
 	exportable bool
 
 	// ctx governs the job's simulations; cancel is safe to call from any
@@ -286,6 +311,18 @@ type job struct {
 	exports   []ExportEntry // canonical key+payload per config, job order
 	sweep     *sweep.Sweep
 	changed   chan struct{} // closed and replaced on every status change
+
+	// Partial-progress export state, tracked only for exportable jobs
+	// while running: cfgs is the job's config slice, partial holds each
+	// finished result at its config position, and wm is the watermark —
+	// the longest finished prefix. The watermark is what lets a
+	// coordinator steal a straggler's un-exported remainder: everything
+	// before wm is exportable now (GET export?prefix=w), everything from
+	// wm on is re-submittable elsewhere. All three are released when the
+	// job finishes (the full exports replace them).
+	cfgs    []core.Config
+	partial []*core.Result
+	wm      int
 }
 
 // notifyLocked wakes every event stream watching the job. Call with
@@ -313,9 +350,18 @@ type JobStatus struct {
 	// Shard is "i/n" when the job runs one deterministic shard of its
 	// grid rather than the whole expansion.
 	Shard string `json:"shard,omitempty"`
+	// Span is "lo-hi" when the job runs the contiguous config range
+	// [lo, hi) of its expanded grid (how a coordinator re-submits a
+	// stolen shard remainder).
+	Span  string `json:"span,omitempty"`
 	Done  int    `json:"done"`
 	Total int    `json:"total"`
-	Error string `json:"error,omitempty"`
+	// Watermark is the longest finished prefix of an exportable job's
+	// configs: everything before it is servable by GET export?prefix=w
+	// right now, even while the job is still running. It reaches Total
+	// when the job is done.
+	Watermark int    `json:"watermark,omitempty"`
+	Error     string `json:"error,omitempty"`
 	// TraceFallbacks maps each benchmark that re-simulated from the
 	// walker (instead of replaying its capture) to the reason. Empty when
 	// every benchmark replayed or the server has no trace directory.
@@ -339,6 +385,30 @@ func (j *job) setProgress(done, total int) {
 	j.mu.Lock()
 	j.done = done
 	j.notifyLocked()
+	j.mu.Unlock()
+}
+
+// beginPartial arms partial-export tracking for a starting exportable job.
+func (j *job) beginPartial(cfgs []core.Config) {
+	j.mu.Lock()
+	j.cfgs = cfgs
+	j.partial = make([]*core.Result, len(cfgs))
+	j.wm = 0
+	j.mu.Unlock()
+}
+
+// noteResult records one finished config (engine OnResult) and advances
+// the watermark over the contiguous finished prefix. Watermark changes
+// reach event-stream watchers through the progress notification that
+// follows every completion, so no extra wakeup is needed here.
+func (j *job) noteResult(i int, res *core.Result) {
+	j.mu.Lock()
+	if j.partial != nil && i < len(j.partial) {
+		j.partial[i] = res
+		for j.wm < len(j.partial) && j.partial[j.wm] != nil {
+			j.wm++
+		}
+	}
 	j.mu.Unlock()
 }
 
@@ -372,9 +442,16 @@ func (j *job) finish(cfgs []core.Config, results []*core.Result, fallbacks map[s
 	}
 	j.mu.Lock()
 	j.fallbacks = fallbacks
+	// Partial-export tracking ends with the run: a done job serves
+	// prefixes from its full exports, and a failed or cancelled job's
+	// watermark freezes at whatever prefix had finished (a stealing
+	// coordinator exports that prefix *before* cancelling, so the frozen
+	// value is only informational).
+	j.cfgs, j.partial = nil, nil
 	switch {
 	case err == nil:
 		j.state = "done"
+		j.wm = len(results)
 		j.sweep = sweep.NewSweep(results)
 		// The raw configs and results are not retained: the Sweep holds
 		// the records, exports (when built) hold the canonical payloads,
@@ -441,11 +518,14 @@ func (j *job) doomed() bool {
 func (j *job) statusLocked() JobStatus {
 	st := JobStatus{
 		ID: j.id, Name: j.name, State: j.state,
-		Done: j.done, Total: j.total, Error: j.err,
+		Done: j.done, Total: j.total, Watermark: j.wm, Error: j.err,
 		TraceFallbacks: j.fallbacks,
 	}
 	if j.shardN > 0 {
 		st.Shard = sweep.FormatShard(j.shardI, j.shardN)
+	}
+	if j.hasSpan {
+		st.Span = sweep.FormatSpan(j.spanLo, j.spanHi)
 	}
 	return st
 }
@@ -469,6 +549,34 @@ func (j *job) export() ([]ExportEntry, JobStatus, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.exports, j.statusLocked(), j.state == "done"
+}
+
+// exportPrefix returns the job's first n canonical export entries. A done
+// job serves any n up to its total; a running job serves any n up to its
+// watermark — the partial-progress export a coordinator uses to steal a
+// straggler's finished prefix before re-submitting the remainder
+// elsewhere. Watermarks only grow, so an n read from a status snapshot
+// can never race past the exportable prefix.
+func (j *job) exportPrefix(n int) ([]ExportEntry, JobStatus, bool) {
+	j.mu.Lock()
+	if j.state == "done" {
+		defer j.mu.Unlock()
+		if n > len(j.exports) {
+			return nil, j.statusLocked(), false
+		}
+		return j.exports[:n], j.statusLocked(), true
+	}
+	if j.state != "running" || j.partial == nil || n > j.wm {
+		defer j.mu.Unlock()
+		return nil, j.statusLocked(), false
+	}
+	st := j.statusLocked()
+	// Snapshot under the lock, encode outside it: everything before the
+	// watermark is set-once and immutable, so the canonical encode must
+	// not serialize against the job's progress callbacks.
+	cfgs, partial := j.cfgs[:n], j.partial[:n]
+	j.mu.Unlock()
+	return buildExports(cfgs, partial), st, true
 }
 
 // --- handlers ---
@@ -495,6 +603,12 @@ type JobRequest struct {
 	// expanded grid (sweep.Shard), whose concatenation in shard order is
 	// the full grid.
 	Shard string `json:"shard"`
+	// Span is "lo-hi": run only the contiguous config range [lo, hi) of
+	// the expanded grid. This is the work-unit form the elastic
+	// coordinator submits — an initial shard is sweep.SpanOf of the grid,
+	// and a remainder stolen from a straggler is whatever range was left.
+	// Mutually exclusive with Shard.
+	Span string `json:"span"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -523,12 +637,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var shardI, shardN int
-	if req.Shard != "" {
+	var spanLo, spanHi int
+	hasSpan := false
+	switch {
+	case req.Shard != "" && req.Span != "":
+		writeError(w, http.StatusBadRequest, errors.New("a submission carries a shard or a span, not both"))
+		return
+	case req.Shard != "":
 		if shardI, shardN, err = sweep.ParseShard(req.Shard); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
 		total = sweep.ShardLen(total, shardI, shardN)
+	case req.Span != "":
+		if spanLo, spanHi, err = sweep.ParseSpan(req.Span); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if spanHi > total {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("span %s exceeds the grid's %d configurations", req.Span, total))
+			return
+		}
+		hasSpan = true
+		total = spanHi - spanLo
 	}
 
 	s.mu.Lock()
@@ -546,7 +678,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			if jj.name != req.Name || jj.doomed() {
 				continue
 			}
-			if !reflect.DeepEqual(jj.grid, g) || jj.shardI != shardI || jj.shardN != shardN {
+			if !reflect.DeepEqual(jj.grid, g) || jj.shardI != shardI || jj.shardN != shardN ||
+				jj.hasSpan != hasSpan || jj.spanLo != spanLo || jj.spanHi != spanHi {
 				st := jj.status()
 				s.mu.Unlock()
 				writeError(w, http.StatusConflict,
@@ -577,8 +710,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		id: fmt.Sprintf("job-%d", s.nextID), name: req.Name,
 		owner: clientID(r),
 		grid:  g, shardI: shardI, shardN: shardN,
+		spanLo: spanLo, spanHi: spanHi, hasSpan: hasSpan,
 		total: total, state: "queued",
-		exportable: req.Name != "" || shardN > 0,
+		exportable: req.Name != "" || shardN > 0 || hasSpan,
 		ctx:        jctx, cancel: jcancel,
 		changed: make(chan struct{}),
 	}
@@ -700,8 +834,26 @@ func (s *Server) handleJobExport(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("job %s was submitted without a name or shard and has no export; use /results", j.id))
 		return
 	}
-	exports, st, done := j.export()
-	if !done {
+	var (
+		exports []ExportEntry
+		st      JobStatus
+		ok      bool
+	)
+	if p := r.URL.Query().Get("prefix"); p != "" {
+		// ?prefix=N serves the first N canonical entries. Against a running
+		// job this is the partial-progress export the elastic coordinator
+		// uses to bank a straggler's finished prefix before stealing the
+		// remainder; N must not exceed the job's watermark.
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad prefix %q: want a non-negative integer", p))
+			return
+		}
+		exports, st, ok = j.exportPrefix(n)
+	} else {
+		exports, st, ok = j.export()
+	}
+	if !ok {
 		writeJSON(w, http.StatusConflict, st)
 		return
 	}

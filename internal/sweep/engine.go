@@ -38,6 +38,13 @@ type Options struct {
 	// Progress, when non-nil, receives a completion event per finished
 	// job. Calls are serialized by the engine.
 	Progress Progress
+	// OnResult, when non-nil, receives every successfully completed
+	// configuration as (input index, result) the moment it finishes —
+	// simulated or recalled from memo alike. Calls are serialized by the
+	// engine but arrive in completion order, not input order; callers that
+	// need the longest finished prefix (the HTTP service's partial-export
+	// watermark) track it themselves.
+	OnResult func(index int, res *core.Result)
 	// TraceDir, when non-empty, resolves benchmark names to captured
 	// trace files (<dir>/<benchmark>.wct, written by tracegen -capture):
 	// jobs whose benchmark has a valid capture covering the run replay it
@@ -69,6 +76,7 @@ type Engine struct {
 	workers  int
 	store    *Store
 	progress Progress
+	onResult func(int, *core.Result)
 	progMu   sync.Mutex
 	traces   *traceResolver
 	budget   *Budget
@@ -85,8 +93,9 @@ func New(o Options) *Engine {
 	}
 	return &Engine{
 		workers: o.Workers, store: o.Store, progress: o.Progress,
-		traces: newTraceResolver(o.TraceDir, o.TraceStore),
-		budget: o.Budget, owner: o.Owner,
+		onResult: o.OnResult,
+		traces:   newTraceResolver(o.TraceDir, o.TraceStore),
+		budget:   o.Budget, owner: o.Owner,
 	}
 }
 
@@ -170,6 +179,11 @@ func (e *Engine) RunConfigs(ctx context.Context, cfgs []core.Config) ([]*core.Re
 						errOnce.Do(func() { runErr = err; cancel() })
 					} else {
 						results[i] = res
+						if e.onResult != nil {
+							e.progMu.Lock()
+							e.onResult(i, res)
+							e.progMu.Unlock()
+						}
 					}
 				}
 				if e.progress != nil {

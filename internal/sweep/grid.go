@@ -233,6 +233,41 @@ func ShardLen(total, i, n int) int {
 	return size
 }
 
+// SpanOf returns the [lo, hi) config-index range of Shard(cfgs, i, n)
+// over any cfgs of length total — the range form of the same contiguous
+// partition, which is what makes a shard re-splittable: a partially done
+// shard [lo, hi) with w leading configs finished splits into an exported
+// prefix [lo, lo+w) and a remainder [lo+w, hi) that is itself a valid
+// work unit.
+func SpanOf(total, i, n int) (lo, hi int) {
+	if n <= 0 || i < 0 || i >= n || total < 0 {
+		return 0, 0
+	}
+	size, rem := total/n, total%n
+	lo = i*size + min(i, rem)
+	hi = lo + size
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// ParseSpan parses a span spec "lo-hi": the contiguous half-open config
+// range [lo, hi) of the expanded grid, validating 0 <= lo < hi. Callers
+// bound hi against the grid size themselves.
+func ParseSpan(s string) (lo, hi int, err error) {
+	if _, err := fmt.Sscanf(s, "%d-%d", &lo, &hi); err != nil {
+		return 0, 0, fmt.Errorf("sweep: bad span %q (want lo-hi, e.g. 128-256)", s)
+	}
+	if lo < 0 || hi <= lo {
+		return 0, 0, fmt.Errorf("sweep: bad span %q: need 0 <= lo < hi", s)
+	}
+	return lo, hi, nil
+}
+
+// FormatSpan renders a span spec in the form ParseSpan accepts.
+func FormatSpan(lo, hi int) string { return fmt.Sprintf("%d-%d", lo, hi) }
+
 // ParseShard parses a shard spec "i/n" (e.g. "0/4" is the first of four
 // contiguous grid shards), validating 0 <= i < n.
 func ParseShard(s string) (i, n int, err error) {

@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# Distributed chaos test: the elastic coordinator (cmd/sweepctl) against
+# real waycached hosts dying, freezing, and joining mid-run. Three hosts
+# start a sweep from a watched hosts file; one second in, one host is
+# SIGKILLed (dead — spans requeue to survivors), one is SIGSTOPped
+# (frozen — it accepts TCP but never answers, so its span must be stolen
+# or speculatively duplicated, never waited out), and a fourth host is
+# appended to the hosts file (late join — it must pick up work). The
+# merged JSON must still be byte-identical to a single-host cmd/sweep
+# run of the same grid, generated in-script. A second leg repeats the
+# exercise for CSV output with a host killed mid-run. Every phase is
+# wrapped in `timeout`, so the whole script is bounded (~2 minutes worst
+# case). On failure, host and coordinator logs are copied to
+# $CHAOS_LOG_DIR if set (CI uploads them as artifacts). Run from the
+# repo root.
+set -euo pipefail
+
+ADDR_A=127.0.0.1:18191
+ADDR_B=127.0.0.1:18192
+ADDR_C=127.0.0.1:18193
+ADDR_D=127.0.0.1:18194
+WORK=$(mktemp -d)
+PID_A=""
+PID_B=""
+PID_C=""
+PID_D=""
+
+cleanup() {
+  status=$?
+  # SIGKILL reaps stopped (SIGSTOP'd) hosts too; no SIGCONT needed.
+  kill -9 ${PID_A:-} ${PID_B:-} ${PID_C:-} ${PID_D:-} 2>/dev/null || true
+  if [ "$status" -ne 0 ] && [ -n "${CHAOS_LOG_DIR:-}" ]; then
+    mkdir -p "$CHAOS_LOG_DIR"
+    cp "$WORK"/*.log "$CHAOS_LOG_DIR"/ 2>/dev/null || true
+    cp "$WORK"/hosts.txt "$CHAOS_LOG_DIR"/ 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+  exit "$status"
+}
+trap cleanup EXIT
+
+# The chaos grid: 24 configs, big enough that faults injected one second
+# in land mid-sweep on every host class.
+GRID=(-benchmarks gcc,swim,li -dpolicies parallel,sequential,waypred-pc,seldm+waypred
+  -dways 2,4 -insts 2000000)
+
+go build -o "$WORK/waycached" ./cmd/waycached
+go build -o "$WORK/sweepctl" ./cmd/sweepctl
+go build -o "$WORK/sweep" ./cmd/sweep
+
+# Golden fixtures: a single-host run of the same grid, both formats. The
+# distributed contract is byte-identity against exactly these bytes, no
+# matter which hosts die or join.
+timeout 60 "$WORK/sweep" "${GRID[@]}" -progress=false -out "$WORK/golden.json" \
+  2>"$WORK/golden.log"
+timeout 60 "$WORK/sweep" "${GRID[@]}" -progress=false -format csv \
+  -out "$WORK/golden.csv" 2>>"$WORK/golden.log"
+
+start_host() { # start_host <addr> <logname>
+  "$WORK/waycached" -addr "$1" -workers 1 >"$WORK/$2" 2>&1 &
+  echo $!
+}
+
+PID_A=$(start_host "$ADDR_A" host_a.log)
+PID_B=$(start_host "$ADDR_B" host_b.log)
+PID_C=$(start_host "$ADDR_C" host_c.log)
+PID_D=$(start_host "$ADDR_D" host_d.log)
+
+for addr in "$ADDR_A" "$ADDR_B" "$ADDR_C" "$ADDR_D"; do
+  for i in $(seq 1 50); do
+    if curl -sf "http://$addr/healthz" >/dev/null 2>&1; then break; fi
+    if [ "$i" = 50 ]; then
+      echo "waycached at $addr never became healthy" >&2
+      cat "$WORK"/host_*.log >&2
+      exit 1
+    fi
+    sleep 0.2
+  done
+done
+
+# --- leg 1: kill + freeze + late join, JSON byte-diff ------------------
+
+# Host D is alive but deliberately absent from the initial hosts file;
+# it only enters the fleet when the file is appended mid-run.
+cat >"$WORK/hosts.txt" <<EOF
+http://$ADDR_A
+http://$ADDR_B
+http://$ADDR_C
+EOF
+
+timeout 90 "$WORK/sweepctl" -hosts-file "$WORK/hosts.txt" -shards 6 \
+  "${GRID[@]}" -progress=false -poll 100ms -timeout 3s -stall 2s \
+  -retries 4 -seed 1 -out "$WORK/merged.json" 2>"$WORK/sweepctl.log" &
+CTL=$!
+
+# Let the first spans land, then misbehave: C dies outright, B freezes
+# solid (the SIGSTOP'd process still accepts TCP connections — the
+# kernel completes the handshake — but never sends a byte, the nastiest
+# failure mode), and D joins via the watched hosts file.
+sleep 1.2
+kill -9 "$PID_C"
+kill -STOP "$PID_B"
+echo "http://$ADDR_D" >>"$WORK/hosts.txt"
+
+if ! wait "$CTL"; then
+  echo "chaos sweepctl run failed:" >&2
+  cat "$WORK/sweepctl.log" >&2
+  exit 1
+fi
+
+cmp "$WORK/golden.json" "$WORK/merged.json" || {
+  echo "chaos merge differs from the single-host golden fixture" >&2
+  cat "$WORK/sweepctl.log" >&2
+  exit 1
+}
+
+# The frozen host's span must have been rescued by a steal or a
+# speculative duplicate — not waited out to the request timeout ladder.
+grep -qE ", stolen prefix|, speculative" "$WORK/sweepctl.log" || {
+  echo "no steal or speculation in the chaos run — frozen host was waited out?" >&2
+  cat "$WORK/sweepctl.log" >&2
+  exit 1
+}
+# The late joiner must have entered the fleet through the hosts file.
+grep -q "joined mid-run" "$WORK/sweepctl.log" || {
+  echo "host D never joined mid-run" >&2
+  cat "$WORK/sweepctl.log" >&2
+  exit 1
+}
+
+echo "distributed chaos: leg 1 OK (kill + freeze + late join, JSON byte-identical)"
+
+# --- leg 2: kill a host mid-run, CSV byte-diff -------------------------
+
+kill -CONT "$PID_B" # thaw B; C stays dead, so the fleet is A, B, D
+
+timeout 90 "$WORK/sweepctl" -hosts "http://$ADDR_A,http://$ADDR_B,http://$ADDR_D" \
+  -shards 6 "${GRID[@]}" -progress=false -poll 100ms -timeout 3s -stall 2s \
+  -retries 4 -seed 2 -format csv -out "$WORK/merged.csv" 2>"$WORK/sweepctl_csv.log" &
+CTL=$!
+
+sleep 1.0
+kill -9 "$PID_D"
+
+if ! wait "$CTL"; then
+  echo "chaos CSV sweepctl run failed:" >&2
+  cat "$WORK/sweepctl_csv.log" >&2
+  exit 1
+fi
+
+cmp "$WORK/golden.csv" "$WORK/merged.csv" || {
+  echo "chaos CSV merge differs from the single-host golden fixture" >&2
+  cat "$WORK/sweepctl_csv.log" >&2
+  exit 1
+}
+
+echo "distributed chaos: OK (merged JSON and CSV byte-identical to single-host goldens under host kill, freeze, and late join)"
