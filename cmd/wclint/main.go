@@ -1,0 +1,107 @@
+// Command wclint statically enforces waycache's load-bearing contracts:
+// byte-identical determinism, the zero-alloc hot path, retry hygiene on
+// coordinator HTTP, and the declared lock order. It runs three ways:
+//
+//	go vet -vettool=$(command -v wclint) ./...   the CI gate (fast: export data)
+//	wclint ./...                                 standalone, typechecks from source
+//	wclint escape [./...]                        -gcflags=-m cross-check of //wclint:hotpath
+//
+// See docs/STATIC_ANALYSIS.md for the contracts, annotations
+// (//wclint:hotpath, //wclint:lockrank N, //wclint:retry-core,
+// //wclint:deterministic) and escape hatches (//wclint:<kind>-ok <reason>).
+package main
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"os/exec"
+	"strings"
+
+	"waycache/internal/lint"
+	"waycache/internal/lint/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	if analysis.IsVetInvocation(args) {
+		os.Exit(analysis.VetMain(args, lint.Analyzers()))
+	}
+	if len(args) > 0 && args[0] == "escape" {
+		os.Exit(runEscape(args[1:]))
+	}
+	os.Exit(runStandalone(args))
+}
+
+func runEscape(patterns []string) int {
+	findings, err := lint.EscapeCheck(patterns, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wclint escape: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "wclint escape: %d hotpath escape(s)\n", len(findings))
+		return 2
+	}
+	return 0
+}
+
+// runStandalone loads each matched package from source and applies the
+// suite. Slower than the vet path (dependencies typecheck from source)
+// but self-contained: no export data, no build step.
+func runStandalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := listPackages(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wclint: %v\n", err)
+		return 1
+	}
+	fset := token.NewFileSet()
+	exit := 0
+	for _, p := range pkgs {
+		u, err := analysis.LoadDir(fset, p.dir, p.path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wclint: %v\n", err)
+			exit = 1
+			continue
+		}
+		findings, err := analysis.RunAnalyzers(u, lint.Analyzers())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wclint: %v\n", err)
+			exit = 1
+			continue
+		}
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+type pkgRef struct{ dir, path string }
+
+func listPackages(patterns []string) ([]pkgRef, error) {
+	args := append([]string{"list", "-f", "{{.Dir}}\t{{.ImportPath}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+	var pkgs []pkgRef
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		dir, path, ok := strings.Cut(line, "\t")
+		if ok {
+			pkgs = append(pkgs, pkgRef{dir: dir, path: path})
+		}
+	}
+	return pkgs, nil
+}

@@ -229,6 +229,8 @@ func (d *DCache) CacheStats() cache.Stats { return d.L1.Stats() }
 // Load services a load and returns its total latency in cycles and its
 // breakdown class. The policy implementation was bound at construction;
 // steady-state loads perform no heap allocation.
+//
+//wclint:hotpath
 func (d *DCache) Load(in *trace.Inst) (latency int, class LoadClass) {
 	d.stats.Loads++
 	way, hit := d.L1.Probe(in.Addr)
@@ -240,6 +242,7 @@ func (d *DCache) Load(in *trace.Inst) (latency int, class LoadClass) {
 	return latency, class
 }
 
+//wclint:hotpath
 func (d *DCache) loadParallel(in *trace.Inst, way int, hit bool) (int, LoadClass) {
 	addr := in.Addr
 	d.Acct.AddParallelRead()
@@ -251,6 +254,7 @@ func (d *DCache) loadParallel(in *trace.Inst, way int, hit bool) (int, LoadClass
 	return d.BaseLatency + fillLat, ClassMiss
 }
 
+//wclint:hotpath
 func (d *DCache) loadSequential(in *trace.Inst, way int, hit bool) (int, LoadClass) {
 	addr := in.Addr
 	if hit {
@@ -265,14 +269,17 @@ func (d *DCache) loadSequential(in *trace.Inst, way int, hit bool) (int, LoadCla
 	return d.BaseLatency + 1 + fillLat, ClassMiss
 }
 
+//wclint:hotpath
 func (d *DCache) loadWayPredPC(in *trace.Inst, way int, hit bool) (int, LoadClass) {
 	return d.loadWayPred(in, in.PC, way, hit)
 }
 
+//wclint:hotpath
 func (d *DCache) loadWayPredXOR(in *trace.Inst, way int, hit bool) (int, LoadClass) {
 	return d.loadWayPred(in, in.XORHandle(), way, hit)
 }
 
+//wclint:hotpath
 func (d *DCache) loadWayPred(in *trace.Inst, handle uint64, way int, hit bool) (int, LoadClass) {
 	addr := in.Addr
 	predWay, _ := d.WayTab.Lookup(handle) // cold entries predict way 0
@@ -297,11 +304,13 @@ func (d *DCache) loadWayPred(in *trace.Inst, handle uint64, way int, hit bool) (
 	return d.BaseLatency + 1, ClassMispred
 }
 
+//wclint:hotpath
 func (d *DCache) train(handle uint64, way int) {
 	d.WayTab.Update(handle, way)
 	d.Acct.AddTable(1)
 }
 
+//wclint:hotpath
 func (d *DCache) loadSelDM(in *trace.Inst, way int, hit bool) (int, LoadClass) {
 	addr := in.Addr
 	mapping := d.SelDM.Predict(in.PC)
@@ -359,6 +368,8 @@ func (d *DCache) loadSelDM(in *trace.Inst, way int, hit bool) (int, LoadClass) {
 
 // selDMMissProbe charges the probe energy wasted by a miss under the
 // predicted handling and returns the pre-fill latency.
+//
+//wclint:hotpath
 func (d *DCache) selDMMissProbe(mapping predict.Mapping) int {
 	if mapping == predict.MapDirect {
 		d.Acct.AddOneWayRead()
@@ -379,6 +390,8 @@ func (d *DCache) selDMMissProbe(mapping predict.Mapping) int {
 
 // Store services a store. Stores probe the tag array first and write only
 // the matching way, in every policy; they carry no prediction.
+//
+//wclint:hotpath
 func (d *DCache) Store(in *trace.Inst) (latency int) {
 	d.stats.Stores++
 	addr := in.Addr
@@ -400,6 +413,8 @@ func (d *DCache) Store(in *trace.Inst) (latency int) {
 // fill performs a conventional LRU fill and returns the fill latency and
 // the way filled, so callers that train predictors on the fill need no
 // second Probe.
+//
+//wclint:hotpath
 func (d *DCache) fill(addr uint64, write bool) (latency, way int) {
 	ev, way := d.L1.Fill(addr, false, write)
 	d.Acct.AddFill()
@@ -412,6 +427,8 @@ func (d *DCache) fill(addr uint64, write bool) (latency, way int) {
 // fillSelDM performs a selective-DM placement fill: non-conflicting blocks
 // (per the victim list) go to their direct-mapping way, conflicting blocks
 // to the set-associative (LRU) position. Evictions train the victim list.
+//
+//wclint:hotpath
 func (d *DCache) fillSelDM(addr uint64, write bool) (latency, way int) {
 	blockAddr := d.L1.BlockAddr(addr)
 	dmPlace := !d.Victims.Conflicting(blockAddr)

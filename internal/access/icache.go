@@ -148,6 +148,8 @@ func (c *ICache) Stats() IStats { return c.stats }
 // (pred.Source says which); under IParallel the prediction is ignored. It
 // returns the access latency, the breakdown class, and the true way the
 // block resides in after the access (for training the predictors).
+//
+//wclint:hotpath
 func (c *ICache) Fetch(pc uint64, pred WayPred) (latency int, class IClass, trueWay int) {
 	predWay, predOK, source := pred.Way, pred.OK, pred.Source
 	c.stats.Fetches++

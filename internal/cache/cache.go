@@ -157,6 +157,8 @@ func (c *Cache) Tag(addr uint64) uint64 {
 // bits borrowed from the tag"). For power-of-two associativity this is a
 // bit mask; the modulo form also supports the partial-ways configurations
 // of the selective-cache-ways baseline.
+//
+//wclint:hotpath
 func (c *Cache) DMWay(addr uint64) int {
 	if c.wayMask >= 0 {
 		return int(addr>>c.tagShift) & c.wayMask
@@ -177,6 +179,8 @@ func (c *Cache) set(i int) []line {
 // It does not update replacement state and counts no statistics: every
 // access policy begins with exactly one Probe and then decides which data
 // ways to read.
+//
+//wclint:hotpath
 func (c *Cache) Probe(addr uint64) (way int, hit bool) {
 	tag := addr >> c.tagShift
 	set := c.set(c.Index(addr))
@@ -191,6 +195,8 @@ func (c *Cache) Probe(addr uint64) (way int, hit bool) {
 // Touch records a hit on addr in way: it bumps LRU state and hit counters.
 // If write is true the line is marked dirty. Touch panics if the line does
 // not contain addr; callers must pass a way obtained from Probe.
+//
+//wclint:hotpath
 func (c *Cache) Touch(addr uint64, way int, write bool) {
 	idx := c.Index(addr)
 	set := c.set(idx)
@@ -208,6 +214,8 @@ func (c *Cache) Touch(addr uint64, way int, write bool) {
 
 // WasDMPlaced reports whether the line holding addr (which must be resident
 // in way) was placed in its direct-mapped position by a selective-DM fill.
+//
+//wclint:hotpath
 func (c *Cache) WasDMPlaced(addr uint64, way int) bool {
 	return c.set(c.Index(addr))[way].dmPlaced
 }
@@ -215,6 +223,8 @@ func (c *Cache) WasDMPlaced(addr uint64, way int) bool {
 // MRUWay returns the most-recently-used valid way of addr's set, or 0 for
 // an untouched set. It is the prediction source of MRU-based way
 // prediction (Inoue et al.), which the paper discusses as related work.
+//
+//wclint:hotpath
 func (c *Cache) MRUWay(addr uint64) int {
 	set := c.set(c.Index(addr))
 	best, stamp := 0, uint64(0)
@@ -239,6 +249,8 @@ type Eviction struct {
 // otherwise the LRU way of the set is the victim. It returns the eviction,
 // if any, and the way filled. If write is true the new line starts dirty
 // (a store miss). Fill counts one access and one miss.
+//
+//wclint:hotpath
 func (c *Cache) Fill(addr uint64, dmPlace, write bool) (Eviction, int) {
 	idx := c.Index(addr)
 	set := c.set(idx)
@@ -294,6 +306,8 @@ func (c *Cache) Fill(addr uint64, dmPlace, write bool) (Eviction, int) {
 // Access is the conventional combined operation: probe, touch on hit, fill
 // (LRU placement) on miss. It is what the baseline caches and the L2 use.
 // It returns whether the access hit and any eviction a miss caused.
+//
+//wclint:hotpath
 func (c *Cache) Access(addr uint64, write bool) (hit bool, ev Eviction) {
 	if way, ok := c.Probe(addr); ok {
 		c.Touch(addr, way, write)

@@ -1247,6 +1247,7 @@ func (c *run) streamStatus(ctx context.Context, f *flight, id string) (server.Jo
 	// dead or wedged host.
 	watchdog := time.AfterFunc(c.reqTimeout, cancel)
 	defer watchdog.Stop()
+	//wclint:retry-ok SSE stream: single long-lived connection guarded by the inactivity watchdog; any failure falls back to the retry-governed poll loop
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return server.JobStatus{}, err
@@ -1293,6 +1294,7 @@ func (c *run) abandon(host, id string) (outcome string, clean bool) {
 	defer cancel()
 	cctx, ccancel := context.WithTimeout(ctx, c.reqTimeout)
 	if req, err := c.newRequest(cctx, http.MethodPost, host+"/api/v1/jobs/"+id+"/cancel", nil); err == nil {
+		//wclint:retry-ok best-effort cancel inside the fixed abandon budget; the poll loop below confirms the outcome, so retrying here would only eat the budget
 		if resp, err := c.client.Do(req); err == nil {
 			resp.Body.Close()
 		}
@@ -1470,6 +1472,7 @@ func (c *run) evict(ctx context.Context, host, id string) {
 	if err != nil {
 		return
 	}
+	//wclint:retry-ok best-effort eviction of an already-exported job; a leaked terminal job is reclaimed by the host's own compaction, not worth retry backoff
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return
@@ -1492,7 +1495,11 @@ func (c *run) newRequest(ctx context.Context, method, url string, body io.Reader
 
 // doJSON performs req, requiring status want and decoding the JSON body.
 // Status mismatches surface as *httpStatusError so the retry policy can
-// classify them.
+// classify them. It is the JSON transport funnel: every caller either
+// wraps it in retry.do or is a deliberately single-shot best-effort
+// path (abandonByName, whose run context may already be dead).
+//
+//wclint:retry-core
 func (c *run) doJSON(req *http.Request, want int, out any) error {
 	resp, err := c.client.Do(req)
 	if err != nil {

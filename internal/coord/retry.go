@@ -145,6 +145,8 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // attempt number (0-based); its error is returned unwrapped when
 // permanent or when attempts run out. Context cancellation between
 // attempts stops immediately with the context's error.
+//
+//wclint:retry-core
 func (r *retrier) do(ctx context.Context, op string, fn func(attempt int) error) error {
 	var last error
 	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {

@@ -1,0 +1,116 @@
+package analysis
+
+// Standalone (non-vettool) loading: parse and type-check one package
+// directly from source, resolving imports with the stdlib source
+// importer. This is the path `wclint ./...` and the analysistest fixture
+// runner use; the vet protocol in unitchecker.go is the fast path that
+// reads export data instead.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Unit is one loaded, type-checked package ready to analyze.
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// LoadDir loads the non-test package rooted at dir under import path
+// path. All imports — standard library and intra-module — are resolved
+// from source via the shared fset, so no pre-compiled export data is
+// required.
+func LoadDir(fset *token.FileSet, dir, path string) (*Unit, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
+			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	tconf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := NewInfo()
+	pkg, err := tconf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %w", path, err)
+	}
+	return &Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// RunAnalyzers applies each analyzer to u and returns the diagnostics in
+// position order.
+func RunAnalyzers(u *Unit, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+			Report: func(d Diagnostic) {
+				out = append(out, Finding{
+					Analyzer: a.Name,
+					Posn:     u.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, u.Pkg.Path(), err)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := out[i].Posn, out[j].Posn
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return out, nil
+}
+
+// Finding is a resolved diagnostic from a standalone run.
+type Finding struct {
+	Analyzer string
+	Posn     token.Position
+	Message  string
+}
+
+// String formats the finding as "file:line:col: message [analyzer]",
+// the same shape vet prints.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Posn, f.Message, f.Analyzer)
+}

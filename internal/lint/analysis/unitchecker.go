@@ -1,0 +1,237 @@
+package analysis
+
+// The `go vet -vettool` protocol. cmd/go invokes the tool three ways:
+//
+//	wclint -V=full            print a version line (cache key for vet results)
+//	wclint -flags             print a JSON description of supported flags
+//	wclint [-json] <file.cfg> analyze one package described by the cfg file
+//
+// The cfg file is JSON written by cmd/go: source file lists, the import
+// map, and paths to the export data of every dependency (already
+// compiled by the go command). Type-checking therefore needs no network,
+// no GOPATH walking and no source for dependencies — the gc importer
+// reads export data through the lookup hook. This mirrors
+// golang.org/x/tools/go/analysis/unitchecker, minus facts: wclint's
+// analyzers are all intra-package, so dependency runs only need to
+// produce the (empty) .vetx file cmd/go expects.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// vetConfig is the package description cmd/go writes for -vettool
+// invocations. Field names are fixed by cmd/go/internal/work.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// IsVetInvocation reports whether args look like a cmd/go vettool
+// invocation rather than a direct command-line run.
+func IsVetInvocation(args []string) bool {
+	for _, a := range args {
+		if a == "-V=full" || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}
+
+// VetMain implements the vettool protocol for the given analyzers and
+// returns the process exit code: 0 clean, 1 driver/typecheck error,
+// 2 diagnostics reported (matching x/tools unitchecker).
+func VetMain(args []string, analyzers []*Analyzer) int {
+	jsonOut := false
+	cfgFile := ""
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "-V":
+			fmt.Println(versionLine())
+			return 0
+		case a == "-flags":
+			fmt.Println("[]")
+			return 0
+		case a == "-json":
+			jsonOut = true
+		case strings.HasSuffix(a, ".cfg"):
+			cfgFile = a
+		}
+	}
+	if cfgFile == "" {
+		fmt.Fprintf(os.Stderr, "wclint: no .cfg argument in vet invocation %q\n", args)
+		return 1
+	}
+	diags, err := runVetUnit(cfgFile, analyzers, jsonOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wclint: %v\n", err)
+		return 1
+	}
+	if len(diags) > 0 && !jsonOut {
+		return 2
+	}
+	return 0
+}
+
+// versionLine identifies this build to cmd/go's vet result cache: it
+// hashes the executable so a rebuilt wclint invalidates cached results.
+func versionLine() string {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	return fmt.Sprintf("wclint version devel buildID=%x", h.Sum(nil)[:12])
+}
+
+type vetDiag struct {
+	analyzer string
+	Posn     string `json:"posn"`
+	Message  string `json:"message"`
+}
+
+func runVetUnit(cfgFile string, analyzers []*Analyzer, jsonOut bool) ([]vetDiag, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+	// Facts output is mandatory even when empty: cmd/go records the file
+	// as the unit's product and feeds it to dependents via PackageVetx.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("wclint-nofacts\n"), 0o666); err != nil {
+			return nil, err
+		}
+	}
+	// Dependency runs exist only to produce facts; wclint has none, so
+	// skip the parse and typecheck entirely.
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		return compilerImp.Import(importPath)
+	})
+	tconf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(cfg.Compiler, goarch()),
+	}
+	if cfg.GoVersion != "" {
+		tconf.GoVersion = cfg.GoVersion
+	}
+	info := NewInfo()
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	byAnalyzer := make(map[string][]vetDiag)
+	var all []vetDiag
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d Diagnostic) {
+				vd := vetDiag{
+					analyzer: a.Name,
+					Posn:     fset.Position(d.Pos).String(),
+					Message:  d.Message,
+				}
+				all = append(all, vd)
+				byAnalyzer[a.Name] = append(byAnalyzer[a.Name], vd)
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Posn < all[j].Posn })
+
+	if jsonOut {
+		// cmd/go -json shape: {"<pkg>": {"<analyzer>": [diag...]}}.
+		out := map[string]map[string][]vetDiag{cfg.ImportPath: {}}
+		for name, ds := range byAnalyzer {
+			out[cfg.ImportPath][name] = ds
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		enc.Encode(out)
+	} else {
+		for _, d := range all {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Posn, d.Message, d.analyzer)
+		}
+	}
+	return all, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func goarch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return runtime.GOARCH
+}

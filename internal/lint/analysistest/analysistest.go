@@ -1,0 +1,131 @@
+// Package analysistest runs a wclint analyzer over fixture packages and
+// checks its diagnostics against expectations written in the fixture
+// source, in the style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	resp, _ := http.Get(url) // want `http\.Get hard-wires`
+//
+// A `want` comment holds one or more quoted regular expressions
+// (backquoted or double-quoted); each must match a diagnostic reported
+// on that line, and every diagnostic must be claimed by exactly one
+// expectation. Block comments work too — `/* want `...` */` — which is
+// the only way to attach an expectation to a line that ends in a wclint
+// directive comment.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"waycache/internal/lint/analysis"
+)
+
+// expectation is one `want` regexp waiting to be claimed by a
+// diagnostic on its line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantTokenRE extracts the quoted regexp tokens of a want comment.
+var wantTokenRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads each fixture package at <testdata>/src/<pkg>, applies the
+// analyzer, and reports mismatches between its diagnostics and the
+// fixture's want comments as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		fset := token.NewFileSet()
+		u, err := analysis.LoadDir(fset, dir, pkg)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", dir, err)
+		}
+		findings, err := analysis.RunAnalyzers(u, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+		}
+		wants := collectWants(t, u)
+		for _, f := range findings {
+			if !claim(wants, f) {
+				t.Errorf("%s: unexpected diagnostic: %s", f.Posn, f.Message)
+			}
+		}
+		for _, e := range wants {
+			if !e.matched {
+				t.Errorf("%s:%d: no diagnostic matched %s", e.file, e.line, e.raw)
+			}
+		}
+	}
+}
+
+// collectWants parses every want comment in the loaded fixture.
+func collectWants(t *testing.T, u *analysis.Unit) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range u.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				text := strings.TrimSpace(stripMarkers(c.Text))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				p := u.Fset.Position(c.Pos())
+				tokens := wantTokenRE.FindAllString(rest, -1)
+				if len(tokens) == 0 {
+					t.Errorf("%s:%d: want comment with no quoted regexp", p.Filename, p.Line)
+					continue
+				}
+				for _, tok := range tokens {
+					pat, err := unquoteToken(tok)
+					if err != nil {
+						t.Errorf("%s:%d: bad want token %s: %v", p.Filename, p.Line, tok, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %s: %v", p.Filename, p.Line, tok, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: p.Filename, line: p.Line, re: re, raw: tok})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// claim marks the first unmatched expectation on the finding's line
+// whose regexp matches its message; false means nothing claimed it.
+func claim(wants []*expectation, f analysis.Finding) bool {
+	for _, e := range wants {
+		if !e.matched && e.file == f.Posn.Filename && e.line == f.Posn.Line && e.re.MatchString(f.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func stripMarkers(text string) string {
+	if rest, ok := strings.CutPrefix(text, "//"); ok {
+		return rest
+	}
+	text = strings.TrimPrefix(text, "/*")
+	return strings.TrimSuffix(text, "*/")
+}
+
+func unquoteToken(tok string) (string, error) {
+	if strings.HasPrefix(tok, "`") {
+		return strings.Trim(tok, "`"), nil
+	}
+	return strconv.Unquote(tok)
+}

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"waycache/internal/lint/analysis"
+)
+
+// Determinism enforces the byte-identical replay contract in
+// contract-bearing packages: no wall-clock reads, no math/rand (the
+// seeded waycache/internal/prng is the sanctioned source), and no map
+// iteration whose order can reach an encoder, writer, hash, channel or
+// returned value. A package is covered when it carries a
+// //wclint:deterministic file comment or appears in the built-in
+// contract list; _test.go files are exempt. Findings are suppressed by
+// //wclint:nondeterministic-ok <reason> on or above the offending line.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall clocks, math/rand and order-dependent map iteration in contract-bearing packages",
+	Run:  runDeterminism,
+}
+
+// deterministicPkgs is the safety net behind the //wclint:deterministic
+// directive: the packages whose outputs the golden fixtures pin stay
+// covered even if a refactor drops the comment.
+var deterministicPkgs = map[string]bool{
+	"waycache/internal/core":     true,
+	"waycache/internal/cache":    true,
+	"waycache/internal/pipeline": true,
+	"waycache/internal/access":   true,
+	"waycache/internal/trace":    true,
+	"waycache/internal/resultdb": true,
+	"waycache/internal/sweep":    true,
+}
+
+func runDeterminism(pass *analysis.Pass) (any, error) {
+	if !deterministicPkgs[pass.Pkg.Path()] && !pkgHasDirective(pass, "deterministic") {
+		return nil, nil
+	}
+	h := newHatches(pass, "nondeterministic")
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if (path == "math/rand" || path == "math/rand/v2") && !h.suppressed(imp.Pos()) {
+				pass.Reportf(imp.Pos(),
+					"import of %s in deterministic package: use waycache/internal/prng (prng.FromSeed) so streams are seeded and replayable", path)
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDeterminismFunc(pass, h, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkDeterminismFunc(pass *analysis.Pass, h *hatches, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, fn := range [...]string{"Now", "Since", "Until"} {
+				if stdCall(pass, n, "time", fn) && !h.suppressed(n.Pos()) {
+					pass.Reportf(n.Pos(),
+						"time.%s in deterministic package: results must not depend on the wall clock", fn)
+				}
+			}
+			if isSyncMapRange(pass, n) && !h.suppressed(n.Pos()) {
+				pass.Reportf(n.Pos(),
+					"sync.Map.Range iterates in unspecified order; collect and sort keys before anything order-sensitive")
+			}
+		case *ast.RangeStmt:
+			checkMapRange(pass, h, fd, n)
+		}
+		return true
+	})
+}
+
+func isSyncMapRange(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Range" {
+		return false
+	}
+	t := pass.TypesInfo.Types[sel.X].Type
+	return t != nil && isNamed(t, "sync", "Map")
+}
+
+// checkMapRange flags a range over a map whose iteration order can
+// escape: the body appends to a slice declared outside the loop (and
+// the slice is not subsequently sorted in the same function), calls an
+// ordered sink (Write*/Encode*/Print*/Fprint*/Sum*/Marshal*), sends on
+// a channel, or returns a value derived from the iteration variables.
+func checkMapRange(pass *analysis.Pass, h *hatches, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.Types[rng.X].Type
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	iterVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				iterVars[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				iterVars[obj] = true
+			}
+		}
+	}
+	report := func(pos token.Pos, format string, args ...any) {
+		if !h.suppressed(rng.Pos()) && !h.suppressed(pos) {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := sinkCallName(n); ok {
+				report(n.Pos(), "map iteration order reaches ordered sink %s; iterate sorted keys instead", name)
+				return true
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && len(n.Args) > 0 {
+				if target, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok {
+					obj := pass.TypesInfo.Uses[target]
+					if obj != nil && !posWithin(obj.Pos(), rng) && !sortedLater(pass, fd, rng, obj) {
+						report(n.Pos(), "append to %s inside map iteration: element order follows map order; sort afterwards or iterate sorted keys", target.Name)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			report(n.Pos(), "channel send inside map iteration: receive order follows map order")
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				used := false
+				ast.Inspect(res, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && iterVars[pass.TypesInfo.Uses[id]] {
+						used = true
+					}
+					return !used
+				})
+				if used {
+					report(n.Pos(), "return of a map-iteration-dependent value: which entry is picked varies run to run")
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+func posWithin(pos token.Pos, rng *ast.RangeStmt) bool {
+	return pos >= rng.Pos() && pos <= rng.End()
+}
+
+// sinkCallName reports calls whose name marks an ordered data sink.
+func sinkCallName(call *ast.CallExpr) (string, bool) {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return "", false
+	}
+	for _, prefix := range [...]string{"Write", "Encode", "Print", "Fprint", "Sum", "Marshal", "Hash"} {
+		if strings.HasPrefix(name, prefix) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// sortedLater reports whether obj is passed to a sort.* or slices.Sort*
+// call somewhere after rng in fd's body — the collect-then-sort idiom,
+// which is deterministic.
+func sortedLater(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || sorted {
+			return !sorted
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.TypesInfo.Uses[sel.Sel]
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}

@@ -1,0 +1,148 @@
+// Package lint is wclint's analyzer suite: four go/analysis-style
+// checkers that turn the platform's load-bearing conventions — the
+// byte-identical determinism contract, the zero-alloc hot path, the
+// one-retry-policy rule, and the declared lock order — from review lore
+// into build failures. See docs/STATIC_ANALYSIS.md for the contracts,
+// the //wclint annotations, and how to justify an escape hatch.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"waycache/internal/lint/analysis"
+)
+
+// Directives recognized in comments. All share the //wclint: prefix so
+// they survive gofmt and grep alike:
+//
+//	//wclint:deterministic            package opts into the determinism contract
+//	//wclint:hotpath                  function must be zero-alloc in steady state
+//	//wclint:retryclient              package's outbound HTTP is contract-bearing
+//	//wclint:retry-core               function IS the sanctioned transport funnel
+//	//wclint:lockrank N               on a mutex field: its rank in the lock order
+//	//wclint:nondeterministic-ok WHY  suppress one determinism finding
+//	//wclint:alloc-ok WHY             suppress one hotpath/escape finding
+//	//wclint:retry-ok WHY             suppress one retryhygiene finding
+//	//wclint:lockorder-ok WHY         suppress one lockorder finding
+//
+// The *-ok hatches demand a reason: a hatch with nothing after the
+// directive name is itself reported.
+const directivePrefix = "//wclint:"
+
+// parseDirective splits a comment into directive name and trailing
+// argument text ("" when the comment is not a wclint directive).
+func parseDirective(c *ast.Comment) (name, arg string, ok bool) {
+	rest, found := strings.CutPrefix(c.Text, directivePrefix)
+	if !found {
+		return "", "", false
+	}
+	name, arg, _ = strings.Cut(rest, " ")
+	return strings.TrimSpace(name), strings.TrimSpace(arg), name != ""
+}
+
+// commentGroupHasDirective reports whether any comment in g is the named
+// directive.
+func commentGroupHasDirective(g *ast.CommentGroup, want string) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		if name, _, ok := parseDirective(c); ok && name == want {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgHasDirective reports whether any file-level comment in the package
+// carries the named directive (conventionally placed on or near the
+// package clause).
+func pkgHasDirective(pass *analysis.Pass, want string) bool {
+	for _, f := range pass.Files {
+		for _, g := range f.Comments {
+			if commentGroupHasDirective(g, want) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcHasDirective reports whether fd's doc comment carries the named
+// directive.
+func funcHasDirective(fd *ast.FuncDecl, want string) bool {
+	return commentGroupHasDirective(fd.Doc, want)
+}
+
+// hatches indexes every *-ok escape-hatch comment in the package by file
+// and line, so an analyzer can ask "is this finding suppressed?" in
+// O(1). A hatch suppresses findings on its own line and on the line
+// directly below it (a hatch comment on its own line covers the next
+// statement).
+type hatches struct {
+	pass     *analysis.Pass
+	kind     string // directive name, e.g. "nondeterministic-ok"
+	byLine   map[string]map[int]*hatchEntry
+	reported map[*hatchEntry]bool
+}
+
+type hatchEntry struct {
+	pos    token.Pos
+	reason string
+}
+
+// newHatches indexes the kind-ok hatches of every file in the pass.
+func newHatches(pass *analysis.Pass, kind string) *hatches {
+	h := &hatches{
+		pass:     pass,
+		kind:     kind + "-ok",
+		byLine:   make(map[string]map[int]*hatchEntry),
+		reported: make(map[*hatchEntry]bool),
+	}
+	for _, f := range pass.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				name, arg, ok := parseDirective(c)
+				if !ok || name != h.kind {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				m := h.byLine[p.Filename]
+				if m == nil {
+					m = make(map[int]*hatchEntry)
+					h.byLine[p.Filename] = m
+				}
+				m[p.Line] = &hatchEntry{pos: c.Pos(), reason: arg}
+			}
+		}
+	}
+	return h
+}
+
+// suppressed reports whether a finding at pos is covered by a hatch. A
+// hatch that carries no reason does not suppress — it is reported once
+// as its own finding, so the escape route always documents why.
+func (h *hatches) suppressed(pos token.Pos) bool {
+	p := h.pass.Fset.Position(pos)
+	m := h.byLine[p.Filename]
+	if m == nil {
+		return false
+	}
+	e := m[p.Line]
+	if e == nil {
+		e = m[p.Line-1]
+	}
+	if e == nil {
+		return false
+	}
+	if e.reason == "" {
+		if !h.reported[e] {
+			h.reported[e] = true
+			h.pass.Reportf(e.pos, "//wclint:%s needs a reason: say why this is safe", h.kind)
+		}
+		return false
+	}
+	return true
+}

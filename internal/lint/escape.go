@@ -1,0 +1,172 @@
+package lint
+
+// The hotpath analyzer reasons about syntax; the compiler's escape
+// analysis is ground truth. EscapeCheck runs both and reports where
+// they disagree: any `escapes to heap` / `moved to heap` diagnostic
+// from -gcflags=-m=1 that lands inside a //wclint:hotpath function (and
+// is not excused by //wclint:alloc-ok) fails the check. The Go build
+// cache replays compiler diagnostics, so repeated runs are cheap and a
+// cached build still produces the -m output.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// funcSpan is one annotated hot-path function's extent.
+type funcSpan struct {
+	name       string
+	file       string // absolute path
+	start, end int    // line range, inclusive
+	allocOK    map[int]bool
+	coldLines  map[int]bool // lines inside panic(...) calls: cold by definition
+}
+
+// escDiagRE matches compiler -m output: "file.go:12:34: x escapes to heap".
+var escDiagRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*(?:escapes to heap|moved to heap).*)$`)
+
+// EscapeCheck builds patterns with -gcflags=-m=1 and cross-checks the
+// escape diagnostics against //wclint:hotpath annotations. It returns
+// human-readable findings (empty means the annotation list and the
+// compiler agree) and logs progress to logf.
+func EscapeCheck(patterns []string, logf func(string, ...any)) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := goListDirs(patterns)
+	if err != nil {
+		return nil, err
+	}
+	spans, err := hotpathSpans(dirs)
+	if err != nil {
+		return nil, err
+	}
+	logf("wclint escape: %d hotpath functions across %d packages", len(spans), len(dirs))
+	if len(spans) == 0 {
+		return nil, nil
+	}
+
+	args := append([]string{"build", "-gcflags=-m=1"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, out.String())
+	}
+
+	var findings []string
+	for _, line := range strings.Split(out.String(), "\n") {
+		m := escDiagRE.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		file, _ := filepath.Abs(m[1])
+		lineNo, _ := strconv.Atoi(m[2])
+		for _, sp := range spans {
+			if sp.file != file || lineNo < sp.start || lineNo > sp.end {
+				continue
+			}
+			if sp.allocOK[lineNo] || sp.allocOK[lineNo-1] || sp.coldLines[lineNo] {
+				continue
+			}
+			findings = append(findings,
+				fmt.Sprintf("%s:%d: compiler: %s — inside //wclint:hotpath %s; fix the escape or annotate //wclint:alloc-ok <reason>",
+					m[1], lineNo, m[4], sp.name))
+		}
+	}
+	sort.Strings(findings)
+	return findings, nil
+}
+
+// goListDirs resolves package patterns to source directories.
+func goListDirs(patterns []string) ([]string, error) {
+	args := append([]string{"list", "-f", "{{.Dir}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w", strings.Join(patterns, " "), err)
+	}
+	var dirs []string
+	for _, d := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if d != "" {
+			dirs = append(dirs, d)
+		}
+	}
+	return dirs, nil
+}
+
+// hotpathSpans parses every non-test file in dirs (syntax only — no
+// type information is needed to read annotations) and records the line
+// extents of //wclint:hotpath functions plus their //wclint:alloc-ok
+// lines.
+func hotpathSpans(dirs []string) ([]funcSpan, error) {
+	var spans []funcSpan
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			allocOK := make(map[int]bool)
+			for _, g := range f.Comments {
+				for _, c := range g.List {
+					if dname, _, ok := parseDirective(c); ok && dname == "alloc-ok" {
+						allocOK[fset.Position(c.Pos()).Line] = true
+					}
+				}
+			}
+			abs, _ := filepath.Abs(path)
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !funcHasDirective(fd, "hotpath") {
+					continue
+				}
+				cold := make(map[int]bool)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						for l := fset.Position(call.Pos()).Line; l <= fset.Position(call.End()).Line; l++ {
+							cold[l] = true
+						}
+						return false
+					}
+					return true
+				})
+				spans = append(spans, funcSpan{
+					name:      fd.Name.Name,
+					file:      abs,
+					start:     fset.Position(fd.Pos()).Line,
+					end:       fset.Position(fd.End()).Line,
+					allocOK:   allocOK,
+					coldLines: cold,
+				})
+			}
+		}
+	}
+	return spans, nil
+}

@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"waycache/internal/lint/analysis"
+)
+
+// Hotpath enforces the zero-alloc contract on functions annotated
+// //wclint:hotpath (the simulation inner loop: d-cache load dispatch,
+// pipeline commit/issue/fetch, trace window decode). Inside an
+// annotated function it forbids the constructs that allocate in steady
+// state: closures (function literals), defer and go statements,
+// fmt.*/errors.New calls, conversions of non-pointer values to
+// interfaces, and append to a locally-declared slice without
+// make(len, cap) preallocation. The AllocsPerRun tests prove the hot
+// path IS zero-alloc today; this analyzer stops a regression at vet
+// time, and `wclint escape` cross-checks the same annotations against
+// the compiler's -gcflags=-m escape analysis. Suppress a finding with
+// //wclint:alloc-ok <reason>.
+var Hotpath = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocating constructs in //wclint:hotpath functions",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *analysis.Pass) (any, error) {
+	h := newHatches(pass, "alloc")
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcHasDirective(fd, "hotpath") {
+				continue
+			}
+			checkHotpathFunc(pass, h, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkHotpathFunc(pass *analysis.Pass, h *hatches, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	report := func(pos token.Pos, format string, args ...any) {
+		if !h.suppressed(pos) {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	localSliceDecl := localSliceDecls(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			report(n.Pos(), "defer in hotpath %s allocates a defer record on every call", name)
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement in hotpath %s spawns a goroutine per call", name)
+		case *ast.FuncLit:
+			report(n.Pos(), "closure in hotpath %s may escape and allocate; straight-line the body or hoist the function", name)
+			return false // its body is not hot-path code
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					return false // a taken panic ends the run; its argument is cold
+				}
+			}
+			checkHotpathCall(pass, report, name, n, localSliceDecl)
+		case *ast.AssignStmt:
+			if n.Tok.String() == "=" {
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					checkIfaceConversion(pass, report, name, pass.TypesInfo.Types[lhs].Type, n.Rhs[i])
+				}
+			}
+		case *ast.ReturnStmt:
+			sig, _ := pass.TypesInfo.Defs[fd.Name].Type().(*types.Signature)
+			if sig != nil && sig.Results().Len() == len(n.Results) {
+				for i, res := range n.Results {
+					checkIfaceConversion(pass, report, name, sig.Results().At(i).Type(), res)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkHotpathCall(pass *analysis.Pass, report func(token.Pos, string, ...any), fname string, call *ast.CallExpr, localSlice map[types.Object]*ast.CallExpr) {
+	// Explicit conversion T(x) where T is an interface type.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		checkIfaceConversion(pass, report, fname, tv.Type, call.Args[0])
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "fmt":
+				report(call.Pos(), "fmt.%s in hotpath %s allocates (boxing + formatting); precompute or move off the hot path", obj.Name(), fname)
+				return
+			case "errors":
+				if obj.Name() == "New" {
+					report(call.Pos(), "errors.New in hotpath %s allocates; declare the error once at package level", fname)
+					return
+				}
+			}
+		}
+	}
+	// append to a local slice that was not preallocated with a capacity.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			if target, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+				obj := pass.TypesInfo.Uses[target]
+				if decl, isLocal := localSlice[obj]; isLocal && !isMakeWithCap(decl) {
+					report(call.Pos(), "append to %s in hotpath %s may grow and allocate: preallocate with make(..., 0, cap)", target.Name, fname)
+				}
+			}
+			return
+		}
+	}
+	// Implicit conversions at call boundaries: concrete value passed to
+	// an interface parameter.
+	sig := calleeSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		checkIfaceConversion(pass, report, fname, pt, arg)
+	}
+}
+
+func calleeSignature(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// checkIfaceConversion flags dst := src where dst is an interface and
+// src's concrete type does not fit the interface data word — the
+// conversion heap-allocates a box.
+func checkIfaceConversion(pass *analysis.Pass, report func(token.Pos, string, ...any), fname string, dst types.Type, src ast.Expr) {
+	if dst == nil {
+		return
+	}
+	if _, isIface := dst.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[src]
+	if !ok || tv.Type == nil {
+		return
+	}
+	st := tv.Type
+	if st == types.Typ[types.UntypedNil] {
+		return
+	}
+	switch st.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // already boxed or pointer-shaped: fits the data word
+	}
+	if b, ok := st.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return
+	}
+	report(src.Pos(), "conversion of non-pointer %s to interface in hotpath %s heap-allocates a box", types.TypeString(st, types.RelativeTo(pass.Pkg)), fname)
+}
+
+// localSliceDecls maps slice variables declared inside fd to the
+// make(...) call that created them (nil when declared without make).
+func localSliceDecls(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]*ast.CallExpr {
+	decls := make(map[types.Object]*ast.CallExpr)
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			return
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		var mk *ast.CallExpr
+		if rhs != nil {
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "make" {
+					if _, isBuiltin := pass.TypesInfo.Uses[fn].(*types.Builtin); isBuiltin {
+						mk = call
+					}
+				} else {
+					return // value from another call: assume caller sized it
+				}
+			}
+		}
+		decls[obj] = mk
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok.String() == ":=" && len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						record(id, n.Rhs[i])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				var rhs ast.Expr
+				if i < len(n.Values) {
+					rhs = n.Values[i]
+				}
+				record(id, rhs)
+			}
+		}
+		return true
+	})
+	return decls
+}
+
+// isMakeWithCap reports whether mk is make([]T, len, cap) — the only
+// local-slice construction append may target on the hot path.
+func isMakeWithCap(mk *ast.CallExpr) bool {
+	return mk != nil && len(mk.Args) == 3
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"waycache/internal/lint"
+	"waycache/internal/lint/analysistest"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Hotpath, "hot")
+}

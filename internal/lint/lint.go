@@ -1,0 +1,8 @@
+package lint
+
+import "waycache/internal/lint/analysis"
+
+// Analyzers returns the full wclint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{Determinism, Hotpath, RetryHygiene, LockOrder}
+}

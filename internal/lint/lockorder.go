@@ -1,0 +1,396 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+
+	"waycache/internal/lint/analysis"
+)
+
+// LockOrder enforces a declared lock hierarchy. A mutex field opts in
+// by annotating its declaration with //wclint:lockrank N; the contract
+// is that locks are only ever acquired in strictly increasing rank
+// order, so no cycle — and no deadlock — is possible between ranked
+// locks. The analyzer tracks Lock/RLock acquisitions through each
+// function body (a held region ends at a same-level Unlock; a deferred
+// Unlock holds to the end) and reports:
+//
+//   - a direct acquisition of rank <= a held lock's rank;
+//   - a call, while holding rank r, to a same-package function that
+//     (transitively) acquires rank <= r;
+//   - re-acquiring a lock already held (sync.Mutex self-deadlocks).
+//
+// Analysis is per-package: calls that cross packages are checked only
+// against the callee's exported summary-free body when it is in the
+// same package, which matches how the ranked locks here are actually
+// nested (Server.mu -> job.mu, Store.mu, resultdb.DB.mu). Suppress
+// with //wclint:lockorder-ok <reason>.
+var LockOrder = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "acquire //wclint:lockrank-annotated locks in strictly increasing rank order",
+	Run:  runLockOrder,
+}
+
+// rankedLock is one annotated mutex field.
+type rankedLock struct {
+	obj  *types.Var
+	rank int
+	name string // "Server.mu" for messages
+}
+
+func runLockOrder(pass *analysis.Pass) (any, error) {
+	ranks := collectLockRanks(pass)
+	if len(ranks) == 0 {
+		return nil, nil
+	}
+	h := newHatches(pass, "lockorder")
+	funcs := declaredFuncs(pass)
+
+	// Direct-acquisition summary per function, then a transitive closure
+	// over same-package calls so one level of helper indirection does not
+	// hide an inversion.
+	direct := make(map[*ast.FuncDecl]map[*types.Var]bool)
+	calls := make(map[*ast.FuncDecl]map[*ast.FuncDecl]bool)
+	for _, fd := range funcs {
+		if fd.Body == nil {
+			continue
+		}
+		acq := make(map[*types.Var]bool)
+		callees := make(map[*ast.FuncDecl]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if lk, kind := lockCall(pass, ranks, call); lk != nil && (kind == "Lock" || kind == "RLock") {
+				acq[lk.obj] = true
+			}
+			if callee, ok := funcs[calleeObject(pass, call)]; ok {
+				callees[callee] = true
+			}
+			return true
+		})
+		direct[fd] = acq
+		calls[fd] = callees
+	}
+	summary := transitiveAcquires(direct, calls)
+
+	for _, fd := range sortedFuncs(funcs) {
+		if fd.Body == nil || pass.InTestFile(fd.Pos()) {
+			continue
+		}
+		c := &lockChecker{pass: pass, h: h, ranks: ranks, funcs: funcs, summary: summary}
+		c.scanBlock(fd.Body.List, nil)
+	}
+	return nil, nil
+}
+
+// collectLockRanks finds sync.Mutex / sync.RWMutex struct fields whose
+// declaration carries //wclint:lockrank N.
+func collectLockRanks(pass *analysis.Pass) map[*types.Var]*rankedLock {
+	ranks := make(map[*types.Var]*rankedLock)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				rank, ok := lockrankDirective(field)
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					obj, _ := pass.TypesInfo.Defs[name].(*types.Var)
+					if obj == nil {
+						continue
+					}
+					if !isNamed(obj.Type(), "sync", "Mutex") && !isNamed(obj.Type(), "sync", "RWMutex") {
+						pass.Reportf(field.Pos(), "//wclint:lockrank on %s.%s, which is not a sync.Mutex or sync.RWMutex", ts.Name.Name, name.Name)
+						continue
+					}
+					ranks[obj] = &rankedLock{
+						obj:  obj,
+						rank: rank,
+						name: fmt.Sprintf("%s.%s", ts.Name.Name, name.Name),
+					}
+				}
+			}
+			return true
+		})
+	}
+	return ranks
+}
+
+func lockrankDirective(field *ast.Field) (int, bool) {
+	for _, g := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if name, arg, ok := parseDirective(c); ok && name == "lockrank" {
+				if n, err := strconv.Atoi(arg); err == nil {
+					return n, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// lockCall resolves call as <expr>.<ranked field>.Lock/RLock/Unlock/RUnlock.
+func lockCall(pass *analysis.Pass, ranks map[*types.Var]*rankedLock, call *ast.CallExpr) (*rankedLock, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	kind := sel.Sel.Name
+	switch kind {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	recv, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	obj, _ := pass.TypesInfo.Uses[recv.Sel].(*types.Var)
+	if obj == nil {
+		return nil, ""
+	}
+	lk, ok := ranks[obj]
+	if !ok {
+		return nil, ""
+	}
+	return lk, kind
+}
+
+// transitiveAcquires closes the direct-acquisition sets over the
+// same-package call graph.
+func transitiveAcquires(direct map[*ast.FuncDecl]map[*types.Var]bool, calls map[*ast.FuncDecl]map[*ast.FuncDecl]bool) map[*ast.FuncDecl]map[*types.Var]bool {
+	out := make(map[*ast.FuncDecl]map[*types.Var]bool, len(direct))
+	for fd, acq := range direct {
+		s := make(map[*types.Var]bool, len(acq))
+		for v := range acq {
+			s[v] = true
+		}
+		out[fd] = s
+	}
+	for changed := true; changed; {
+		changed = false
+		for fd, callees := range calls {
+			for callee := range callees {
+				for v := range out[callee] {
+					if !out[fd][v] {
+						out[fd][v] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func sortedFuncs(funcs map[types.Object]*ast.FuncDecl) []*ast.FuncDecl {
+	out := make([]*ast.FuncDecl, 0, len(funcs))
+	for _, fd := range funcs {
+		out = append(out, fd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// lockChecker walks one function's statements tracking which ranked
+// locks are held.
+type lockChecker struct {
+	pass    *analysis.Pass
+	h       *hatches
+	ranks   map[*types.Var]*rankedLock
+	funcs   map[types.Object]*ast.FuncDecl
+	summary map[*ast.FuncDecl]map[*types.Var]bool
+}
+
+// scanBlock walks stmts in order with the locks in held on entry. A
+// same-level Unlock of a held lock ends its region; nested blocks see a
+// copy of the held set (an unlock inside a conditional branch does not
+// release the fallthrough path).
+func (c *lockChecker) scanBlock(stmts []ast.Stmt, held []*rankedLock) {
+	held = append([]*rankedLock(nil), held...)
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if lk, kind := lockCall(c.pass, c.ranks, call); lk != nil {
+					switch kind {
+					case "Lock", "RLock":
+						c.checkAcquire(call.Pos(), lk, held)
+						held = append(held, lk)
+					case "Unlock", "RUnlock":
+						held = removeLock(held, lk)
+					}
+					continue
+				}
+			}
+		case *ast.DeferStmt:
+			// A deferred Unlock releases at return: the lock is held for
+			// the rest of the region, which is what held already models.
+			// Deferred calls into other functions run with whatever is
+			// held at return; checking them against the current held set
+			// is the conservative approximation.
+			if lk, kind := lockCall(c.pass, c.ranks, s.Call); lk != nil && (kind == "Unlock" || kind == "RUnlock") {
+				continue
+			}
+		}
+		c.checkNested(stmt, held)
+	}
+}
+
+// checkNested checks calls inside one statement (and recurses into its
+// blocks) against the currently held locks.
+func (c *lockChecker) checkNested(stmt ast.Stmt, held []*rankedLock) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		c.scanBlock(s.List, held)
+		return
+	case *ast.IfStmt:
+		c.checkExprCalls(s.Cond, held)
+		if s.Init != nil {
+			c.checkNested(s.Init, held)
+		}
+		c.scanBlock(s.Body.List, held)
+		if s.Else != nil {
+			c.checkNested(s.Else, held)
+		}
+		return
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.checkNested(s.Init, held)
+		}
+		c.checkExprCalls(s.Cond, held)
+		c.scanBlock(s.Body.List, held)
+		return
+	case *ast.RangeStmt:
+		c.checkExprCalls(s.X, held)
+		c.scanBlock(s.Body.List, held)
+		return
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.checkNested(s.Init, held)
+		}
+		c.checkExprCalls(s.Tag, held)
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.scanBlock(cl.Body, held)
+			}
+		}
+		return
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.scanBlock(cl.Body, held)
+			}
+		}
+		return
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				c.scanBlock(cl.Body, held)
+			}
+		}
+		return
+	case *ast.LabeledStmt:
+		c.checkNested(s.Stmt, held)
+		return
+	}
+	// Leaf statements (assignments, returns, sends, expression
+	// statements that were not bare lock calls): check every call within.
+	c.checkExprCalls(stmt, held)
+}
+
+// checkExprCalls inspects any node for calls and acquisitions while
+// held locks are in force.
+func (c *lockChecker) checkExprCalls(n ast.Node, held []*rankedLock) {
+	if n == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false // a literal's body runs later, not under these locks
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lk, kind := lockCall(c.pass, c.ranks, call); lk != nil {
+			if kind == "Lock" || kind == "RLock" {
+				c.checkAcquire(call.Pos(), lk, held)
+			}
+			return true
+		}
+		c.checkCall(call, held)
+		return true
+	})
+}
+
+// checkCall verifies a call to a same-package function against the held
+// locks using the callee's transitive acquisition summary.
+func (c *lockChecker) checkCall(call *ast.CallExpr, held []*rankedLock) {
+	callee, ok := c.funcs[calleeObject(c.pass, call)]
+	if !ok {
+		return
+	}
+	for v := range c.summary[callee] {
+		lk := c.ranks[v]
+		for _, hl := range held {
+			if lk.obj == hl.obj {
+				if !c.h.suppressed(call.Pos()) {
+					c.pass.Reportf(call.Pos(),
+						"%s (possibly via callees) re-acquires %s while it is already held: deadlock", calleeName(call, callee), lk.name)
+				}
+			} else if lk.rank <= hl.rank {
+				if !c.h.suppressed(call.Pos()) {
+					c.pass.Reportf(call.Pos(),
+						"%s (possibly via callees) acquires %s (rank %d) while %s (rank %d) is held; declared order requires strictly increasing ranks",
+						calleeName(call, callee), lk.name, lk.rank, hl.name, hl.rank)
+				}
+			}
+		}
+	}
+}
+
+func (c *lockChecker) checkAcquire(pos token.Pos, lk *rankedLock, held []*rankedLock) {
+	for _, hl := range held {
+		if hl.obj == lk.obj {
+			if !c.h.suppressed(pos) {
+				c.pass.Reportf(pos, "%s acquired while already held: sync mutexes are not reentrant, this deadlocks", lk.name)
+			}
+		} else if lk.rank <= hl.rank {
+			if !c.h.suppressed(pos) {
+				c.pass.Reportf(pos, "%s (rank %d) acquired while %s (rank %d) is held; declared order requires strictly increasing ranks",
+					lk.name, lk.rank, hl.name, hl.rank)
+			}
+		}
+	}
+}
+
+func calleeName(call *ast.CallExpr, fd *ast.FuncDecl) string {
+	return fd.Name.Name
+}
+
+func removeLock(held []*rankedLock, lk *rankedLock) []*rankedLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].obj == lk.obj {
+			return append(held[:i:i], held[i+1:]...)
+		}
+	}
+	return held
+}

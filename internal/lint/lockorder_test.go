@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"waycache/internal/lint"
+	"waycache/internal/lint/analysistest"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.LockOrder, "lockord")
+}

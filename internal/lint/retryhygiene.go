@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"waycache/internal/lint/analysis"
+)
+
+// RetryHygiene enforces the one-retry-policy rule on the coordinator's
+// outbound HTTP: every remote call must flow through the
+// coord.RetryPolicy funnel (functions annotated //wclint:retry-core)
+// and must carry a context that can expire. In covered packages
+// (//wclint:retryclient or the built-in list) it forbids:
+//
+//   - net/http convenience calls (http.Get, http.Post, http.Head,
+//     http.PostForm) and http.NewRequest — both hard-wire
+//     context.Background(), so a dead host hangs the caller forever;
+//   - (*http.Client).Do/Get/Post/PostForm/Head outside a retry-core
+//     function or a function literal passed directly to one — a bare
+//     Do is a request that neither retries transport faults nor
+//     classifies failures;
+//   - http.NewRequestWithContext(context.Background()/context.TODO(),
+//     ...) — a context with no deadline upstream is an unbounded wait.
+//
+// Suppress with //wclint:retry-ok <reason> (e.g. the SSE stream, whose
+// lifetime is governed by an inactivity watchdog instead).
+var RetryHygiene = &analysis.Analyzer{
+	Name: "retryhygiene",
+	Doc:  "outbound HTTP must flow through the retry policy and carry a deadline",
+	Run:  runRetryHygiene,
+}
+
+var retryClientPkgs = map[string]bool{
+	"waycache/internal/coord":  true,
+	"waycache/internal/server": true,
+}
+
+func runRetryHygiene(pass *analysis.Pass) (any, error) {
+	if !retryClientPkgs[pass.Pkg.Path()] && !pkgHasDirective(pass, "retryclient") {
+		return nil, nil
+	}
+	h := newHatches(pass, "retry")
+	retryCore := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && funcHasDirective(fd, "retry-core") {
+				retryCore[pass.TypesInfo.Defs[fd.Name]] = true
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkRetryFunc(pass, h, retryCore, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkRetryFunc(pass *analysis.Pass, h *hatches, retryCore map[types.Object]bool, fd *ast.FuncDecl) {
+	isCore := funcHasDirective(fd, "retry-core")
+	// Stack of "am I inside a FuncLit whose call target is retry-core"
+	// scopes; ast.Inspect gives no exit hook per node, so track by span.
+	type litScope struct {
+		lit     *ast.FuncLit
+		blessed bool
+	}
+	var scopes []litScope
+	inBlessedScope := func(pos ast.Node) bool {
+		for i := len(scopes) - 1; i >= 0; i-- {
+			if pos.Pos() >= scopes[i].lit.Pos() && pos.End() <= scopes[i].lit.End() {
+				return scopes[i].blessed
+			}
+		}
+		return isCore
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Record function literals passed directly to a retry-core call:
+		// their bodies are the sanctioned place for transport calls.
+		if retryCore[calleeObject(pass, call)] {
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					scopes = append(scopes, litScope{lit: lit, blessed: true})
+				}
+			}
+		}
+
+		for _, fn := range [...]string{"Get", "Post", "PostForm", "Head"} {
+			if stdCall(pass, call, "net/http", fn) && !h.suppressed(call.Pos()) {
+				pass.Reportf(call.Pos(),
+					"http.%s hard-wires context.Background() and bypasses the retry policy; build the request with a deadline context and send it through a //wclint:retry-core funnel", fn)
+				return true
+			}
+		}
+		if stdCall(pass, call, "net/http", "NewRequest") && !h.suppressed(call.Pos()) {
+			pass.Reportf(call.Pos(),
+				"http.NewRequest carries context.Background(); use http.NewRequestWithContext with a deadline-carrying context")
+			return true
+		}
+		if stdCall(pass, call, "net/http", "NewRequestWithContext") && len(call.Args) > 0 {
+			if isBareContext(pass, call.Args[0]) && !h.suppressed(call.Pos()) {
+				pass.Reportf(call.Args[0].Pos(),
+					"request context has no deadline: derive it with context.WithTimeout so a dead host cannot hang this call forever")
+			}
+		}
+		if name, ok := clientTransportCall(pass, call); ok {
+			if !inBlessedScope(call) && !h.suppressed(call.Pos()) {
+				pass.Reportf(call.Pos(),
+					"(*http.Client).%s outside the retry policy: route this request through a //wclint:retry-core funnel so transport faults retry with backoff", name)
+			}
+		}
+		return true
+	})
+}
+
+// clientTransportCall reports method calls on *net/http.Client that put
+// a request on the wire.
+func clientTransportCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Do", "Get", "Post", "PostForm", "Head":
+	default:
+		return "", false
+	}
+	t := pass.TypesInfo.Types[sel.X].Type
+	if t == nil || !isNamed(t, "net/http", "Client") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// isBareContext reports whether expr is a direct context.Background()
+// or context.TODO() call.
+func isBareContext(pass *analysis.Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return stdCall(pass, call, "context", "Background") || stdCall(pass, call, "context", "TODO")
+}

@@ -1,0 +1,97 @@
+// Package determ is a wclint fixture: positive, negative, and
+// escape-hatch cases for the determinism analyzer. The package opts
+// into the contract with the directive below instead of appearing in
+// the built-in package list.
+//
+//wclint:deterministic
+package determ
+
+import (
+	"fmt"
+	"io"
+	mrand "math/rand" // want `use waycache/internal/prng`
+	"sort"
+	"sync"
+	"time"
+)
+
+func randomWay(n int) int {
+	return mrand.Intn(n)
+}
+
+func wallClock() int64 {
+	return time.Now().Unix() // want `time\.Now in deterministic package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in deterministic package`
+}
+
+// hatchedClock shows the sanctioned escape: a reasoned hatch on the
+// line above the read suppresses the finding.
+func hatchedClock() int64 {
+	//wclint:nondeterministic-ok throughput display on stderr only, never reaches records
+	t := time.Now()
+	return t.Unix()
+}
+
+// emptyHatch shows a hatch without a reason: it suppresses nothing and
+// is itself reported.
+func emptyHatch() int64 {
+	/* want `needs a reason` */ //wclint:nondeterministic-ok
+	t := time.Now()             // want `time\.Now in deterministic package`
+	return t.Unix()
+}
+
+func orderedSink(m map[string]int, w io.Writer) {
+	for k := range m {
+		fmt.Fprintf(w, "%s\n", k) // want `ordered sink Fprintf`
+	}
+}
+
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside map iteration`
+	}
+	return keys
+}
+
+// appendSorted is the deterministic collect-then-sort idiom: no finding.
+func appendSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sendOrder(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want `channel send inside map iteration`
+	}
+}
+
+func pickAny(m map[string]int) string {
+	for k := range m {
+		return k // want `map-iteration-dependent`
+	}
+	return ""
+}
+
+func syncMapRange(m *sync.Map) int {
+	n := 0
+	m.Range(func(k, v any) bool { // want `sync\.Map\.Range iterates in unspecified order`
+		n++
+		return true
+	})
+	return n
+}
+
+// sliceRange iterates a slice, which is ordered: no finding.
+func sliceRange(s []string, w io.Writer) {
+	for _, v := range s {
+		fmt.Fprintln(w, v)
+	}
+}

@@ -1,0 +1,90 @@
+// Package hot is a wclint fixture: positive, negative, and escape-hatch
+// cases for the hotpath analyzer. Only functions annotated
+// //wclint:hotpath are checked.
+package hot
+
+import (
+	"errors"
+	"fmt"
+)
+
+func trace()            {}
+func sink(v any)        {}
+func sum(vs ...any) int { return len(vs) }
+
+// load collects every construct the zero-alloc contract forbids.
+//
+//wclint:hotpath
+func load(vals []int) int {
+	defer trace()                // want `defer in hotpath load`
+	go trace()                   // want `go statement in hotpath load`
+	f := func() int { return 1 } // want `closure in hotpath load`
+	_ = f
+	s := fmt.Sprintf("%d", len(vals)) // want `fmt\.Sprintf in hotpath load`
+	_ = s
+	err := errors.New("hot") // want `errors\.New in hotpath load`
+	_ = err
+	var out []int
+	for _, v := range vals {
+		out = append(out, v) // want `append to out in hotpath load`
+	}
+	sink(len(vals)) // want `conversion of non-pointer int to interface in hotpath load`
+	return len(out)
+}
+
+//wclint:hotpath
+func boxedReturn(v int) any {
+	return v // want `conversion of non-pointer int to interface in hotpath boxedReturn`
+}
+
+//wclint:hotpath
+func boxedAssign(v int) {
+	var x any
+	x = v // want `conversion of non-pointer int to interface in hotpath boxedAssign`
+	_ = x
+}
+
+//wclint:hotpath
+func boxedVariadic(a, b int) int {
+	return sum(a, b) // want `conversion of non-pointer int to interface` `conversion of non-pointer int to interface`
+}
+
+// loadOK is the clean shape of the same work: preallocated append,
+// pointer-shaped interface values, panic arguments exempt (a taken
+// panic ends the run, so its formatting is cold by definition).
+//
+//wclint:hotpath
+func loadOK(vals []int) int {
+	out := make([]int, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v)
+	}
+	if len(out) > cap(out) {
+		panic(fmt.Sprintf("impossible: %d > %d", len(out), cap(out)))
+	}
+	sink(&out)
+	return len(out)
+}
+
+// loadHatched shows the sanctioned escape.
+//
+//wclint:hotpath
+func loadHatched(vals []int) {
+	//wclint:alloc-ok cold configuration edge, measured zero allocs in steady state
+	sink(len(vals))
+}
+
+// loadEmptyHatch shows a hatch without a reason: it suppresses nothing
+// and is itself reported.
+//
+//wclint:hotpath
+func loadEmptyHatch(vals []int) {
+	/* want `needs a reason` */ //wclint:alloc-ok
+	sink(len(vals))             // want `conversion of non-pointer int to interface`
+}
+
+// cold is unannotated: the same constructs draw no findings.
+func cold(vals []int) string {
+	defer trace()
+	return fmt.Sprint(len(vals))
+}

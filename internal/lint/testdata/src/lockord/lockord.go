@@ -1,0 +1,113 @@
+// Package lockord is a wclint fixture: positive, negative, and
+// escape-hatch cases for the lockorder analyzer. The struct below
+// declares the lock-order table with //wclint:lockrank directives.
+package lockord
+
+import "sync"
+
+type server struct {
+	mu    sync.Mutex //wclint:lockrank 10
+	jobMu sync.Mutex //wclint:lockrank 20
+	dbMu  sync.Mutex //wclint:lockrank 30
+
+	//wclint:lockrank 40
+	count int // want `not a sync\.Mutex`
+}
+
+func (s *server) inverted() {
+	s.jobMu.Lock()
+	s.mu.Lock() // want `server\.mu \(rank 10\) acquired while server\.jobMu \(rank 20\) is held`
+	s.mu.Unlock()
+	s.jobMu.Unlock()
+}
+
+func (s *server) reacquire() {
+	s.mu.Lock()
+	s.mu.Lock() // want `server\.mu acquired while already held`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// ordered acquires strictly increasing ranks: no findings.
+func (s *server) ordered() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	s.dbMu.Lock()
+	s.dbMu.Unlock()
+}
+
+// unlockEndsRegion: a same-level Unlock releases the held region, so
+// the later low-rank acquisition is legal.
+func (s *server) unlockEndsRegion() {
+	s.dbMu.Lock()
+	s.dbMu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+func (s *server) lockLow() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// transitive: the helper's acquisition is found through the
+// same-package call-graph summary.
+func (s *server) transitive() {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	s.lockLow() // want `lockLow \(possibly via callees\) acquires server\.mu \(rank 10\) while server\.jobMu \(rank 20\) is held`
+}
+
+// viaHelper: calling a helper that re-takes an already-held lock is the
+// classic hidden self-deadlock.
+func (s *server) viaHelper() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lockLow() // want `lockLow \(possibly via callees\) re-acquires server\.mu`
+}
+
+// hatched shows the sanctioned escape: a reasoned hatch.
+func (s *server) hatched() {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	//wclint:lockorder-ok callers serialize on dbMu before entering; see design note in doc.go
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// emptyHatch shows a hatch without a reason: it suppresses nothing and
+// is itself reported.
+func (s *server) emptyHatch() {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	/* want `needs a reason` */ //wclint:lockorder-ok
+	s.mu.Lock()                 // want `server\.mu \(rank 10\) acquired while server\.jobMu \(rank 20\) is held`
+	s.mu.Unlock()
+}
+
+// branchCopy: an unlock inside one branch must not release the
+// fallthrough path, but the in-order acquisition after the branch is
+// still legal.
+func (s *server) branchCopy(cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return
+	}
+	s.jobMu.Lock()
+	s.jobMu.Unlock()
+	s.mu.Unlock()
+}
+
+// literalEscapes: a function literal's body runs later, not under the
+// locks held at its creation site: no findings.
+func (s *server) literalEscapes() func() {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	return func() {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+}

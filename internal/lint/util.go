@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"waycache/internal/lint/analysis"
+)
+
+// stdCall reports whether call invokes the package-level function
+// pkgPath.name (e.g. "time".Now), resolved through the type info so
+// aliased imports and shadowed identifiers are handled correctly.
+func stdCall(pass *analysis.Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Require a qualified identifier (pkg.F), not a method named F: the
+	// selector base must resolve to the imported package itself.
+	base, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, isPkg := pass.TypesInfo.Uses[base].(*types.PkgName); !isPkg {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// calleeObject resolves the object a call's function expression refers
+// to: a package-level func, a method, or nil for builtins, func-typed
+// values and dynamic calls.
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return pass.TypesInfo.Uses[fun.Sel] // qualified identifier pkg.F
+	}
+	return nil
+}
+
+// namedType unwraps pointers and aliases and returns the named type of
+// t, or nil.
+func namedType(t types.Type) *types.Named {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := types.Unalias(t).(*types.Named)
+	return n
+}
+
+// isNamed reports whether t (or *t) is the named type pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// declaredFuncs maps each function/method object defined in the package
+// to its declaration, for one-level intra-package call analysis.
+func declaredFuncs(pass *analysis.Pass) map[types.Object]*ast.FuncDecl {
+	m := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					m[obj] = fd
+				}
+			}
+		}
+	}
+	return m
+}

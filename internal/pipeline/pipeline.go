@@ -285,6 +285,8 @@ func (p *Pipeline) Run() Stats {
 // port timer, but only when the timer is its sole gate: a branch stall
 // clears at issue time and a full ROB/LSQ at commit time, which the
 // completion bound already covers.
+//
+//wclint:hotpath
 func (p *Pipeline) stallTarget() int64 {
 	next := p.nextEvent()
 	if !p.exhausted && p.waitBranch < 0 && p.fetchableAt > p.cycle &&
@@ -307,6 +309,8 @@ func (p *Pipeline) stallTarget() int64 {
 // the bitmap here, so repeated stalls don't re-probe them. (A popped slot
 // recycled by a not-yet-issued entry reads notDone: harmless to the min,
 // and re-marked at issue anyway.)
+//
+//wclint:hotpath
 func (p *Pipeline) nextEvent() int64 {
 	if p.nextDoneAt > p.cycle {
 		return p.nextDoneAt
@@ -329,6 +333,7 @@ func (p *Pipeline) nextEvent() int64 {
 	return min
 }
 
+//wclint:hotpath
 func (p *Pipeline) commit() {
 	// Locals keep the ring state in registers across the store interface
 	// call (see issue for the same pattern). Only stores touch the payload;
@@ -367,6 +372,8 @@ func (p *Pipeline) commit() {
 // time now fully known, since every remaining producer is scheduled. A
 // producer below head has retired (its value committed in the past) and
 // contributes nothing.
+//
+//wclint:hotpath
 func (p *Pipeline) wake(wseq int64) {
 	doneAt, mask, head := p.doneAt, p.robMask, p.head
 	for wseq >= 0 {
@@ -395,6 +402,7 @@ func (p *Pipeline) wake(wseq int64) {
 	}
 }
 
+//wclint:hotpath
 func (p *Pipeline) issue() {
 	issued := 0
 	ports := p.cfg.DCachePorts
@@ -530,6 +538,8 @@ func (p *Pipeline) issue() {
 // peekInst returns the lookahead instruction without consuming it, pulling
 // from the source's window when it has one (no copy) and through the
 // single-instruction pending buffer otherwise.
+//
+//wclint:hotpath
 func (p *Pipeline) peekInst() (*trace.Inst, bool) {
 	if p.batch != nil {
 		if len(p.win) == 0 && !p.refillWindow() {
@@ -555,6 +565,8 @@ func (p *Pipeline) peekInst() (*trace.Inst, bool) {
 // call and pulls the next window — the whole remaining trace for an
 // arena-backed replay — so steady-state fetch makes no per-instruction
 // source calls at all.
+//
+//wclint:hotpath
 func (p *Pipeline) refillWindow() bool {
 	if p.exhausted {
 		return false
@@ -573,6 +585,8 @@ func (p *Pipeline) refillWindow() bool {
 
 // consumeInst consumes the instruction peekInst returned. The returned
 // pointer stays valid until the next peekInst call.
+//
+//wclint:hotpath
 func (p *Pipeline) consumeInst() {
 	if p.batch != nil {
 		p.win = p.win[1:]
@@ -582,10 +596,12 @@ func (p *Pipeline) consumeInst() {
 	p.pendingOK = false
 }
 
+//wclint:hotpath
 func (p *Pipeline) robFull() bool {
 	return p.tail-p.head >= int64(p.cfg.ROBSize)
 }
 
+//wclint:hotpath
 func (p *Pipeline) dispatch(in *trace.Inst, mispred bool) {
 	idx := p.tail & p.robMask
 	p.insts[idx] = *in
@@ -661,6 +677,8 @@ func (p *Pipeline) dispatch(in *trace.Inst, mispred bool) {
 // instructions from the same cache block, ending early at a taken (or
 // mispredicted) control instruction. With a window source the whole
 // block stride is read in place from the source's memory.
+//
+//wclint:hotpath
 func (p *Pipeline) fetch() {
 	if p.cycle < p.fetchableAt || p.waitBranch >= 0 {
 		return
@@ -741,6 +759,8 @@ func (p *Pipeline) fetch() {
 
 // fetchControl dispatches a control instruction, performs all front-end
 // prediction and training, and reports whether the fetch group must stop.
+//
+//wclint:hotpath
 func (p *Pipeline) fetchControl(in *trace.Inst, block uint64, blockWay int) bool {
 	fe := p.fe
 	switch in.Kind {

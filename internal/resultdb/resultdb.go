@@ -103,7 +103,7 @@ type span struct {
 
 // DB is an open result store. It is safe for concurrent use.
 type DB struct {
-	mu        sync.Mutex
+	mu        sync.Mutex //wclint:lockrank 50
 	dir       string
 	f         *os.File
 	size      int64 // end of the validated log == append offset

@@ -145,7 +145,7 @@ type rateLimiter struct {
 	rate  float64
 	burst float64
 
-	mu      sync.Mutex
+	mu      sync.Mutex //wclint:lockrank 15
 	buckets map[string]*bucket
 }
 

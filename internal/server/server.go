@@ -137,7 +137,7 @@ type Server struct {
 	cancel context.CancelFunc
 	stopWG sync.WaitGroup // one count per live job goroutine
 
-	mu     sync.Mutex
+	mu     sync.Mutex //wclint:lockrank 10
 	jobs   map[string]*job
 	order  []string
 	nextID int
@@ -145,7 +145,7 @@ type Server struct {
 	// Decoded-corpus cache for the query endpoints. The store is
 	// append-only, so the cache is valid exactly while the entry count is
 	// unchanged; a grown store triggers one rescan on the next query.
-	corpusMu  sync.Mutex
+	corpusMu  sync.Mutex //wclint:lockrank 25
 	corpus    []sweep.Record
 	corpusLen int
 }
@@ -302,9 +302,9 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu        sync.Mutex
-	state     string // "queued" -> "running" -> "done" | "failed" | "cancelled"
-	cancelled bool   // cancellation requested while running
+	mu        sync.Mutex //wclint:lockrank 20
+	state     string     // "queued" -> "running" -> "done" | "failed" | "cancelled"
+	cancelled bool       // cancellation requested while running
 	done      int
 	err       string
 	fallbacks map[string]string

@@ -61,7 +61,7 @@ func PutEncoded(b Backend, key string, payload []byte) error {
 // Memory is the in-memory Backend: a map guarded by a mutex. It never
 // returns an error.
 type Memory struct {
-	mu   sync.RWMutex
+	mu   sync.RWMutex //wclint:lockrank 45
 	m    map[string]*core.Result
 	keys []string // insertion order, for deterministic Scan
 }

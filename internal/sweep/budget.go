@@ -20,7 +20,7 @@ import (
 // core.Run, so memo hits, in-flight joins and disk recalls cost nothing
 // against the budget and overlapping grids dedupe at full speed.
 type Budget struct {
-	mu     sync.Mutex
+	mu     sync.Mutex //wclint:lockrank 40
 	free   int
 	queues map[string][]chan struct{} // per-owner FIFO of waiters
 	ring   []string                   // owners with waiters, round-robin order

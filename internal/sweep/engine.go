@@ -77,7 +77,7 @@ type Engine struct {
 	store    *Store
 	progress Progress
 	onResult func(int, *core.Result)
-	progMu   sync.Mutex
+	progMu   sync.Mutex //wclint:lockrank 35
 	traces   *traceResolver
 	budget   *Budget
 	owner    string

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -82,7 +83,16 @@ func (g Grid) Normalize() (Grid, error) {
 			return g, fmt.Errorf("sweep: benchmark %q is not in the suite and has no trace reference", b)
 		}
 	}
-	for b, ref := range g.TraceRefs {
+	// Validate references in sorted benchmark order: with several bad
+	// entries, which error surfaces must not depend on map iteration
+	// order (the error string reaches job status and CLI output).
+	refBenches := make([]string, 0, len(g.TraceRefs))
+	for b := range g.TraceRefs {
+		refBenches = append(refBenches, b)
+	}
+	sort.Strings(refBenches)
+	for _, b := range refBenches {
+		ref := g.TraceRefs[b]
 		if _, ok := trace.ParseRef(ref); !ok {
 			return g, fmt.Errorf("sweep: benchmark %q: malformed trace reference %q (want trace://<64 hex digits>)", b, ref)
 		}

@@ -20,7 +20,7 @@ import (
 type Store struct {
 	backend Backend
 
-	mu       sync.Mutex
+	mu       sync.Mutex //wclint:lockrank 30
 	inflight map[string]*entry
 	errs     map[string]error
 	hits     int64

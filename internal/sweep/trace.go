@@ -31,7 +31,7 @@ type traceResolver struct {
 	dir   string
 	store *tracestore.Store
 
-	mu        sync.Mutex
+	mu        sync.Mutex            //wclint:lockrank 38
 	probes    map[string]traceProbe // benchmark or trace:// ref -> cached probe
 	fallbacks map[string]string     // benchmark (or short hash) -> why the walker ran instead
 }

@@ -280,6 +280,8 @@ func NewMemSource(insts []Inst, h Header) *MemSource {
 }
 
 // Next implements Source.
+//
+//wclint:hotpath
 func (m *MemSource) Next(out *Inst) bool {
 	if m.pos >= len(m.insts) {
 		return false
@@ -292,6 +294,8 @@ func (m *MemSource) Next(out *Inst) bool {
 // Window implements WindowSource: the entire unconsumed remainder of the
 // decoded trace, straight out of the shared arena slice — the batch fetch
 // path reads fetch strides from it without any per-instruction copy.
+//
+//wclint:hotpath
 func (m *MemSource) Window() []Inst {
 	if m.pos >= len(m.insts) {
 		return nil
@@ -300,6 +304,8 @@ func (m *MemSource) Window() []Inst {
 }
 
 // Advance implements WindowSource.
+//
+//wclint:hotpath
 func (m *MemSource) Advance(n int) { m.pos += n }
 
 // Header returns the file header of the backing trace.

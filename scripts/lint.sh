@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Local mirror of CI's lint job: gofmt, the wclint analyzer suite as a
+# vet tool, the escape-analysis cross-check of //wclint:hotpath
+# annotations, and staticcheck when it is installed. CI installs the
+# pinned staticcheck first and then runs exactly this script, so a
+# clean local run means a clean lint job (docs/STATIC_ANALYSIS.md has
+# the contract details).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed on:"
+  echo "$unformatted"
+  exit 1
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== wclint (vet tool) =="
+go build -o "$tmp/wclint" ./cmd/wclint
+# -vettool replaces vet's standard analyzers, so run both suites.
+go vet ./...
+go vet -vettool="$tmp/wclint" ./...
+
+echo "== wclint escape (compiler cross-check) =="
+"$tmp/wclint" escape ./internal/access ./internal/cache ./internal/pipeline ./internal/trace
+
+echo "== staticcheck =="
+if command -v staticcheck >/dev/null 2>&1; then
+  staticcheck ./...
+else
+  echo "staticcheck not installed; skipping (CI runs it pinned)"
+fi
+
+echo "lint OK"
